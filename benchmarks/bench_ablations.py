@@ -1,0 +1,65 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from conftest import once, within
+
+from repro.bench.experiments.ablations import (
+    gpu_order_rows,
+    overlap_value_rows,
+    pivot_rows,
+    run_gpu_order,
+    run_overlap_value,
+    run_pivot_ablation,
+    run_swap_ablation,
+    swap_overlap_rows,
+)
+
+
+def test_ablation_gpu_order(benchmark):
+    def measure():
+        return {system: gpu_order_rows(system)
+                for system in ("ibm-ac922", "delta-d22x")}
+
+    rows = once(benchmark, measure)
+    for table in run_gpu_order():
+        table.print()
+    ac922 = {label: d for label, d in rows["ibm-ac922"]}
+    # Section 5.4: (0, 2, 1, 3) performs worse on the AC922.
+    assert min(d for label, d in ac922.items() if "(0, 2, 1, 3)" in label) \
+        > min(d for label, d in ac922.items() if "(0, 1, 2, 3)" in label)
+    # On the DELTA, the optimizer's order beats the paper's default.
+    delta = rows["delta-d22x"]
+    optimizer = min(d for label, d in delta if "optimizer" in label)
+    default = next(d for label, d in delta if label.startswith("(0, 1, 2, 3)"))
+    assert optimizer < default
+
+
+def test_ablation_pivot_volume(benchmark):
+    rows = once(benchmark, pivot_rows)
+    run_pivot_ablation().print()
+    volumes = {dist: volume for dist, _, _, volume in rows}
+    # The leftmost pivot eliminates P2P traffic on sorted data, nearly
+    # eliminates it on nearly-sorted data (1% disorder), and moves the
+    # maximum on reverse-sorted data.
+    assert volumes["sorted"] == 0.0
+    assert volumes["nearly-sorted"] < 0.05 * volumes["uniform"]
+    assert volumes["reverse-sorted"] > volumes["uniform"] > 0
+
+
+def test_ablation_out_of_place_swap(benchmark):
+    rows = once(benchmark, swap_overlap_rows)
+    run_swap_ablation().print()
+    for system, overlapped, serialized in rows:
+        # The overlapped swap is never slower; it matters most where
+        # the P2P path is slow relative to the local copy.
+        assert overlapped <= serialized * 1.001, system
+    ac922 = next(r for r in rows if r[0] == "ibm-ac922")
+    assert ac922[2] / ac922[1] > 1.05
+
+
+def test_ablation_copy_compute_overlap(benchmark):
+    rows = once(benchmark, overlap_value_rows)
+    run_overlap_value().print()
+    for system, _billions, two_n, three_n in rows:
+        # Section 6.2: on modern systems the 3n overlap buys at most a
+        # marginal improvement; both approaches land close together.
+        assert within(three_n, two_n, tolerance=1.25), system

@@ -1,0 +1,21 @@
+"""Extension: co-running workloads (what exclusive usage is worth)."""
+
+from conftest import once
+
+from repro.bench.experiments.co_running import measure, run_co_running
+
+
+def test_ext_co_running_interference(benchmark):
+    results = once(benchmark, measure, "dgx-a100", 4)
+    run_co_running("dgx-a100", 4).print()
+    for algorithm in ("p2p", "het"):
+        clean = results[(algorithm, "exclusive")]
+        for scenario in ("memory scan (40 GB/s)", "copy stream (1 GPU)"):
+            loaded = results[(algorithm, scenario)]
+            # Neighbours always cost something, but never break the
+            # run outright (bounded slowdown).
+            assert clean < loaded < 3.0 * clean, (algorithm, scenario)
+    benchmark.extra_info["slowdowns"] = {
+        f"{a}/{s}": results[(a, s)] / results[(a, "exclusive")]
+        for a in ("p2p", "het") for s in
+        ("memory scan (40 GB/s)", "copy stream (1 GPU)")}

@@ -1,0 +1,47 @@
+"""Figure 12: multi-GPU sort performance on the IBM AC922."""
+
+from conftest import once, within
+
+from repro.bench.experiments.sort_scaling import (
+    PAPER_TOTALS_2B,
+    breakdown_table,
+    scaling_series,
+    sort_duration,
+    sort_run,
+)
+
+
+def _totals(system):
+    return {
+        algo: {g: sort_duration(system, algo, g, 2.0)
+               for g in PAPER_TOTALS_2B[(system, algo)]}
+        for algo in ("p2p", "het")
+    }
+
+
+def test_fig12_ac922_totals_and_breakdown(benchmark):
+    measured = once(benchmark, _totals, "ibm-ac922")
+    for algo in ("p2p", "het"):
+        breakdown_table("ibm-ac922", algo, (1, 2, 4)).print()
+        for gpus, value in measured[algo].items():
+            paper = PAPER_TOTALS_2B[("ibm-ac922", algo)][gpus]
+            assert within(value, paper), (algo, gpus)
+    # Two GPUs win; four lose to two (X-Bus-bound merge, Section 6.1.1).
+    assert measured["p2p"][2] < measured["p2p"][1]
+    assert measured["p2p"][4] > measured["p2p"][2]
+    # P2P beats HET on the NVLink pair, ties on four GPUs.
+    assert measured["p2p"][2] < measured["het"][2]
+    benchmark.extra_info["seconds"] = measured
+
+
+def test_fig12_scaling_is_linear_in_keys(benchmark):
+    series = once(benchmark, scaling_series, "ibm-ac922", "p2p", (2,),
+                  (1.0, 2.0, 4.0))
+    points = dict(series[2])
+    assert within(points[4.0] / points[1.0], 4.0, tolerance=1.1)
+
+
+def test_fig12_merge_fraction_two_gpus(benchmark):
+    result = once(benchmark, sort_run, "ibm-ac922", "p2p", 2, 2.0)
+    # Figure 12a: the merge phase is ~20% of the 2-GPU total.
+    assert 0.1 < result.phase_fraction("Merge") < 0.3

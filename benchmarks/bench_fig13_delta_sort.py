@@ -1,0 +1,40 @@
+"""Figure 13: multi-GPU sort performance on the DELTA D22x."""
+
+from conftest import once, within
+
+from repro.bench.experiments.sort_scaling import (
+    PAPER_TOTALS_2B,
+    breakdown_table,
+    sort_duration,
+    sort_run,
+)
+
+
+def test_fig13_delta_totals(benchmark):
+    def measure():
+        return {
+            algo: {g: sort_duration("delta-d22x", algo, g, 2.0)
+                   for g in (1, 2, 4)}
+            for algo in ("p2p", "het")
+        }
+
+    measured = once(benchmark, measure)
+    for algo in ("p2p", "het"):
+        breakdown_table("delta-d22x", algo, (1, 2, 4)).print()
+        for gpus, value in measured[algo].items():
+            paper = PAPER_TOTALS_2B[("delta-d22x", algo)][gpus]
+            assert within(value, paper), (algo, gpus)
+    # Section 6.1.2: 1.86x for two GPUs, 2.1x for four over one.
+    assert within(measured["p2p"][1] / measured["p2p"][2], 1.86,
+                  tolerance=1.1)
+    assert within(measured["p2p"][1] / measured["p2p"][4], 2.1,
+                  tolerance=1.15)
+    benchmark.extra_info["seconds"] = measured
+
+
+def test_fig13_transfers_dominate(benchmark):
+    result = once(benchmark, sort_run, "delta-d22x", "p2p", 1, 2.0)
+    copies = (result.phase_durations["HtoD"]
+              + result.phase_durations["DtoH"])
+    # Figure 13a: PCIe 3.0 transfers are ~84% of the total.
+    assert copies / result.duration > 0.75

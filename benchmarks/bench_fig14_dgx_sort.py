@@ -1,0 +1,49 @@
+"""Figure 14: multi-GPU sort performance on the DGX A100."""
+
+from conftest import once, within
+
+from repro.bench.experiments.sort_scaling import (
+    PAPER_TOTALS_2B,
+    breakdown_table,
+    sort_duration,
+    sort_run,
+)
+
+
+def test_fig14_dgx_totals(benchmark):
+    def measure():
+        return {
+            algo: {g: sort_duration("dgx-a100", algo, g, 2.0)
+                   for g in (1, 2, 4, 8)}
+            for algo in ("p2p", "het")
+        }
+
+    measured = once(benchmark, measure)
+    for algo in ("p2p", "het"):
+        breakdown_table("dgx-a100", algo, (1, 2, 4, 8)).print()
+        for gpus, value in measured[algo].items():
+            paper = PAPER_TOTALS_2B[("dgx-a100", algo)][gpus]
+            assert within(value, paper), (algo, gpus)
+    # Section 6.1.3: 1.9x for two, 2.9x for four, ~3x for eight GPUs;
+    # P2P sort wins over HET sort for every GPU count.
+    assert within(measured["p2p"][1] / measured["p2p"][2], 1.9,
+                  tolerance=1.1)
+    assert within(measured["p2p"][1] / measured["p2p"][4], 2.9,
+                  tolerance=1.25)
+    for gpus in (2, 4, 8):
+        assert measured["p2p"][gpus] < measured["het"][gpus]
+    benchmark.extra_info["seconds"] = measured
+
+
+def test_fig14_merge_stays_cheap_with_nvswitch(benchmark):
+    result = once(benchmark, sort_run, "dgx-a100", "p2p", 8, 2.0)
+    # Figure 14a: even on eight GPUs the NVSwitch merge is ~23%.
+    assert result.phase_fraction("Merge") < 0.35
+
+
+def test_fig14_eight_gpus_double_capacity(benchmark):
+    # Eight GPUs sort twice the data of four in about the same time per
+    # key (Section 6.1.3).
+    four = once(benchmark, sort_duration, "dgx-a100", "p2p", 4, 8.0)
+    eight = sort_duration("dgx-a100", "p2p", 8, 16.0)
+    assert within(eight / four, 2.0, tolerance=1.2)

@@ -1,0 +1,23 @@
+"""Figure 15a: HET sort approaches for out-of-core data."""
+
+from conftest import once, within
+
+from repro.bench.experiments.large_data import (
+    het_variant_series,
+    run_fig15a,
+)
+
+
+def test_fig15a_het_variants(benchmark):
+    sizes = (10, 20, 30, 40, 50, 60)
+    series = once(benchmark, het_variant_series, "dgx-a100", 8, sizes)
+    run_fig15a(billions_list=sizes).print()
+    at_60 = {name: values[-1] for name, values in series.items()}
+    # 2n and 3n perform the same without eager merging (Section 6.2).
+    assert within(at_60["2n"], at_60["3n"], tolerance=1.1)
+    # Eager merging worsens performance 1.5-1.75x (we accept >= 1.25x).
+    assert at_60["2n + EM"] / at_60["2n"] > 1.25
+    assert at_60["3n + EM"] / at_60["3n"] > 1.25
+    # All variants scale linearly with the data size.
+    assert within(series["2n"][-1] / series["2n"][1], 3.0, tolerance=1.15)
+    benchmark.extra_info["seconds_at_60B"] = at_60

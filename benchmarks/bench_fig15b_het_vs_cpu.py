@@ -1,0 +1,26 @@
+"""Figure 15b: HET sort vs CPU-only sorting for large data."""
+
+from conftest import once, within
+
+from repro.bench.experiments.large_data import PAPER_60B, run_fig15b
+from repro.bench.experiments.sort_scaling import (
+    cpu_sort_duration,
+    sort_duration,
+)
+
+
+def test_fig15b_het_vs_paradis(benchmark):
+    def measure():
+        sizes = (10, 20, 30, 40, 50, 60)
+        cpu = [cpu_sort_duration("dgx-a100", b, "paradis") for b in sizes]
+        het = [sort_duration("dgx-a100", "het", 8, b) for b in sizes]
+        return cpu, het
+
+    cpu, het = once(benchmark, measure)
+    run_fig15b().print()
+    # HET sort stays ahead at every size; ~2.6x at 60B keys.
+    assert all(h < c for h, c in zip(het, cpu))
+    assert 2.0 < cpu[-1] / het[-1] < 4.0
+    assert within(cpu[-1], PAPER_60B["PARADIS (CPU)"])
+    assert within(het[-1], PAPER_60B["HET sort (8 GPUs)"], tolerance=1.3)
+    benchmark.extra_info["speedup_at_60B"] = cpu[-1] / het[-1]

@@ -1,0 +1,28 @@
+"""Figure 16: sorting varying data distributions on the AC922."""
+
+from conftest import once, within
+
+from repro.bench.experiments.distributions import (
+    PAPER_FIG16,
+    measure,
+    run_fig16,
+)
+
+
+def test_fig16_distribution_sensitivity(benchmark):
+    rows = once(benchmark, measure)
+    run_fig16().print()
+    durations = {(algo, dist): value for algo, dist, value, _ in rows}
+    for (algo, dist), value in durations.items():
+        assert within(value, PAPER_FIG16[(algo, dist)]), (algo, dist)
+    # P2P sort: sorted data is fastest, reverse-sorted slowest.
+    assert durations[("p2p", "sorted")] < durations[("p2p", "uniform")]
+    assert durations[("p2p", "reverse-sorted")] > \
+        durations[("p2p", "uniform")]
+    # HET sort is flat across distributions.
+    het = [durations[("het", d)] for d in
+           ("uniform", "normal", "sorted", "reverse-sorted",
+            "nearly-sorted")]
+    assert max(het) / min(het) < 1.05
+    benchmark.extra_info["seconds"] = {f"{a}/{d}": v
+                                       for (a, d), v in durations.items()}

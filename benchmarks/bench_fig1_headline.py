@@ -1,0 +1,30 @@
+"""Figure 1: sorting 16 GB on the DGX A100 - CPU vs GPUs."""
+
+from conftest import once, within
+
+from repro.bench.experiments.sort_scaling import (
+    PAPER_FIG1,
+    cpu_sort_duration,
+    run_fig1,
+    sort_duration,
+)
+
+
+def test_fig1_headline_comparison(benchmark):
+    table = once(benchmark, run_fig1)
+    table.print()
+    measured = {
+        "PARADIS (CPU)": cpu_sort_duration("dgx-a100", 4.0, "paradis"),
+        "Thrust (1 GPU)": sort_duration("dgx-a100", "het", 1, 4.0),
+        "P2P sort (2 GPUs)": sort_duration("dgx-a100", "p2p", 2, 4.0),
+        "P2P sort (4 GPUs)": sort_duration("dgx-a100", "p2p", 4, 4.0),
+        "HET sort (2 GPUs)": sort_duration("dgx-a100", "het", 2, 4.0),
+        "HET sort (4 GPUs)": sort_duration("dgx-a100", "het", 4, 4.0),
+    }
+    for label, value in measured.items():
+        assert within(value, PAPER_FIG1[label]), label
+    # Orderings of the headline bar chart.
+    assert measured["P2P sort (4 GPUs)"] < measured["P2P sort (2 GPUs)"] \
+        < measured["Thrust (1 GPU)"] < measured["PARADIS (CPU)"]
+    assert measured["P2P sort (2 GPUs)"] < measured["HET sort (2 GPUs)"]
+    benchmark.extra_info["seconds"] = measured

@@ -1,0 +1,16 @@
+"""Figure 2: CPU-GPU data transfers on the IBM AC922."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import transfers_cpu_gpu
+
+
+def test_fig2_ac922_cpu_gpu_transfers(benchmark):
+    rows = once(benchmark, transfers_cpu_gpu.measure_cpu_gpu, "ibm-ac922")
+    transfers_cpu_gpu.run_fig2().print()
+    assert_rows_within(rows)
+    values = {label: measured for label, measured, _ in rows}
+    # NUMA shape: local GPUs far outpace X-Bus-bound remote ones.
+    assert values["serial {0} htod"] / values["serial {2} htod"] > 1.5
+    assert values["parallel (0,1) htod"] / values["parallel (2,3) htod"] > 3.0
+    benchmark.extra_info["gbps"] = values

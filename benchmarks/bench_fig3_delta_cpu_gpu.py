@@ -1,0 +1,18 @@
+"""Figure 3: CPU-GPU data transfers on the DELTA D22x."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import transfers_cpu_gpu
+
+
+def test_fig3_delta_cpu_gpu_transfers(benchmark):
+    rows = once(benchmark, transfers_cpu_gpu.measure_cpu_gpu, "delta-d22x")
+    transfers_cpu_gpu.run_fig3().print()
+    assert_rows_within(rows)
+    values = {label: measured for label, measured, _ in rows}
+    # No NUMA effects over PCIe 3.0 (Section 4.2)...
+    assert abs(values["serial {0} htod"] - values["serial {2} htod"]) < 0.5
+    # ...and parallel copies scale 4x thanks to exclusive switches.
+    scaling = values["parallel (0,1,2,3) htod"] / values["serial {0} htod"]
+    assert 3.6 < scaling < 4.2
+    benchmark.extra_info["gbps"] = values

@@ -1,0 +1,20 @@
+"""Figure 4: CPU-GPU data transfers on the DGX A100."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import transfers_cpu_gpu
+
+
+def test_fig4_dgx_cpu_gpu_transfers(benchmark):
+    rows = once(benchmark, transfers_cpu_gpu.measure_cpu_gpu, "dgx-a100")
+    transfers_cpu_gpu.run_fig4().print()
+    assert_rows_within(rows)
+    values = {label: measured for label, measured, _ in rows}
+    # The shared-PCIe-switch effect: pair (0,1) does not scale, (0,2)
+    # doubles (Section 4.2).
+    assert values["parallel (0,1) htod"] < 1.2 * values["serial {0-3} htod"]
+    assert values["parallel (0,2) htod"] > 1.8 * values["serial {0-3} htod"]
+    # No scaling from four to eight GPUs.
+    assert values["parallel (0-7) htod"] < \
+        1.15 * values["parallel (0,2,4,6) htod"]
+    benchmark.extra_info["gbps"] = values

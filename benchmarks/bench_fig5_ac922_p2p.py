@@ -1,0 +1,17 @@
+"""Figure 5: P2P data transfers on the IBM AC922."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import transfers_p2p
+
+
+def test_fig5_ac922_p2p_transfers(benchmark):
+    rows = once(benchmark, transfers_p2p.measure_p2p, "ibm-ac922")
+    transfers_p2p.run_fig5().print()
+    assert_rows_within(rows)
+    values = {label: measured for label, measured, _ in rows}
+    # Direct NVLink pairs reach ~72 GB/s; X-Bus-staged pairs less than
+    # half of that; the 4-GPU mirrored pattern collapses onto the X-Bus.
+    assert values["serial 0->1"] / values["serial 0->2"] > 2.0
+    assert values["parallel 0<->1"] / values["parallel 0<->3, 1<->2"] > 2.5
+    benchmark.extra_info["gbps"] = values

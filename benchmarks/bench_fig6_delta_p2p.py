@@ -1,0 +1,16 @@
+"""Figure 6: P2P data transfers on the DELTA D22x."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import transfers_p2p
+
+
+def test_fig6_delta_p2p_transfers(benchmark):
+    rows = once(benchmark, transfers_p2p.measure_p2p, "delta-d22x")
+    transfers_p2p.run_fig6().print()
+    assert_rows_within(rows, tolerance=1.3)
+    values = {label: measured for label, measured, _ in rows}
+    # Host-staged P2P pays the double PCIe 3.0 toll (Section 4.3: 48
+    # direct vs 9 GB/s staged).
+    assert values["serial 0->1"] / values["serial 0->3"] > 4.0
+    benchmark.extra_info["gbps"] = values

@@ -1,0 +1,16 @@
+"""Figure 7: P2P data transfers on the DGX A100 (NVSwitch)."""
+
+from conftest import assert_rows_within, once, within
+
+from repro.bench.experiments import transfers_p2p
+
+
+def test_fig7_dgx_p2p_transfers(benchmark):
+    rows = once(benchmark, transfers_p2p.measure_p2p, "dgx-a100")
+    transfers_p2p.run_fig7().print()
+    assert_rows_within(rows)
+    values = {label: measured for label, measured, _ in rows}
+    # NVSwitch scales all-to-all near-linearly (Section 4.3).
+    assert within(values["parallel 4 pairs (8 GPUs)"],
+                  4 * values["parallel 0<->1"], tolerance=1.1)
+    benchmark.extra_info["gbps"] = values

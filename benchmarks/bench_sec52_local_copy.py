@@ -1,0 +1,19 @@
+"""Section 5.2: device-local copies vs P2P interconnect transfers."""
+
+from conftest import once, within
+
+from repro.bench.experiments.local_copy import (
+    PAPER_RATIOS,
+    measure,
+    run_local_copy,
+)
+
+
+def test_sec52_local_copy_ratios(benchmark):
+    rows = once(benchmark, measure)
+    run_local_copy().print()
+    paper = {(s, p): r for s, p, r in PAPER_RATIOS}
+    for system, path, local, remote, ratio in rows:
+        assert local > remote, system
+        assert within(ratio, paper[(system, path)], tolerance=1.15), system
+    benchmark.extra_info["ratios"] = {s: r for s, _, _, _, r in rows}

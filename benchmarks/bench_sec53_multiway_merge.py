@@ -1,0 +1,32 @@
+"""Section 5.3: multiway merge memory-bandwidth saturation."""
+
+from conftest import once
+
+from repro.bench.experiments.merge_saturation import (
+    merge_duration,
+    run_merge_saturation,
+    saturation_rows,
+)
+from repro.cpuprims.stream import (
+    MERGE_SATURATION_HIGH,
+    MERGE_SATURATION_LOW,
+)
+
+
+def test_sec53_merge_saturates_stream(benchmark):
+    rows = once(benchmark, saturation_rows)
+    run_merge_saturation().print()
+    for system, standalone, het_rate, stream, saturation in rows:
+        assert MERGE_SATURATION_LOW - 0.02 <= saturation \
+            <= MERGE_SATURATION_HIGH + 0.02, (system, saturation)
+        assert het_rate <= standalone * 1.01, system
+    benchmark.extra_info["saturation"] = {r[0]: r[4] for r in rows}
+
+
+def test_sec53_merge_duration_scales_with_n(benchmark):
+    # n in {2, 8, 32} billion, k = 4 (the paper's grid, Section 5.3).
+    t2 = once(benchmark, merge_duration, "dgx-a100", 2.0, 4)
+    t8 = merge_duration("dgx-a100", 8.0, 4)
+    t32 = merge_duration("dgx-a100", 32.0, 4)
+    assert t8 / t2 == 4.0 or abs(t8 / t2 - 4.0) < 0.2
+    assert abs(t32 / t8 - 4.0) < 0.2

@@ -1,0 +1,31 @@
+"""Section 6.3: sorting different key data types (8 GB per run)."""
+
+from conftest import once
+
+from repro.bench.experiments.datatypes import (
+    PAPER_RATIO_BANDS,
+    measure,
+    run_datatypes,
+    width_ratio,
+)
+
+
+def test_sec63_datatype_ratios(benchmark):
+    def both():
+        return {system: measure(system)
+                for system in ("dgx-a100", "ibm-ac922")}
+
+    durations = once(benchmark, both)
+    for table in run_datatypes():
+        table.print()
+    for system, (lo, hi) in PAPER_RATIO_BANDS.items():
+        ratio = width_ratio(durations[system])
+        assert lo - 0.03 <= ratio <= hi + 0.03, (system, ratio)
+    # Same-width types behave identically (radix key transforms); tiny
+    # residuals come from distribution-dependent pivot positions.
+    for system in durations:
+        values = durations[system]
+        assert abs(values["int"] / values["float"] - 1) < 1e-3
+        assert abs(values["long"] / values["double"] - 1) < 1e-3
+    benchmark.extra_info["ratios"] = {
+        system: width_ratio(values) for system, values in durations.items()}

@@ -1,0 +1,25 @@
+"""Table 2: single-GPU sorting primitives on the A100."""
+
+from conftest import assert_rows_within, once
+
+from repro.bench.experiments import table2
+
+
+def test_table2_single_gpu_primitives(benchmark):
+    rows = once(benchmark, table2.measure)
+    table2.run_table2().print()
+    assert_rows_within(rows, tolerance=1.05)
+    durations = dict((name, ms) for name, ms, _ in rows)
+    # Thrust and CUB share one LSB radix sort; both beat Stehle's MSB
+    # sort (1.6x) and MGPU's merge sort (5.5x) - Section 5.1.
+    assert durations["thrust"] == durations["cub"]
+    assert durations["stehle"] / durations["thrust"] > 1.4
+    assert durations["mgpu"] / durations["thrust"] > 4.5
+    benchmark.extra_info["durations_ms"] = durations
+
+
+def test_table2_v100_is_slower(benchmark):
+    a100 = table2.sort_duration_ms("thrust", "a100")
+    v100 = once(benchmark, table2.sort_duration_ms, "thrust", "v100")
+    # Section 6.1.4: the A100 sorts almost twice as fast as the V100.
+    assert 1.7 < v100 / a100 < 2.1

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table/figure from the calibrated
+simulation.  pytest-benchmark times the regeneration itself (the host
+cost of the simulation, useful for tracking the simulator's speed);
+the *reproduction* quality is asserted against the paper's numbers and
+attached to ``benchmark.extra_info``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Worst acceptable multiplicative deviation from a paper number.
+TOLERANCE = 1.25
+
+
+def within(measured: float, reference: float,
+           tolerance: float = TOLERANCE) -> bool:
+    """Whether measured/reference deviates by less than ``tolerance``."""
+    return math.exp(abs(math.log(measured / reference))) < tolerance
+
+
+def assert_rows_within(rows, tolerance: float = TOLERANCE) -> None:
+    """Check every (label, measured, paper) row with a reference value."""
+    failures = [
+        f"{label}: {measured:.2f} vs paper {reference:.2f}"
+        for label, measured, reference in rows
+        if reference is not None and not within(measured, reference,
+                                                tolerance)
+    ]
+    assert not failures, "; ".join(failures)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a benchmark exactly once (simulations are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

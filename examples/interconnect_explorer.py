@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Interconnect explorer: measure any transfer pattern on any platform.
+
+Reproduces the Section 4 methodology interactively: build transfer
+scenarios (serial/parallel, uni-/bidirectional, CPU-GPU or P2P) and see
+where the topology throttles them.  Prints a full P2P throughput matrix
+plus the scaling behaviour of parallel CPU-GPU copies for each catalog
+system.
+
+Usage::
+
+    python examples/interconnect_explorer.py [system]
+
+with ``system`` one of ``ibm-ac922``, ``delta-d22x``, ``dgx-a100``
+(default: all three).
+"""
+
+import sys
+
+from repro import system_by_name
+from repro.bench.report import Table
+from repro.bench.transfers import (
+    bidir,
+    htod,
+    measure_throughput,
+    p2p,
+)
+
+SYSTEMS = ("ibm-ac922", "delta-d22x", "dgx-a100")
+
+
+def p2p_matrix(system: str) -> None:
+    spec = system_by_name(system)
+    n = spec.num_gpus
+    table = Table(["from\\to", *[f"gpu{j}" for j in range(n)]],
+                  title=f"{spec.display_name}: serial P2P throughput "
+                        "[GB/s] (* = host-staged)")
+    for i in range(n):
+        row = [f"gpu{i}"]
+        for j in range(n):
+            if i == j:
+                row.append("-")
+                continue
+            rate = measure_throughput(spec, [p2p(i, j)])
+            staged = spec.topology.route(
+                spec.gpu_name(i), spec.gpu_name(j)).host_traversing
+            row.append(f"{rate:.0f}{'*' if staged else ''}")
+        table.add_row(*row)
+    table.print()
+
+
+def cpu_gpu_scaling(system: str) -> None:
+    spec = system_by_name(system)
+    table = Table(["GPUs", "HtoD [GB/s]", "bidir [GB/s]",
+                   "HtoD scaling"],
+                  title=f"{spec.display_name}: parallel CPU-GPU copies")
+    serial = measure_throughput(spec, [htod(0)])
+    count = 1
+    while count <= spec.num_gpus:
+        gpus = spec.preferred_gpu_set(count)
+        unidir = measure_throughput(spec, [htod(i) for i in gpus])
+        both = measure_throughput(spec,
+                                  [t for i in gpus for t in bidir(i)])
+        table.add_row(count, f"{unidir:.1f}", f"{both:.1f}",
+                      f"{unidir / serial:.2f}x")
+        count *= 2
+    table.print()
+
+
+def main() -> None:
+    chosen = sys.argv[1:] or SYSTEMS
+    for system in chosen:
+        p2p_matrix(system)
+        cpu_gpu_scaling(system)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Out-of-core sorting: 60B keys (240 GB) through 8 GPUs.
+
+Reproduces the Figure 15 scenario interactively: the data exceeds the
+combined GPU memory, so HET sort streams chunk groups through the
+devices and merges on the CPU.  Compares the 2n and 3n pipelining
+approaches, eager merging, and the CPU-only PARADIS baseline.
+"""
+
+import numpy as np
+
+from repro import HetConfig, Machine, dgx_a100, het_sort
+from repro.bench.report import Table
+from repro.data import generate
+from repro.runtime.cpu_ops import cpu_sort
+
+PHYSICAL_KEYS = 500_000
+BILLIONS = 60.0
+SCALE = BILLIONS * 1e9 / PHYSICAL_KEYS
+
+
+def run_variant(keys, config=None):
+    machine = Machine(dgx_a100(), scale=SCALE, fast_functional=True)
+    return het_sort(machine, keys, config=config)
+
+
+def run_paradis(keys):
+    machine = Machine(dgx_a100(), scale=SCALE, fast_functional=True)
+    buffer = machine.host_buffer(keys.copy())
+    start = machine.now
+    machine.run(cpu_sort(machine, buffer, primitive="paradis"))
+    return machine.now - start
+
+
+def main() -> None:
+    keys = generate(PHYSICAL_KEYS, "uniform", np.int32, seed=1)
+    expected = np.sort(keys)
+
+    print(f"Sorting {BILLIONS:.0f}B int32 keys "
+          f"({BILLIONS * 4:.0f} GB, out-of-core) on a DGX A100\n")
+
+    table = Table(["configuration", "chunk groups", "duration [s]",
+                   "vs best"])
+    results = {}
+    for label, config in [
+        ("HET 2n", HetConfig(approach="2n")),
+        ("HET 3n", HetConfig(approach="3n")),
+        ("HET 2n + eager merging", HetConfig(approach="2n",
+                                             eager_merge=True)),
+        ("HET 3n + eager merging", HetConfig(approach="3n",
+                                             eager_merge=True)),
+    ]:
+        result = run_variant(keys, config)
+        assert np.array_equal(result.output, expected)
+        results[label] = (result.chunk_groups, result.duration)
+
+    paradis = run_paradis(keys)
+    best = min(duration for _, duration in results.values())
+    for label, (groups, duration) in results.items():
+        table.add_row(label, groups, f"{duration:.2f}",
+                      f"{duration / best:.2f}x")
+    table.add_row("PARADIS (CPU only)", "-", f"{paradis:.2f}",
+                  f"{paradis / best:.2f}x")
+    table.print()
+
+    print("Takeaways (Section 6.2): 2n and 3n tie - overlapping copy "
+          "and compute no longer pays; eager merging actively hurts; "
+          "the GPUs still beat the CPU by "
+          f"{paradis / best:.1f}x on out-of-core data.")
+
+
+if __name__ == "__main__":
+    main()

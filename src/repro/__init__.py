@@ -1,0 +1,66 @@
+"""repro — reproduction of "Evaluating Multi-GPU Sorting with Modern
+Interconnects" (Maltenberger, Ilic, Tolovski, Rabl; SIGMOD 2022).
+
+The library couples a calibrated flow-level simulator of three
+multi-GPU platforms (IBM AC922, DELTA D22x, NVIDIA DGX A100) with
+fully functional implementations of the paper's algorithms: P2P sort,
+HET sort, the single-GPU sorting primitives of Table 2, and the CPU
+baselines (PARADIS, SIMD LSB radix sort, gnu_parallel-style multiway
+merge).
+
+Quickstart::
+
+    import numpy as np
+    from repro import Machine, dgx_a100, p2p_sort
+    from repro.data import generate
+
+    machine = Machine(dgx_a100(), scale=1000)   # 1 physical : 1000 logical
+    keys = generate(1_000_000, "uniform", np.int32, seed=0)
+    result = p2p_sort(machine, keys)
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.data import generate
+from repro.hw import (
+    SystemBuilder,
+    SystemSpec,
+    delta_d22x,
+    dgx_a100,
+    ibm_ac922,
+    system_by_name,
+)
+from repro.runtime import Machine
+from repro.sort import (
+    HetConfig,
+    P2PConfig,
+    SortResult,
+    best_gpu_order_for_p2p,
+    het_sort,
+    p2p_sort,
+    preferred_gpu_ids,
+    select_pivot,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HetConfig",
+    "Machine",
+    "P2PConfig",
+    "SortResult",
+    "SystemBuilder",
+    "SystemSpec",
+    "best_gpu_order_for_p2p",
+    "delta_d22x",
+    "dgx_a100",
+    "generate",
+    "het_sort",
+    "ibm_ac922",
+    "p2p_sort",
+    "preferred_gpu_ids",
+    "select_pivot",
+    "system_by_name",
+]

@@ -1,0 +1,33 @@
+"""Analysis of simulated runs: phase breakdowns and derived metrics."""
+
+from repro.analysis.breakdown import PhaseBreakdown, breakdown_of
+from repro.analysis.metrics import crossover_point, shape_error, speedup
+from repro.analysis.timeline import to_chrome_trace, write_chrome_trace
+from repro.analysis.utilization import (
+    ActorUtilization,
+    load_imbalance,
+    utilization_report,
+)
+from repro.analysis.validate import (
+    ValidationError,
+    is_permutation,
+    is_sorted,
+    verify_sort,
+)
+
+__all__ = [
+    "ActorUtilization",
+    "PhaseBreakdown",
+    "ValidationError",
+    "breakdown_of",
+    "crossover_point",
+    "is_permutation",
+    "is_sorted",
+    "load_imbalance",
+    "shape_error",
+    "speedup",
+    "to_chrome_trace",
+    "utilization_report",
+    "verify_sort",
+    "write_chrome_trace",
+]

@@ -1,0 +1,42 @@
+"""Phase breakdowns in the paper's style (Figures 12-14, bottom)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sort.result import SortResult
+
+#: Phase display order: the paper's stacked-bar phases plus the phases
+#: the extension algorithms introduce (redistribution, partition and
+#: the RP exchange).
+PHASE_ORDER: Tuple[str, ...] = ("Redistribute", "HtoD", "Partition",
+                                "Sort", "Exchange", "Merge", "DtoH")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """One sort run reduced to per-phase durations and fractions."""
+
+    total: float
+    phases: Dict[str, float]
+
+    def fraction(self, phase: str) -> float:
+        """Share of the total one phase accounts for (phases overlap, so
+        fractions need not sum to one)."""
+        return self.phases.get(phase, 0.0) / self.total if self.total else 0.0
+
+    def dominant_phase(self) -> str:
+        """The phase with the largest wall-clock window."""
+        return max(self.phases, key=lambda name: self.phases[name])
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(phase, seconds, fraction) rows in display order."""
+        return [(name, self.phases.get(name, 0.0), self.fraction(name))
+                for name in PHASE_ORDER if name in self.phases]
+
+
+def breakdown_of(result: SortResult) -> PhaseBreakdown:
+    """Phase breakdown of a sort result."""
+    return PhaseBreakdown(total=result.duration,
+                          phases=dict(result.phase_durations))

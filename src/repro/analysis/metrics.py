@@ -1,0 +1,60 @@
+"""Derived metrics for comparing runs against the paper."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if candidate_seconds <= 0:
+        raise ReproError("candidate duration must be positive")
+    return baseline_seconds / candidate_seconds
+
+
+def shape_error(measured: Sequence[float], reference: Sequence[float]) -> float:
+    """Worst multiplicative deviation between two series.
+
+    Returns ``max_i exp(|ln(measured_i / reference_i)|)`` — 1.0 means a
+    perfect match, 1.2 means every point within 20%.  This is the
+    reproduction criterion: shapes and factors, not absolute seconds.
+    """
+    if len(measured) != len(reference):
+        raise ReproError(
+            f"series length mismatch: {len(measured)} vs {len(reference)}")
+    if not measured:
+        raise ReproError("series must be non-empty")
+    worst = 0.0
+    for m, r in zip(measured, reference):
+        if m <= 0 or r <= 0:
+            raise ReproError("series values must be positive")
+        worst = max(worst, abs(math.log(m / r)))
+    return math.exp(worst)
+
+
+def crossover_point(xs: Sequence[float], a: Sequence[float],
+                    b: Sequence[float]) -> Optional[Tuple[float, float]]:
+    """Where series ``a`` starts beating series ``b`` (linear interp).
+
+    Returns ``(x, value)`` of the first crossing of ``a`` below ``b``,
+    or ``None`` if ``a`` never drops below ``b`` (or starts below and
+    stays there, in which case ``(xs[0], a[0])``).
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ReproError("series must share one length")
+    if a[0] < b[0]:
+        return (xs[0], a[0])
+    for i in range(1, len(xs)):
+        if a[i] < b[i]:
+            # Interpolate the crossing between i-1 and i.
+            da = a[i] - a[i - 1]
+            db = b[i] - b[i - 1]
+            denom = db - da
+            t = (a[i - 1] - b[i - 1]) / denom if denom else 0.0
+            x = xs[i - 1] + t * (xs[i] - xs[i - 1])
+            value = a[i - 1] + t * da
+            return (x, value)
+    return None

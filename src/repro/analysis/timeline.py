@@ -1,0 +1,69 @@
+"""Export simulated traces as Chrome trace-event timelines.
+
+Load the JSON produced by :func:`write_chrome_trace` in
+``chrome://tracing`` or https://ui.perfetto.dev to inspect a run the
+way one would a real ``nsys`` profile: one row per GPU / CPU actor,
+one slice per phase span.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.sim.trace import Trace
+
+#: Simulated seconds to trace microseconds.
+_US = 1e6
+
+#: Stable color names per phase (Chrome trace "cname" values).
+_PHASE_COLORS = {
+    "HtoD": "thread_state_runnable",
+    "DtoH": "thread_state_iowait",
+    "Sort": "good",
+    "Merge": "bad",
+    "Partition": "generic_work",
+    "Exchange": "terrible",
+    "CPUSort": "grey",
+}
+
+
+def to_chrome_trace(trace: Trace, label: str = "repro") -> Dict:
+    """Convert a trace to the Chrome trace-event JSON structure."""
+    actors = sorted({span.actor for span in trace.spans})
+    tids = {actor: index for index, actor in enumerate(actors)}
+    events: List[Dict] = []
+    for actor, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+            "args": {"name": actor},
+        })
+    for span in trace.spans:
+        event = {
+            "name": span.phase,
+            "cat": "sim",
+            "ph": "X",
+            "pid": 0,
+            "tid": tids[span.actor],
+            "ts": span.start * _US,
+            "dur": span.duration * _US,
+            "args": {"bytes": span.bytes},
+        }
+        color = _PHASE_COLORS.get(span.phase)
+        if color:
+            event["cname"] = color
+        events.append(event)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": label},
+    }
+
+
+def write_chrome_trace(trace: Trace, path: str,
+                       label: Optional[str] = None) -> str:
+    """Write the Chrome trace JSON to ``path``; returns the path."""
+    payload = to_chrome_trace(trace, label=label or path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1)
+    return path

@@ -1,0 +1,74 @@
+"""Per-actor utilization: who was busy, with what, for how long.
+
+Complements the phase breakdowns: where
+:mod:`repro.analysis.breakdown` answers "which phase dominated",
+this module answers "which device sat idle" — the load-balancing view
+behind the paper's observation that GPUs execute partly uncoupled
+(Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sim.trace import Trace
+
+
+@dataclass(frozen=True)
+class ActorUtilization:
+    """One actor's activity over a window."""
+
+    actor: str
+    busy: float
+    window: float
+    by_phase: Dict[str, float]
+
+    @property
+    def fraction(self) -> float:
+        """Busy share of the window (spans may overlap on one actor)."""
+        return self.busy / self.window if self.window else 0.0
+
+
+def utilization_report(trace: Trace,
+                       window: float = None) -> List[ActorUtilization]:
+    """Per-actor busy time over ``window`` (defaults to the trace span).
+
+    Busy time sums span durations; concurrent spans on one actor (e.g.
+    a copy engine and a kernel) can push the fraction above 1 — that is
+    overlap, not an error.
+    """
+    if not trace.spans:
+        return []
+    if window is None:
+        window = (max(s.end for s in trace.spans)
+                  - min(s.start for s in trace.spans))
+    actors = sorted({s.actor for s in trace.spans})
+    report = []
+    for actor in actors:
+        spans = [s for s in trace.spans if s.actor == actor]
+        by_phase: Dict[str, float] = {}
+        for span in spans:
+            by_phase[span.phase] = (by_phase.get(span.phase, 0.0)
+                                    + span.duration)
+        report.append(ActorUtilization(
+            actor=actor, busy=sum(s.duration for s in spans),
+            window=window, by_phase=by_phase))
+    return report
+
+
+def load_imbalance(trace: Trace, phase: str) -> Tuple[float, float]:
+    """(min, max) busy time across actors for one phase.
+
+    A large spread means stragglers: the phase's wall time is set by
+    the slowest actor (the paper's phase-end convention).
+    """
+    per_actor: Dict[str, float] = {}
+    for span in trace.spans:
+        if span.phase == phase:
+            per_actor[span.actor] = (per_actor.get(span.actor, 0.0)
+                                     + span.duration)
+    if not per_actor:
+        return (0.0, 0.0)
+    values = list(per_actor.values())
+    return (min(values), max(values))

@@ -1,0 +1,62 @@
+"""Output validation: sortedness and permutation checks.
+
+Every simulated sort really sorts; these helpers make verifying that
+cheap and explicit, both in the test suite and in user code:
+
+>>> import numpy as np
+>>> from repro.analysis.validate import verify_sort
+>>> verify_sort(np.array([3, 1, 2]), np.array([1, 2, 3]))
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ValidationError(ReproError):
+    """Raised when a sort output fails verification."""
+
+
+def is_sorted(values: np.ndarray) -> bool:
+    """Whether ``values`` is non-decreasing."""
+    if values.size <= 1:
+        return True
+    return bool(np.all(values[:-1] <= values[1:]))
+
+
+def first_inversion(values: np.ndarray) -> int:
+    """Index of the first descending step, or ``-1`` if sorted."""
+    if values.size <= 1:
+        return -1
+    bad = np.flatnonzero(values[:-1] > values[1:])
+    return int(bad[0]) if bad.size else -1
+
+
+def is_permutation(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether ``a`` and ``b`` hold the same multiset of values."""
+    if a.shape != b.shape or a.dtype != b.dtype:
+        return False
+    return bool(np.array_equal(np.sort(a), np.sort(b)))
+
+
+def verify_sort(original: np.ndarray, output: np.ndarray) -> None:
+    """Assert ``output`` is a sorted permutation of ``original``.
+
+    Raises :class:`ValidationError` with a pinpointed diagnosis.
+    """
+    if output.shape != original.shape:
+        raise ValidationError(
+            f"output has {output.size} elements, input had "
+            f"{original.size}")
+    inversion = first_inversion(output)
+    if inversion >= 0:
+        raise ValidationError(
+            f"output is not sorted: output[{inversion}] = "
+            f"{output[inversion]!r} > output[{inversion + 1}] = "
+            f"{output[inversion + 1]!r}")
+    if not is_permutation(original, output):
+        raise ValidationError(
+            "output is sorted but is not a permutation of the input "
+            "(keys were lost or invented)")

@@ -1,0 +1,31 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run everything::
+
+    python -m repro.bench            # all experiments
+    python -m repro.bench fig4       # one experiment
+    python -m repro.bench --list     # what exists
+
+or through pytest-benchmark: ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    Experiment,
+    experiment_by_id,
+    run_all,
+)
+from repro.bench.report import Table, format_gbps, format_seconds
+from repro.bench.transfers import Endpoint, measure_throughput
+
+__all__ = [
+    "EXPERIMENTS",
+    "Endpoint",
+    "Experiment",
+    "Table",
+    "experiment_by_id",
+    "format_gbps",
+    "format_seconds",
+    "measure_throughput",
+    "run_all",
+]

@@ -1,0 +1,50 @@
+"""Command line for the benchmark suite: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import EXPERIMENTS, experiment_by_id, run_all
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures from the "
+                    "calibrated simulation.")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write all result tables as JSON")
+    args = parser.parse_args(argv)
+    if args.list:
+        for experiment in EXPERIMENTS:
+            print(f"{experiment.id:22s} {experiment.title}")
+        return 0
+    if args.json:
+        chosen = (EXPERIMENTS if not args.experiments
+                  else [experiment_by_id(i) for i in args.experiments])
+        record = {}
+        for experiment in chosen:
+            print(f"=== {experiment.title} ===")
+            tables = experiment.run()
+            for table in tables:
+                table.print()
+            record[experiment.id] = [
+                {"title": table.title, "headers": table.headers,
+                 "rows": table.rows} for table in tables]
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=1)
+        print(f"JSON record written to {args.json}")
+        return 0
+    run_all(args.experiments or None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""One module per paper experiment; see :mod:`repro.bench.harness`."""

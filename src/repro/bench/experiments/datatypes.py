@@ -1,0 +1,63 @@
+"""Section 6.3: sorting different key data types.
+
+8 GB of data per run: 4B 32-bit keys (int/float) or 2B 64-bit keys
+(long/double).  Expected shape: on the A100 the four runs land within
+95% of each other; on the V100, 32-bit runs take only 83-88% of the
+64-bit time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.experiments.sort_scaling import sort_run
+from repro.bench.report import Table
+from repro.data import KEY_TYPES
+
+#: Total bytes per experiment (8 GB), as in the paper.
+_TOTAL_BYTES = 8e9
+
+#: Expected 32-bit over 64-bit duration ratios (Section 6.3).
+PAPER_RATIO_BANDS = {
+    "dgx-a100": (0.95, 1.05),     # "within 95%"
+    "ibm-ac922": (0.83, 0.88),    # V100: 32-bit takes 83-88% of 64-bit
+}
+
+
+def measure(system: str, algorithm: str = "p2p",
+            gpus: int = 2) -> Dict[str, float]:
+    """Sort durations per key type name (int/float/long/double)."""
+    durations: Dict[str, float] = {}
+    for name, dtype in KEY_TYPES.items():
+        billions = _TOTAL_BYTES / dtype.itemsize / 1e9
+        result = sort_run(system, algorithm, gpus, billions, dtype=dtype)
+        durations[name] = result.duration
+    return durations
+
+
+def width_ratio(durations: Dict[str, float]) -> float:
+    """Mean 32-bit duration over mean 64-bit duration."""
+    narrow = (durations["int"] + durations["float"]) / 2
+    wide = (durations["long"] + durations["double"]) / 2
+    return narrow / wide
+
+
+def run_datatypes() -> List[Table]:
+    """Section 6.3 data-type experiment on both GPU generations."""
+    tables = []
+    for system, gpu_name in (("dgx-a100", "A100"), ("ibm-ac922", "V100")):
+        durations = measure(system)
+        lo, hi = PAPER_RATIO_BANDS[system]
+        table = Table(["key type", "itemsize", "keys [1e9]", "duration [s]"],
+                      title=f"Section 6.3: sorting 8 GB per type on the "
+                            f"{gpu_name} ({system}); 32/64-bit ratio "
+                            f"{width_ratio(durations):.2f} "
+                            f"(paper band {lo:.2f}-{hi:.2f})")
+        for name, dtype in KEY_TYPES.items():
+            billions = _TOTAL_BYTES / dtype.itemsize / 1e9
+            table.add_row(name, np.dtype(dtype).itemsize, f"{billions:g}",
+                          f"{durations[name]:.3f}")
+        tables.append(table)
+    return tables

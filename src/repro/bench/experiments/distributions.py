@@ -1,0 +1,51 @@
+"""Figure 16: sensitivity to the key distribution (Section 6.3).
+
+2B integers, two GPUs on the IBM AC922.  Expected shape: P2P sort is
+fastest on (nearly-)sorted data (little to no P2P traffic thanks to the
+leftmost pivot), slowest on reverse-sorted data (maximal swaps); HET
+sort is flat because its CPU merge is bandwidth-bound regardless.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.experiments.sort_scaling import sort_run
+from repro.bench.report import Table
+
+PAPER_FIG16: Dict[Tuple[str, str], float] = {
+    ("p2p", "uniform"): 0.24, ("het", "uniform"): 0.36,
+    ("p2p", "normal"): 0.24, ("het", "normal"): 0.36,
+    ("p2p", "sorted"): 0.20, ("het", "sorted"): 0.35,
+    ("p2p", "reverse-sorted"): 0.26, ("het", "reverse-sorted"): 0.35,
+    ("p2p", "nearly-sorted"): 0.22, ("het", "nearly-sorted"): 0.35,
+}
+
+DISTRIBUTIONS = ("uniform", "normal", "sorted", "reverse-sorted",
+                 "nearly-sorted")
+
+
+def measure(system: str = "ibm-ac922", gpus: int = 2,
+            billions: float = 2.0) -> List[Tuple[str, str, float, float]]:
+    """(algorithm, distribution, measured, paper) rows."""
+    rows = []
+    for algorithm in ("p2p", "het"):
+        for distribution in DISTRIBUTIONS:
+            result = sort_run(system, algorithm, gpus, billions,
+                              distribution=distribution)
+            rows.append((algorithm, distribution, result.duration,
+                         PAPER_FIG16.get((algorithm, distribution))))
+    return rows
+
+
+def run_fig16() -> Table:
+    """Figure 16: varying data distributions, 2 GPUs on the AC922."""
+    table = Table(["algorithm", "distribution", "measured [s]",
+                   "paper [s]", "ratio"],
+                  title="Figure 16: 2B integers, varying distributions, "
+                        "2 GPUs on the IBM AC922")
+    for algorithm, distribution, measured, paper in measure():
+        table.add_row(algorithm, distribution, f"{measured:.3f}",
+                      f"{paper:.2f}" if paper else "-",
+                      f"{measured / paper:.2f}x" if paper else "-")
+    return table

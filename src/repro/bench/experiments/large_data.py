@@ -1,0 +1,74 @@
+"""Figure 15: sorting large (out-of-core) data with HET sort.
+
+* Figure 15a compares the 2n and 3n pipelining approaches, each with
+  and without eager merging, on the DGX A100 with eight GPUs for 10-60B
+  keys.  Expected shape: 2n and 3n indistinguishable, eager merging
+  1.5-1.75x *slower* (Section 6.2).
+* Figure 15b compares the best variant (2n, no eager merges) against
+  CPU-only PARADIS: HET sort stays ~2.6x faster even at 60B keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.experiments.sort_scaling import (
+    cpu_sort_duration,
+    sort_duration,
+)
+from repro.bench.report import Table, series_table
+from repro.sort import HetConfig
+
+#: Paper reference points read off Figure 15b at 60B keys.
+PAPER_60B = {"PARADIS (CPU)": 34.0, "HET sort (8 GPUs)": 13.0}
+
+#: Eager merging slows HET sort by this band (Section 6.2).
+PAPER_EAGER_SLOWDOWN = (1.5, 1.75)
+
+VARIANTS: Dict[str, HetConfig] = {
+    "3n": HetConfig(approach="3n"),
+    "3n + EM": HetConfig(approach="3n", eager_merge=True),
+    "2n": HetConfig(approach="2n"),
+    "2n + EM": HetConfig(approach="2n", eager_merge=True),
+}
+
+
+def het_variant_series(system: str = "dgx-a100", gpus: int = 8,
+                       billions_list: Sequence[float] = (10, 20, 30, 40, 50, 60),
+                       ) -> Dict[str, List[float]]:
+    """Durations of the four HET variants over increasing sizes."""
+    series: Dict[str, List[float]] = {}
+    for name, config in VARIANTS.items():
+        series[name] = [
+            sort_duration(system, "het", gpus, billions,
+                          config=HetConfig(approach=config.approach,
+                                           eager_merge=config.eager_merge))
+            for billions in billions_list
+        ]
+    return series
+
+
+def run_fig15a(system: str = "dgx-a100", gpus: int = 8,
+               billions_list: Sequence[float] = (10, 20, 30, 40, 50, 60),
+               ) -> Table:
+    """Figure 15a: HET sort approaches for out-of-core data."""
+    series = het_variant_series(system, gpus, billions_list)
+    return series_table(
+        f"Figure 15a: HET sort approaches on {system}, {gpus} GPUs",
+        "keys [1e9]", list(billions_list),
+        list(series.keys()), list(series.values()))
+
+
+def run_fig15b(system: str = "dgx-a100", gpus: int = 8,
+               billions_list: Sequence[float] = (10, 20, 30, 40, 50, 60),
+               ) -> Table:
+    """Figure 15b: HET sort (2n) versus CPU-only PARADIS."""
+    paradis = [cpu_sort_duration(system, billions, primitive="paradis")
+               for billions in billions_list]
+    het = [sort_duration(system, "het", gpus, billions,
+                         config=HetConfig(approach="2n"))
+           for billions in billions_list]
+    return series_table(
+        f"Figure 15b: HET sort vs CPU-only sort on {system}",
+        "keys [1e9]", list(billions_list),
+        ["PARADIS (CPU)", f"HET sort ({gpus} GPUs)"], [paradis, het])

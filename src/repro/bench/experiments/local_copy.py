@@ -1,0 +1,62 @@
+"""Section 5.2: device-local copies versus P2P interconnect transfers.
+
+The out-of-place swap overlaps a device-local copy with the P2P
+streams; the paper justifies it by measuring local copies to be 3x
+faster than NVLink 3.0, 5x faster than three NVLink 2.0 bricks and 42x
+faster than PCIe 3.0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bench.report import Table
+from repro.bench.transfers import gpu, measure_throughput, p2p
+from repro.hw import delta_d22x, dgx_a100, ibm_ac922
+
+#: (system, P2P path, paper ratio of local copy over that path).
+PAPER_RATIOS: List[Tuple[str, str, float]] = [
+    ("dgx-a100", "NVLink 3.0 (NVSwitch)", 3.0),
+    ("ibm-ac922", "3x NVLink 2.0", 5.0),
+    ("delta-d22x", "PCIe 3.0 (host-staged)", 42.0),
+]
+
+_BUILDERS = {"ibm-ac922": ibm_ac922, "delta-d22x": delta_d22x,
+             "dgx-a100": dgx_a100}
+#: P2P pair exercising the named interconnect per system.
+_P2P_PAIR = {"dgx-a100": (0, 1), "ibm-ac922": (0, 1), "delta-d22x": (0, 3)}
+
+
+def local_copy_rate(system: str) -> float:
+    """Device-local copy throughput in GB/s (one on-GPU DtoD copy)."""
+    builder = _BUILDERS[system]
+    return measure_throughput(builder, [(gpu(0), gpu(0))])
+
+
+def p2p_rate(system: str) -> float:
+    """Serial P2P throughput over the system's characteristic path."""
+    builder = _BUILDERS[system]
+    a, b = _P2P_PAIR[system]
+    return measure_throughput(builder, [p2p(a, b)])
+
+
+def measure() -> List[Tuple[str, str, float, float, float]]:
+    """(system, path, local GB/s, p2p GB/s, ratio) rows."""
+    rows = []
+    for system, path, _paper in PAPER_RATIOS:
+        local = local_copy_rate(system)
+        remote = p2p_rate(system)
+        rows.append((system, path, local, remote, local / remote))
+    return rows
+
+
+def run_local_copy() -> Table:
+    """Regenerate the Section 5.2 local-copy comparison."""
+    table = Table(["system", "P2P path", "local copy [GB/s]",
+                   "P2P [GB/s]", "ratio", "paper ratio"],
+                  title="Section 5.2: device-local copy vs P2P transfer")
+    paper = {(s, p): r for s, p, r in PAPER_RATIOS}
+    for system, path, local, remote, ratio in measure():
+        table.add_row(system, path, f"{local:.0f}", f"{remote:.1f}",
+                      f"{ratio:.1f}x", f"{paper[(system, path)]:.0f}x")
+    return table

@@ -1,0 +1,121 @@
+"""Figures 2-4: CPU-GPU data transfer throughput on the three systems.
+
+Each scenario copies 4 GB pinned buffers from NUMA node 0, serially or
+in parallel, uni- or bidirectionally (Section 4.2).  The PAPER_* tables
+hold the published measurements the model is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.report import Table, comparison_table
+from repro.bench.transfers import bidir, dtoh, htod, measure_throughput
+from repro.hw import delta_d22x, dgx_a100, ibm_ac922
+
+# (label, gpu_ids, mode) -> paper GB/s.  Modes: "htod", "dtoh", "bidir".
+PAPER_FIG2: Dict[Tuple[str, str], float] = {
+    # Figure 2a: serial copies.
+    ("serial {0}", "htod"): 72.0, ("serial {0}", "dtoh"): 72.0,
+    ("serial {0}", "bidir"): 127.0,
+    ("serial {2}", "htod"): 41.0, ("serial {2}", "dtoh"): 35.0,
+    ("serial {2}", "bidir"): 65.0,
+    # Figure 2b: parallel copies.
+    ("parallel (0,1)", "htod"): 141.0, ("parallel (0,1)", "dtoh"): 109.0,
+    ("parallel (0,1)", "bidir"): 136.0,
+    ("parallel (2,3)", "htod"): 39.0, ("parallel (2,3)", "dtoh"): 30.0,
+    ("parallel (2,3)", "bidir"): 54.0,
+    ("parallel (0,1,2,3)", "htod"): 74.0, ("parallel (0,1,2,3)", "dtoh"): 54.0,
+    ("parallel (0,1,2,3)", "bidir"): 98.0,
+}
+
+PAPER_FIG3: Dict[Tuple[str, str], float] = {
+    ("serial {0}", "htod"): 12.0, ("serial {0}", "dtoh"): 13.0,
+    ("serial {0}", "bidir"): 20.0,
+    ("serial {2}", "htod"): 12.0, ("serial {2}", "dtoh"): 13.0,
+    ("serial {2}", "bidir"): 20.0,
+    ("parallel (0,1)", "htod"): 24.0, ("parallel (0,1)", "dtoh"): 26.0,
+    ("parallel (0,1)", "bidir"): 40.0,
+    ("parallel (2,3)", "htod"): 24.0, ("parallel (2,3)", "dtoh"): 25.0,
+    ("parallel (2,3)", "bidir"): 40.0,
+    ("parallel (0,1,2,3)", "htod"): 49.0, ("parallel (0,1,2,3)", "dtoh"): 51.0,
+    ("parallel (0,1,2,3)", "bidir"): 79.0,
+}
+
+PAPER_FIG4: Dict[Tuple[str, str], float] = {
+    ("serial {0-3}", "htod"): 24.0, ("serial {0-3}", "dtoh"): 24.0,
+    ("serial {0-3}", "bidir"): 39.0,
+    ("serial {4-7}", "htod"): 24.0, ("serial {4-7}", "dtoh"): 25.0,
+    ("serial {4-7}", "bidir"): 32.0,
+    ("parallel (0,1)", "htod"): 25.0, ("parallel (0,1)", "dtoh"): 26.0,
+    ("parallel (0,1)", "bidir"): 29.0,
+    ("parallel (0,2)", "htod"): 49.0, ("parallel (0,2)", "dtoh"): 47.0,
+    ("parallel (0,2)", "bidir"): 82.0,
+    ("parallel (4,6)", "htod"): 46.0, ("parallel (4,6)", "dtoh"): 47.0,
+    ("parallel (4,6)", "bidir"): 61.0,
+    ("parallel (0,2,4,6)", "htod"): 87.0, ("parallel (0,2,4,6)", "dtoh"): 92.0,
+    ("parallel (0,2,4,6)", "bidir"): 113.0,
+    ("parallel (0-7)", "htod"): 89.0, ("parallel (0-7)", "dtoh"): 104.0,
+    ("parallel (0-7)", "bidir"): 111.0,
+}
+
+_SCENARIOS = {
+    "ibm-ac922": [("serial {0}", (0,)), ("serial {2}", (2,)),
+                  ("parallel (0,1)", (0, 1)), ("parallel (2,3)", (2, 3)),
+                  ("parallel (0,1,2,3)", (0, 1, 2, 3))],
+    "delta-d22x": [("serial {0}", (0,)), ("serial {2}", (2,)),
+                   ("parallel (0,1)", (0, 1)), ("parallel (2,3)", (2, 3)),
+                   ("parallel (0,1,2,3)", (0, 1, 2, 3))],
+    "dgx-a100": [("serial {0-3}", (0,)), ("serial {4-7}", (4,)),
+                 ("parallel (0,1)", (0, 1)), ("parallel (0,2)", (0, 2)),
+                 ("parallel (4,6)", (4, 6)),
+                 ("parallel (0,2,4,6)", (0, 2, 4, 6)),
+                 ("parallel (0-7)", tuple(range(8)))],
+}
+
+_BUILDERS = {"ibm-ac922": ibm_ac922, "delta-d22x": delta_d22x,
+             "dgx-a100": dgx_a100}
+_PAPER = {"ibm-ac922": PAPER_FIG2, "delta-d22x": PAPER_FIG3,
+          "dgx-a100": PAPER_FIG4}
+
+
+def measure_cpu_gpu(system: str) -> List[Tuple[str, float, float]]:
+    """All (label, measured, paper) rows for one system's figure."""
+    builder = _BUILDERS[system]
+    paper = _PAPER[system]
+    rows: List[Tuple[str, float, float]] = []
+    for label, gpus in _SCENARIOS[system]:
+        transfers = {
+            "htod": [htod(i) for i in gpus],
+            "dtoh": [dtoh(i) for i in gpus],
+            "bidir": [t for i in gpus for t in bidir(i)],
+        }
+        for mode, spec in transfers.items():
+            measured = measure_throughput(builder, spec)
+            rows.append((f"{label} {mode}", measured,
+                         paper.get((label, mode))))
+    return rows
+
+
+def run(system: str) -> Table:
+    """Regenerate the CPU-GPU transfer figure of one system."""
+    figure = {"ibm-ac922": "Figure 2", "delta-d22x": "Figure 3",
+              "dgx-a100": "Figure 4"}[system]
+    return comparison_table(
+        f"{figure}: CPU-GPU data transfers on {system}",
+        "scenario", measure_cpu_gpu(system))
+
+
+def run_fig2() -> Table:
+    """Figure 2: CPU-GPU transfers on the IBM AC922."""
+    return run("ibm-ac922")
+
+
+def run_fig3() -> Table:
+    """Figure 3: CPU-GPU transfers on the DELTA D22x."""
+    return run("delta-d22x")
+
+
+def run_fig4() -> Table:
+    """Figure 4: CPU-GPU transfers on the DGX A100."""
+    return run("dgx-a100")

@@ -1,0 +1,108 @@
+"""Figures 5-7: P2P data transfer throughput on the three systems.
+
+Serial copies move 4 GB GPU-to-GPU; parallel scenarios run the
+bidirectional mirrored-pair pattern the P2P merge phase uses
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.report import Table, comparison_table
+from repro.bench.transfers import measure_throughput, p2p, p2p_bidir
+from repro.hw import delta_d22x, dgx_a100, ibm_ac922
+
+PAPER_FIG5: Dict[str, float] = {
+    "serial 0->1": 72.0, "serial 0->2": 32.0, "serial 0->3": 33.0,
+    "parallel 0<->1": 145.0, "parallel 2<->3": 145.0,
+    "parallel 0<->3, 1<->2": 53.0,
+}
+
+PAPER_FIG6: Dict[str, float] = {
+    "serial 0->1": 48.0, "serial 0->2": 48.0, "serial 0->3": 9.0,
+    "parallel 0<->1": 97.0, "parallel 2<->3": 97.0,
+    "parallel 0<->3, 1<->2": 30.0,
+}
+
+PAPER_FIG7: Dict[str, float] = {
+    "serial 0->1": 279.0,
+    "parallel 0<->1": 530.0,
+    "parallel 0<->2": 453.0,
+    "parallel 0<->6, 2<->4": 894.0,
+    "parallel 0<->3, 1<->2": 1060.0,
+    "parallel 4 pairs (8 GPUs)": 2116.0,
+}
+
+
+def _pairs(*couples: Tuple[int, int]) -> List[Tuple]:
+    transfers: List[Tuple] = []
+    for a, b in couples:
+        transfers.extend(p2p_bidir(a, b))
+    return transfers
+
+
+_SCENARIOS: Dict[str, Sequence[Tuple[str, List[Tuple]]]] = {
+    "ibm-ac922": [
+        ("serial 0->1", [p2p(0, 1)]),
+        ("serial 0->2", [p2p(0, 2)]),
+        ("serial 0->3", [p2p(0, 3)]),
+        ("parallel 0<->1", _pairs((0, 1))),
+        ("parallel 2<->3", _pairs((2, 3))),
+        ("parallel 0<->3, 1<->2", _pairs((0, 3), (1, 2))),
+    ],
+    "delta-d22x": [
+        ("serial 0->1", [p2p(0, 1)]),
+        ("serial 0->2", [p2p(0, 2)]),
+        ("serial 0->3", [p2p(0, 3)]),
+        ("parallel 0<->1", _pairs((0, 1))),
+        ("parallel 2<->3", _pairs((2, 3))),
+        ("parallel 0<->3, 1<->2", _pairs((0, 3), (1, 2))),
+    ],
+    "dgx-a100": [
+        ("serial 0->1", [p2p(0, 1)]),
+        ("parallel 0<->1", _pairs((0, 1))),
+        ("parallel 0<->2", _pairs((0, 2))),
+        ("parallel 0<->6, 2<->4", _pairs((0, 6), (2, 4))),
+        ("parallel 0<->3, 1<->2", _pairs((0, 3), (1, 2))),
+        ("parallel 4 pairs (8 GPUs)", _pairs((0, 7), (1, 6), (2, 5), (3, 4))),
+    ],
+}
+
+_BUILDERS = {"ibm-ac922": ibm_ac922, "delta-d22x": delta_d22x,
+             "dgx-a100": dgx_a100}
+_PAPER = {"ibm-ac922": PAPER_FIG5, "delta-d22x": PAPER_FIG6,
+          "dgx-a100": PAPER_FIG7}
+
+
+def measure_p2p(system: str) -> List[Tuple[str, float, float]]:
+    """All (label, measured, paper) rows for one system's P2P figure."""
+    builder = _BUILDERS[system]
+    paper = _PAPER[system]
+    return [(label, measure_throughput(builder, transfers),
+             paper.get(label))
+            for label, transfers in _SCENARIOS[system]]
+
+
+def run(system: str) -> Table:
+    """Regenerate the P2P transfer figure of one system."""
+    figure = {"ibm-ac922": "Figure 5", "delta-d22x": "Figure 6",
+              "dgx-a100": "Figure 7"}[system]
+    return comparison_table(
+        f"{figure}: P2P data transfers on {system}",
+        "scenario", measure_p2p(system))
+
+
+def run_fig5() -> Table:
+    """Figure 5: P2P transfers on the IBM AC922."""
+    return run("ibm-ac922")
+
+
+def run_fig6() -> Table:
+    """Figure 6: P2P transfers on the DELTA D22x."""
+    return run("delta-d22x")
+
+
+def run_fig7() -> Table:
+    """Figure 7: P2P transfers on the DGX A100 (NVSwitch)."""
+    return run("dgx-a100")

@@ -1,0 +1,95 @@
+"""Plain-text reporting: tables comparing measured against the paper."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_gbps(value: float) -> str:
+    """Bandwidth cell, GB/s."""
+    return f"{value:7.1f}"
+
+
+def format_seconds(value: float) -> str:
+    """Duration cell, seconds."""
+    return f"{value:7.3f}"
+
+
+def format_ratio(measured: float, reference: float) -> str:
+    """Measured-over-paper cell."""
+    if reference <= 0:
+        return "    n/a"
+    return f"{measured / reference:6.2f}x"
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row (cells are str()-ed)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(w) for h, w in
+                               zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Render to stdout."""
+        print(self.render())
+        print()
+
+
+def comparison_table(title: str, label_header: str,
+                     rows: Sequence[tuple],
+                     value_formatter=format_gbps,
+                     unit: str = "GB/s") -> Table:
+    """Build a (label, measured, paper, ratio) table.
+
+    ``rows`` are ``(label, measured, paper)`` tuples; ``paper`` may be
+    ``None`` for model-only rows.
+    """
+    table = Table([label_header, f"measured [{unit}]", f"paper [{unit}]",
+                   "ratio"], title=title)
+    for label, measured, paper in rows:
+        if paper is None:
+            table.add_row(label, value_formatter(measured).strip(),
+                          "-", "-")
+        else:
+            table.add_row(label, value_formatter(measured).strip(),
+                          value_formatter(paper).strip(),
+                          format_ratio(measured, paper).strip())
+    return table
+
+
+def series_table(title: str, x_header: str, x_values: Sequence,
+                 columns: Sequence[str],
+                 series: Sequence[Sequence[float]],
+                 value_formatter=format_seconds) -> Table:
+    """Build a table of several y-series over one x axis (figure style)."""
+    if any(len(s) != len(x_values) for s in series):
+        raise ValueError("every series must match the x-axis length")
+    table = Table([x_header, *columns], title=title)
+    for i, x in enumerate(x_values):
+        table.add_row(x, *(value_formatter(s[i]).strip() for s in series))
+    return table

@@ -1,0 +1,57 @@
+"""Library-sort stand-ins and the CPU functional dispatch.
+
+The paper benchmarks PARADIS against gnu_parallel's sort, Intel TBB's
+``parallel_sort`` and the parallel C++17 ``std::sort`` (Section 6).
+Functionally these are comparison sorts; their merge-sort /
+quicksort-flavoured behaviour is represented here by stable and
+unstable NumPy sorts, while the *performance* distinction lives
+entirely in the calibrated rates of :class:`repro.hw.host.CpuSpec`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.cpuprims.paradis import paradis_sort
+from repro.cpuprims.radix_simd import radix_sort_buffered_lsb
+from repro.errors import SortError
+
+
+def library_sort(values: np.ndarray, flavour: str = "gnu_parallel") -> np.ndarray:
+    """Sorted copy via a library-sort stand-in.
+
+    ``gnu_parallel`` is a stable multiway mergesort; ``tbb`` and
+    ``std_par`` are unstable quicksort-family sorts.
+    """
+    if flavour == "gnu_parallel":
+        return np.sort(values, kind="stable")
+    if flavour in ("tbb", "std_par"):
+        return np.sort(values, kind="quicksort")
+    raise SortError(f"unknown library sort flavour {flavour!r}")
+
+
+_DISPATCH: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "paradis": paradis_sort,
+    "simd_lsb": radix_sort_buffered_lsb,
+    "gnu_parallel": lambda values: library_sort(values, "gnu_parallel"),
+    "tbb": lambda values: library_sort(values, "tbb"),
+    "std_par": lambda values: library_sort(values, "std_par"),
+}
+
+
+def available_cpu_primitives() -> List[str]:
+    """Names of the registered CPU sort primitives."""
+    return sorted(_DISPATCH)
+
+
+def cpu_functional_sort(primitive: str) -> Callable[[np.ndarray], np.ndarray]:
+    """The functional implementation behind a CPU primitive name."""
+    try:
+        return _DISPATCH[primitive]
+    except KeyError:
+        known = ", ".join(available_cpu_primitives())
+        raise SortError(
+            f"unknown CPU sort primitive {primitive!r} (known: {known})"
+        ) from None

@@ -1,0 +1,60 @@
+"""STREAM-style sustainable memory bandwidth estimation.
+
+Section 5.3 calibrates the CPU merge against the STREAM benchmark
+adapted to the NUMA architectures: modern DRAM sustains 75-80% of its
+theoretical rate [37], and gnu_parallel's multiway merge then reaches
+71-94% of that STREAM number.  This module provides both the model
+(:func:`stream_bandwidth`) and an actual measurement kernel
+(:func:`measure_stream_triad`) that runs the triad ``a = b + s * c`` on
+the host, used by the Section 5.3 benchmark to report real saturation
+ratios alongside the modelled ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hw.host import CpuSpec
+
+#: DRAM sustains this fraction of its theoretical rate (Li et al. [37]).
+DRAM_EFFICIENCY = 0.78
+
+#: Observed saturation band of gnu_parallel::multiway_merge (Section 5.3).
+MERGE_SATURATION_LOW = 0.71
+MERGE_SATURATION_HIGH = 0.94
+
+
+def stream_bandwidth(theoretical_bw: float,
+                     efficiency: float = DRAM_EFFICIENCY) -> float:
+    """Sustainable STREAM bandwidth from a theoretical rate, bytes/s."""
+    return theoretical_bw * efficiency
+
+
+def merge_saturation(cpu: CpuSpec) -> float:
+    """Fraction of STREAM bandwidth the calibrated merge rate uses.
+
+    The multiway merge reads and writes each byte once, so its memory
+    traffic is twice its output rate.
+    """
+    return 2.0 * cpu.multiway_merge_rate / cpu.stream_bw
+
+
+def measure_stream_triad(n: int = 4_000_000, repetitions: int = 3) -> float:
+    """Measured triad bandwidth of the *host running the simulation*.
+
+    Returns bytes/s moved (3 arrays per iteration).  This is a
+    diagnostic of the simulation host, not of the modelled platforms.
+    """
+    a = np.zeros(n)
+    b = np.random.default_rng(0).random(n)
+    c = np.random.default_rng(1).random(n)
+    scalar = 3.0
+    best = 0.0
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        np.add(b, scalar * c, out=a)
+        elapsed = time.perf_counter() - start
+        best = max(best, 3 * a.nbytes / elapsed)
+    return best

@@ -1,0 +1,26 @@
+"""Workload data generation for the sorting experiments."""
+
+from repro.data.generators import (
+    DISTRIBUTIONS,
+    generate,
+    nearly_sorted,
+    normal,
+    reverse_sorted,
+    sorted_keys,
+    uniform,
+    zipf,
+)
+from repro.data.datatypes import KEY_TYPES, key_dtype
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "KEY_TYPES",
+    "generate",
+    "key_dtype",
+    "nearly_sorted",
+    "normal",
+    "reverse_sorted",
+    "sorted_keys",
+    "uniform",
+    "zipf",
+]

@@ -1,0 +1,31 @@
+"""Key data types of the Section 6.3 experiments."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import SortError
+
+#: The four key types the paper sorts (Section 6.3): 32- and 64-bit
+#: integers and floating-point numbers.
+KEY_TYPES: Dict[str, np.dtype] = {
+    "int": np.dtype(np.int32),
+    "float": np.dtype(np.float32),
+    "long": np.dtype(np.int64),
+    "double": np.dtype(np.float64),
+}
+
+
+def key_dtype(name: str) -> np.dtype:
+    """Resolve a paper-style type name (or NumPy dtype name) to a dtype."""
+    if name in KEY_TYPES:
+        return KEY_TYPES[name]
+    try:
+        dtype = np.dtype(name)
+    except TypeError:
+        raise SortError(f"unknown key type {name!r}") from None
+    if dtype.kind not in "iuf":
+        raise SortError(f"key type must be numeric, got {dtype}")
+    return dtype

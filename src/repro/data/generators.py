@@ -1,0 +1,111 @@
+"""Key distributions of the Section 6.3 experiments.
+
+Figure 16 evaluates five distributions: ``uniform``, ``normal``,
+``sorted``, ``reverse-sorted`` and ``nearly-sorted``.  All generators
+are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import SortError
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def uniform(n: int, dtype=np.int32, seed: Optional[int] = None) -> np.ndarray:
+    """Uniformly distributed keys over the full dtype range."""
+    dtype = np.dtype(dtype)
+    rng = _rng(seed)
+    if dtype.kind == "f":
+        return (rng.random(n) * 2.0 - 1.0).astype(dtype) * dtype.type(1e6)
+    info = np.iinfo(dtype)
+    return rng.integers(info.min, info.max, size=n, dtype=dtype,
+                        endpoint=True)
+
+
+def normal(n: int, dtype=np.int32, seed: Optional[int] = None) -> np.ndarray:
+    """Normally distributed keys (mean 0, spread 1/8 of the dtype range)."""
+    dtype = np.dtype(dtype)
+    rng = _rng(seed)
+    if dtype.kind == "f":
+        return rng.normal(0.0, 1e6, size=n).astype(dtype)
+    info = np.iinfo(dtype)
+    spread = (float(info.max) - float(info.min)) / 8.0
+    values = rng.normal(0.0, spread, size=n)
+    return np.clip(values, info.min, info.max).astype(dtype)
+
+
+def sorted_keys(n: int, dtype=np.int32, seed: Optional[int] = None) -> np.ndarray:
+    """Already-sorted uniform keys."""
+    values = uniform(n, dtype=dtype, seed=seed)
+    values.sort()
+    return values
+
+
+def reverse_sorted(n: int, dtype=np.int32,
+                   seed: Optional[int] = None) -> np.ndarray:
+    """Descending uniform keys — the P2P-swap worst case (Section 6.3)."""
+    return sorted_keys(n, dtype=dtype, seed=seed)[::-1].copy()
+
+
+def nearly_sorted(n: int, dtype=np.int32, seed: Optional[int] = None,
+                  disorder: float = 0.01) -> np.ndarray:
+    """Sorted keys with a ``disorder`` fraction of random swaps."""
+    if not 0.0 <= disorder <= 1.0:
+        raise SortError(f"disorder must be in [0, 1], got {disorder}")
+    values = sorted_keys(n, dtype=dtype, seed=seed)
+    rng = _rng(None if seed is None else seed + 1)
+    swaps = int(n * disorder / 2)
+    if swaps:
+        left = rng.integers(0, n, size=swaps)
+        right = rng.integers(0, n, size=swaps)
+        values[left], values[right] = values[right].copy(), values[left].copy()
+    return values
+
+
+def zipf(n: int, dtype=np.int32, seed: Optional[int] = None,
+         alpha: float = 1.3, universe: int = 1 << 20) -> np.ndarray:
+    """Zipf-skewed keys: few heavy hitters, a long tail.
+
+    Not part of the paper's Figure 16 grid, but the stress case for
+    partition-based algorithms (heavy duplication concentrates keys in
+    few buckets) and for the leftmost-pivot optimization.
+    """
+    if alpha <= 1.0:
+        raise SortError(f"alpha must be > 1, got {alpha}")
+    rng = _rng(seed)
+    ranks = rng.zipf(alpha, size=n)
+    values = np.minimum(ranks, universe).astype(np.int64)
+    if np.dtype(dtype).kind == "f":
+        return values.astype(dtype)
+    info = np.iinfo(dtype)
+    return np.clip(values, info.min, info.max).astype(dtype)
+
+
+DISTRIBUTIONS: Dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform,
+    "normal": normal,
+    "sorted": sorted_keys,
+    "reverse-sorted": reverse_sorted,
+    "nearly-sorted": nearly_sorted,
+    "zipf": zipf,
+}
+
+
+def generate(n: int, distribution: str = "uniform", dtype=np.int32,
+             seed: Optional[int] = None) -> np.ndarray:
+    """Generate ``n`` keys from a named distribution."""
+    try:
+        generator = DISTRIBUTIONS[distribution]
+    except KeyError:
+        known = ", ".join(sorted(DISTRIBUTIONS))
+        raise SortError(
+            f"unknown distribution {distribution!r} (known: {known})"
+        ) from None
+    return generator(n, dtype=dtype, seed=seed)

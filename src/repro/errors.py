@@ -1,0 +1,25 @@
+"""Exception hierarchy of the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topologies or unroutable transfers."""
+
+
+class AllocationError(ReproError):
+    """Raised when a device memory allocation exceeds capacity."""
+
+
+class RuntimeApiError(ReproError):
+    """Raised for misuse of the virtual CUDA runtime API."""
+
+
+class SortError(ReproError):
+    """Raised for invalid sorting inputs or configurations."""
+
+
+class CalibrationError(ReproError):
+    """Raised when calibration constants are inconsistent."""

@@ -1,0 +1,111 @@
+"""Shared machinery of the radix sorts: key transforms and scatter.
+
+Radix sorts operate on unsigned bit patterns.  Signed integers and IEEE
+floats are mapped to order-preserving unsigned keys first — the same
+bit tricks CUB's ``Traits`` layer applies on the GPU:
+
+* signed int: flip the sign bit,
+* float: if negative, invert all bits; otherwise set the sign bit.
+
+Both transforms are involutions up to their inverse and strictly
+monotone, so sorting the transformed keys sorts the originals.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SortError
+
+#: Unsigned view type per itemsize.
+_UINT_FOR_SIZE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+
+def to_radix_keys(values: np.ndarray) -> Tuple[np.ndarray, np.dtype]:
+    """Map values to order-preserving unsigned keys.
+
+    Returns the transformed key array and the original dtype (needed by
+    :func:`from_radix_keys`).
+    """
+    dtype = values.dtype
+    if dtype.kind not in "iuf":
+        raise SortError(f"radix sort supports numeric keys, not {dtype}")
+    uint_type = _UINT_FOR_SIZE.get(dtype.itemsize)
+    if uint_type is None:
+        raise SortError(f"unsupported key width {dtype.itemsize}")
+    bits = values.view(uint_type)
+    if dtype.kind == "u":
+        return bits.copy(), dtype
+    sign_bit = uint_type(1) << uint_type(dtype.itemsize * 8 - 1)
+    if dtype.kind == "i":
+        return bits ^ sign_bit, dtype
+    # IEEE float: total order compatible with < on non-NaN values.
+    negative = (bits & sign_bit) != 0
+    keys = np.where(negative, ~bits, bits | sign_bit)
+    return keys, dtype
+
+
+def from_radix_keys(keys: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Invert :func:`to_radix_keys`."""
+    uint_type = keys.dtype.type
+    if dtype.kind == "u":
+        return keys.view(dtype)
+    sign_bit = uint_type(uint_type(1) << (dtype.itemsize * 8 - 1))
+    if dtype.kind == "i":
+        return (keys ^ sign_bit).view(dtype)
+    was_negative = (keys & sign_bit) == 0
+    bits = np.where(was_negative, ~keys, keys & ~sign_bit)
+    return bits.view(dtype)
+
+
+def binary_insertion_sort(keys: np.ndarray) -> None:
+    """Sort ``keys`` in place by binary insertion.
+
+    The local sort both radix hybrids (Stehle's MSB sort and PARADIS)
+    fall back to once buckets are small.
+    """
+    for i in range(1, keys.size):
+        key = keys[i]
+        lo = int(np.searchsorted(keys[:i], key, side="right"))
+        if lo != i:
+            keys[lo + 1:i + 1] = keys[lo:i]
+            keys[lo] = key
+
+
+def stable_counting_permutation(digits: np.ndarray, radix: int) -> np.ndarray:
+    """Permutation that stably sorts ``digits`` (values in ``[0, radix)``).
+
+    This is the scatter step of one counting-sort pass, computed the way
+    a GPU would: a histogram, an exclusive prefix sum over it, and a
+    per-bucket gather.  ``result[i]`` is the *source* index of the
+    element that belongs at output position ``i``.
+    """
+    if digits.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.bincount(digits, minlength=radix)
+    order = np.empty(digits.size, dtype=np.int64)
+    offset = 0
+    for value in range(radix):
+        count = int(counts[value])
+        if count == 0:
+            continue
+        order[offset:offset + count] = np.flatnonzero(digits == value)
+        offset += count
+    return order
+
+
+def counting_sort_pass(keys: np.ndarray, shift: int, radix_bits: int,
+                       payload: np.ndarray = None):
+    """One stable counting-sort pass on the digit at ``shift``.
+
+    Returns the reordered keys (and payload, when given).
+    """
+    radix = 1 << radix_bits
+    digits = ((keys >> keys.dtype.type(shift))
+              & keys.dtype.type(radix - 1)).astype(np.int64)
+    order = stable_counting_permutation(digits, radix)
+    if payload is None:
+        return keys[order]
+    return keys[order], payload[order]

@@ -1,0 +1,42 @@
+"""Registry mapping primitive names to functional sort implementations.
+
+The names match the calibration keys of
+:data:`repro.hw.calibration.A100_SORT_RATES` (Table 2): ``thrust``,
+``cub``, ``stehle``, ``mgpu``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.errors import SortError
+from repro.gpuprims.merge_path import merge_sort
+from repro.gpuprims.radix_lsb import radix_sort_lsb
+from repro.gpuprims.radix_msb import radix_sort_msb
+
+SortFn = Callable[[np.ndarray], np.ndarray]
+
+_REGISTRY: Dict[str, SortFn] = {
+    "thrust": radix_sort_lsb,
+    "cub": radix_sort_lsb,
+    "stehle": radix_sort_msb,
+    "mgpu": merge_sort,
+}
+
+
+def available_primitives() -> List[str]:
+    """Names of the registered single-GPU sort primitives."""
+    return sorted(_REGISTRY)
+
+
+def functional_sort(primitive: str) -> SortFn:
+    """The functional implementation behind a primitive name."""
+    try:
+        return _REGISTRY[primitive]
+    except KeyError:
+        known = ", ".join(available_primitives())
+        raise SortError(
+            f"unknown sort primitive {primitive!r} (known: {known})"
+        ) from None

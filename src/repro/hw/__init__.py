@@ -1,0 +1,39 @@
+"""Hardware models: links, topologies, GPUs, hosts and the platform catalog.
+
+The three platforms of the paper's Table 1 are available as ready-made
+builders:
+
+>>> from repro.hw import ibm_ac922, delta_d22x, dgx_a100
+>>> spec = dgx_a100()
+>>> len(spec.gpus)
+8
+"""
+
+from repro.hw.links import LinkKind
+from repro.hw.topology import NodeKind, Topology, TopologyNode
+from repro.hw.gpu import GpuSpec
+from repro.hw.host import CpuSpec, NumaNodeSpec
+from repro.hw.systems import (
+    SystemSpec,
+    SystemBuilder,
+    delta_d22x,
+    dgx_a100,
+    ibm_ac922,
+    system_by_name,
+)
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "LinkKind",
+    "NodeKind",
+    "NumaNodeSpec",
+    "SystemBuilder",
+    "SystemSpec",
+    "Topology",
+    "TopologyNode",
+    "delta_d22x",
+    "dgx_a100",
+    "ibm_ac922",
+    "system_by_name",
+]

@@ -1,0 +1,103 @@
+"""GPU device model.
+
+A :class:`GpuSpec` captures what the timing model needs to know about a
+device: memory capacity, sustained rates of the sorting/merging
+primitives (calibrated from the paper's Table 2 and Section 5), the
+device-local copy bandwidth (Section 5.2), and small fixed launch
+overheads.
+
+Rates are expressed in *bytes of input per second* rather than keys per
+second so that 32- and 64-bit keys share one calibration: the paper
+finds sorting throughput to be byte-rate-bound (Section 6.3), with a
+small per-width adjustment factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import CalibrationError
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Performance-relevant description of one GPU model.
+
+    Parameters
+    ----------
+    model:
+        Marketing name, e.g. ``"NVIDIA Tesla V100 SXM2 32 GB"``.
+    memory_bytes:
+        Device memory capacity.
+    sort_rates:
+        Sustained sort throughput in bytes/s per primitive name
+        (``"thrust"``, ``"cub"``, ``"stehle"``, ``"mgpu"``) for 32-bit
+        keys.
+    width64_sort_factor:
+        Multiplier on the byte rate when sorting 64-bit keys.  On the
+        A100 the paper measures 64-bit runs within 95% of 32-bit ones
+        (per byte); on the V100, 32-bit keys take only 83-88% of the
+        64-bit time, i.e. 64-bit is ~0.855x per byte (Section 6.3).
+    merge_rate:
+        Two-way merge throughput (bytes of *output* per second) of the
+        on-GPU merge primitive (``thrust::merge``).
+    local_copy_rate:
+        Device-to-device copy bandwidth in bytes/s (Section 5.2 measures
+        it 3x NVLink 3.0 / 5x three NVLink 2.0 bricks / 42x PCIe 3.0).
+    alloc_rate:
+        cudaMalloc throughput in bytes/s; the paper measures allocating
+        8 GB to take 150 ms on the AC922 (Section 5.1).
+    launch_overhead_s:
+        Fixed cost per kernel launch or copy, in seconds.
+    """
+
+    model: str
+    memory_bytes: float
+    sort_rates: Dict[str, float] = field(default_factory=dict)
+    width64_sort_factor: float = 1.0
+    merge_rate: float = 0.0
+    local_copy_rate: float = 0.0
+    alloc_rate: float = 53.3e9
+    launch_overhead_s: float = 10 * US
+
+    def __post_init__(self):
+        if self.memory_bytes <= 0:
+            raise CalibrationError("GPU memory capacity must be positive")
+        for name, rate in self.sort_rates.items():
+            if rate <= 0:
+                raise CalibrationError(f"sort rate {name!r} must be positive")
+        if self.merge_rate <= 0:
+            raise CalibrationError("merge_rate must be positive")
+        if self.local_copy_rate <= 0:
+            raise CalibrationError("local_copy_rate must be positive")
+
+    def sort_rate(self, primitive: str, itemsize: int) -> float:
+        """Sustained sort rate in bytes/s for one primitive and key width."""
+        try:
+            rate = self.sort_rates[primitive]
+        except KeyError:
+            known = ", ".join(sorted(self.sort_rates))
+            raise CalibrationError(
+                f"unknown sort primitive {primitive!r} (known: {known})"
+            ) from None
+        if itemsize >= 8:
+            rate *= self.width64_sort_factor
+        return rate
+
+    def sort_seconds(self, primitive: str, nbytes: float, itemsize: int) -> float:
+        """Time to sort ``nbytes`` of ``itemsize``-wide keys."""
+        return self.launch_overhead_s + nbytes / self.sort_rate(primitive, itemsize)
+
+    def merge_seconds(self, nbytes_out: float) -> float:
+        """Time for an on-GPU two-way merge producing ``nbytes_out``."""
+        return self.launch_overhead_s + nbytes_out / self.merge_rate
+
+    def local_copy_seconds(self, nbytes: float) -> float:
+        """Time for a device-local (DtoD on the same GPU) copy."""
+        return self.launch_overhead_s + nbytes / self.local_copy_rate
+
+    def alloc_seconds(self, nbytes: float) -> float:
+        """Time for a cudaMalloc of ``nbytes``."""
+        return nbytes / self.alloc_rate

@@ -1,0 +1,128 @@
+"""Host-side (CPU and NUMA memory) model.
+
+The CPU matters to the reproduction in three roles: as the baseline
+sorter (PARADIS and the library sorts of Section 6), as HET sort's merge
+engine (gnu_parallel-style multiway merge, Section 5.3), and as the
+owner of the NUMA memory nodes every CPU-GPU copy crosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class NumaNodeSpec:
+    """One NUMA node's memory subsystem.
+
+    ``read_bw``/``write_bw`` are *effective* rates available to DMA and
+    CPU streaming (calibrated against the paper's parallel-copy
+    saturation points, e.g. AC922 node 0: 141 GB/s read / 109 GB/s
+    write, Figure 2b), not DIMM datasheet numbers.  ``duplex_factor``
+    models the combined read+write saturation (136 GB/s on the AC922).
+    """
+
+    index: int
+    capacity_bytes: float
+    read_bw: float
+    write_bw: float
+    duplex_factor: float = 1.0
+
+    def __post_init__(self):
+        if self.capacity_bytes <= 0:
+            raise CalibrationError("NUMA capacity must be positive")
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise CalibrationError("NUMA bandwidths must be positive")
+        if not 0 < self.duplex_factor <= 1:
+            raise CalibrationError("duplex_factor must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Performance-relevant description of the host processors.
+
+    ``sort_rates`` maps CPU sorting primitive names to sustained rates
+    in bytes/s (``"paradis"``, ``"simd_lsb"``, ``"gnu_parallel"``,
+    ``"tbb"``, ``"std_par"``); ``multiway_merge_rate`` is the output
+    rate of the gnu_parallel-style k-way merge, which the paper
+    measures to saturate 71-94% of STREAM bandwidth (Section 5.3).
+    """
+
+    model: str
+    sockets: int
+    cores_per_socket: int
+    sort_rates: Dict[str, float] = field(default_factory=dict)
+    multiway_merge_rate: float = 0.0
+    #: Multiplier on the merge rate as the run count k grows
+    #: (step-and-hold over k).  Section 6.1: the AC922's merge slows by
+    #: 8% from two to four chunks, the DELTA's considerably more, the
+    #: DGX A100's stays constant.
+    merge_k_factors: Dict[int, float] = field(default_factory=dict)
+    #: STREAM-measured sustainable memory bandwidth per node, bytes/s.
+    stream_bw: float = 0.0
+    #: SIMD ISA available (PARADIS' SIMD rival needs x86 SIMD; the
+    #: paper notes Polychroniou et al.'s sort cannot run on POWER9).
+    has_x86_simd: bool = True
+
+    def __post_init__(self):
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise CalibrationError("core counts must be positive")
+        for name, rate in self.sort_rates.items():
+            if rate <= 0:
+                raise CalibrationError(f"sort rate {name!r} must be positive")
+        if self.multiway_merge_rate <= 0:
+            raise CalibrationError("multiway_merge_rate must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Physical core count across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    def multiway_merge_rate_for(self, k: int) -> float:
+        """Merge output rate in bytes/s when merging ``k`` sorted runs.
+
+        ``merge_k_factors`` gives calibration anchors; between anchors
+        the factor interpolates linearly in ``k`` (the base rate is the
+        paper's two-run measurement, so the curve is flat at 1.0 up to
+        ``k = 2``), and holds beyond the last anchor.
+        """
+        if not self.merge_k_factors:
+            return self.multiway_merge_rate
+        anchors = sorted({1: 1.0, 2: 1.0, **self.merge_k_factors}.items())
+        factor = anchors[-1][1]
+        for (k_lo, f_lo), (k_hi, f_hi) in zip(anchors, anchors[1:]):
+            if k <= k_lo:
+                factor = f_lo
+                break
+            if k <= k_hi:
+                t = (k - k_lo) / (k_hi - k_lo)
+                factor = f_lo + t * (f_hi - f_lo)
+                break
+        return self.multiway_merge_rate * factor
+
+    def sort_rate(self, primitive: str) -> float:
+        """Sustained CPU sort rate in bytes/s for one primitive."""
+        try:
+            return self.sort_rates[primitive]
+        except KeyError:
+            known = ", ".join(sorted(self.sort_rates))
+            raise CalibrationError(
+                f"unknown CPU sort primitive {primitive!r} (known: {known})"
+            ) from None
+
+    def best_sort_primitive(self, nbytes: Optional[float] = None) -> str:
+        """The fastest available CPU sort for a given data size.
+
+        Mirrors Section 6's baseline choice: the SIMD LSB radix sort
+        wins for small data on x86, PARADIS wins for large data and is
+        the only fast option on POWER9.
+        """
+        candidates = dict(self.sort_rates)
+        if not self.has_x86_simd:
+            candidates.pop("simd_lsb", None)
+        if not candidates:
+            raise CalibrationError("no CPU sort primitives calibrated")
+        return max(candidates, key=lambda name: candidates[name])

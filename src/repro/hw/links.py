@@ -1,0 +1,81 @@
+"""Interconnect link kinds and their datasheet characteristics.
+
+The catalog covers every interconnect appearing in the paper's Table 1.
+``peak_bandwidth`` is the theoretical per-direction rate of *one* link
+instance; effective rates are calibrated per system in
+:mod:`repro.hw.systems` from the paper's measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.units import gb
+
+
+class LinkKind(enum.Enum):
+    """Interconnect technology of a link."""
+
+    NVLINK2 = "nvlink2"
+    NVLINK3 = "nvlink3"
+    NVSWITCH = "nvswitch"
+    PCIE3 = "pcie3"
+    PCIE4 = "pcie4"
+    XBUS = "xbus"
+    UPI = "upi"
+    INFINITY_FABRIC = "infinity_fabric"
+    MEMORY = "memory"
+    ONBOARD = "onboard"
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Theoretical per-direction bandwidth of one link instance, B/s.
+
+        Sources: Section 2 of the paper (NVLink 2.0: 25 GB/s per link,
+        NVLink 3.0: 25 GB/s per link with 12 links per GPU, PCIe 3.0 x16:
+        16 GB/s, PCIe 4.0 x16: 32 GB/s) and Table 1 (X-Bus: 64 GB/s,
+        UPI: 62 GB/s, Infinity Fabric: 102 GB/s).
+        """
+        return {
+            LinkKind.NVLINK2: gb(25.0),
+            LinkKind.NVLINK3: gb(25.0),
+            LinkKind.NVSWITCH: gb(300.0),
+            LinkKind.PCIE3: gb(16.0),
+            LinkKind.PCIE4: gb(32.0),
+            LinkKind.XBUS: gb(64.0),
+            LinkKind.UPI: gb(62.0),
+            LinkKind.INFINITY_FABRIC: gb(102.0),
+            LinkKind.MEMORY: gb(170.0),
+            LinkKind.ONBOARD: gb(1000.0),
+        }[self]
+
+    @property
+    def hop_latency_s(self) -> float:
+        """One-way traversal latency of one hop over this link, seconds.
+
+        Ballpark figures from published microbenchmarks (Li et al.,
+        Pearson et al.): a couple of microseconds per PCIe or NVLink
+        hop, slightly more across CPU interconnects.  Negligible for
+        the paper's 4 GB copies; dominant for KB-scale transfers.
+        """
+        from repro.units import US
+        return {
+            LinkKind.NVLINK2: 1.3 * US,
+            LinkKind.NVLINK3: 1.1 * US,
+            LinkKind.NVSWITCH: 1.8 * US,
+            LinkKind.PCIE3: 1.8 * US,
+            LinkKind.PCIE4: 1.6 * US,
+            LinkKind.XBUS: 2.2 * US,
+            LinkKind.UPI: 1.9 * US,
+            LinkKind.INFINITY_FABRIC: 1.9 * US,
+            LinkKind.MEMORY: 0.2 * US,
+            LinkKind.ONBOARD: 0.1 * US,
+        }[self]
+
+    @property
+    def is_p2p_capable(self) -> bool:
+        """Whether GPUs on this link can do direct P2P transfers."""
+        return self in (LinkKind.NVLINK2, LinkKind.NVLINK3, LinkKind.NVSWITCH)
+
+    def __str__(self) -> str:
+        return self.value

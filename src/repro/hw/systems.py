@@ -1,0 +1,445 @@
+"""Platform catalog: the three evaluated systems plus a custom builder.
+
+Each builder returns a fresh :class:`SystemSpec` assembling the
+calibrated resources of :mod:`repro.hw.calibration` into the topology of
+the paper's Table 1:
+
+* :func:`ibm_ac922` — 2x POWER9, 4x V100, NVLink 2.0 everywhere, X-Bus.
+* :func:`delta_d22x` — 2x Xeon Gold 6148, 4x V100, PCIe 3.0 to the host,
+  NVLink 2.0 P2P for select pairs, UPI.
+* :func:`dgx_a100` — 2x EPYC 7742, 8x A100, PCIe 4.0 switches shared by
+  GPU pairs, NVLink 3.0 NVSwitch all-to-all, Infinity Fabric.
+
+Use :class:`SystemBuilder` to model machines beyond the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.hw import calibration as cal
+from repro.hw.gpu import GpuSpec
+from repro.hw.host import CpuSpec, NumaNodeSpec
+from repro.hw.links import LinkKind
+from repro.hw.topology import NodeKind, Topology
+from repro.sim.resources import Resource, SharingCurve
+from repro.units import gb
+
+
+@dataclass
+class SystemSpec:
+    """A complete machine: topology, device specs, and calibration."""
+
+    name: str
+    display_name: str
+    cpu: CpuSpec
+    numa: List[NumaNodeSpec]
+    topology: Topology
+    gpu_specs: Dict[str, GpuSpec]
+    gpu_numa: Dict[str, int]
+    p2p_traverse_efficiency: float
+    #: Paper-faithful GPU id sets per GPU count (Section 6 intro / 5.4).
+    preferred_gpu_sets: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def gpu_names(self) -> List[str]:
+        """GPU node names in id order (``gpu0``, ``gpu1``, ...)."""
+        return sorted(self.gpu_specs, key=lambda n: int(n[3:]))
+
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs in the machine."""
+        return len(self.gpu_specs)
+
+    def gpu_name(self, gpu_id: int) -> str:
+        """Node name of GPU ``gpu_id``."""
+        name = f"gpu{gpu_id}"
+        if name not in self.gpu_specs:
+            raise TopologyError(f"no GPU with id {gpu_id} on {self.name}")
+        return name
+
+    def preferred_gpu_set(self, count: int) -> Tuple[int, ...]:
+        """The paper's GPU id choice for sorting with ``count`` GPUs."""
+        if count in self.preferred_gpu_sets:
+            return self.preferred_gpu_sets[count]
+        if count > self.num_gpus:
+            raise TopologyError(
+                f"{self.name} has only {self.num_gpus} GPUs, {count} requested")
+        return tuple(range(count))
+
+    def numa_node_name(self, index: int) -> str:
+        """Topology node name of NUMA node ``index``."""
+        return f"cpu{index}"
+
+
+# --------------------------------------------------------------------------
+# Builder
+# --------------------------------------------------------------------------
+class SystemBuilder:
+    """Fluent construction of custom multi-GPU platforms.
+
+    >>> b = SystemBuilder("toy", "Toy box")
+    >>> b.add_numa_node(read_bw=gb(100), write_bw=gb(100),
+    ...                 capacity=gib(128))
+    0
+    >>> b.add_gpu(numa=0, spec=b.v100_spec(),
+    ...           link=LinkKind.PCIE3, bandwidth=gb(12.5))
+    0
+    >>> spec = b.build(cpu=b.generic_cpu())
+    """
+
+    def __init__(self, name: str, display_name: Optional[str] = None):
+        self.name = name
+        self.display_name = display_name or name
+        self.topology = Topology(name)
+        self.numa: List[NumaNodeSpec] = []
+        self.gpu_specs: Dict[str, GpuSpec] = {}
+        self.gpu_numa: Dict[str, int] = {}
+        self.p2p_traverse_efficiency = 0.8
+        self.preferred_gpu_sets: Dict[int, Tuple[int, ...]] = {}
+
+    # -- reusable specs ---------------------------------------------------
+    @staticmethod
+    def v100_spec() -> GpuSpec:
+        """An NVIDIA Tesla V100 SXM2 32 GB, calibrated per Section 5/6.3."""
+        return GpuSpec(
+            model="NVIDIA Tesla V100 SXM2 32 GB",
+            memory_bytes=cal.V100_MEMORY,
+            sort_rates=dict(cal.V100_SORT_RATES),
+            width64_sort_factor=cal.V100_WIDTH64_FACTOR,
+            merge_rate=cal.V100_MERGE_RATE,
+            local_copy_rate=cal.V100_LOCAL_COPY,
+            alloc_rate=cal.GPU_ALLOC_RATE,
+        )
+
+    @staticmethod
+    def a100_spec() -> GpuSpec:
+        """An NVIDIA A100 SXM4 40 GB, calibrated per Table 2/Section 6.3."""
+        return GpuSpec(
+            model="NVIDIA A100 SXM4 40 GB",
+            memory_bytes=cal.A100_MEMORY,
+            sort_rates=dict(cal.A100_SORT_RATES),
+            width64_sort_factor=cal.A100_WIDTH64_FACTOR,
+            merge_rate=cal.A100_MERGE_RATE,
+            local_copy_rate=cal.A100_LOCAL_COPY,
+            alloc_rate=cal.GPU_ALLOC_RATE,
+        )
+
+    @staticmethod
+    def generic_cpu(sort_rate: float = gb(2.0),
+                    merge_rate: float = gb(45.0)) -> CpuSpec:
+        """A plain dual-socket CPU spec for custom platforms."""
+        return CpuSpec(
+            model="Generic x86_64",
+            sockets=2,
+            cores_per_socket=16,
+            sort_rates={
+                "paradis": sort_rate,
+                "gnu_parallel": sort_rate * cal.LIBRARY_SORT_FRACTION["gnu_parallel"],
+                "tbb": sort_rate * cal.LIBRARY_SORT_FRACTION["tbb"],
+                "std_par": sort_rate * cal.LIBRARY_SORT_FRACTION["std_par"],
+            },
+            multiway_merge_rate=merge_rate,
+            stream_bw=gb(100.0),
+        )
+
+    # -- construction -----------------------------------------------------
+    def add_numa_node(
+        self,
+        read_bw: float,
+        write_bw: float,
+        capacity: float,
+        duplex_factor: float = 0.85,
+    ) -> int:
+        """Add one CPU/NUMA node; returns its index."""
+        index = len(self.numa)
+        spec = NumaNodeSpec(index=index, capacity_bytes=capacity,
+                            read_bw=read_bw, write_bw=write_bw,
+                            duplex_factor=duplex_factor)
+        self.numa.append(spec)
+        memory = Resource(f"mem{index}", capacity_fwd=read_bw,
+                          capacity_rev=write_bw, duplex_factor=duplex_factor,
+                          latency_s=LinkKind.MEMORY.hop_latency_s)
+        self.topology.add_node(f"cpu{index}", NodeKind.CPU, memory=memory,
+                               numa=index)
+        return index
+
+    def connect_numa_nodes(
+        self,
+        a: int,
+        b: int,
+        kind: LinkKind,
+        bandwidth_fwd: float,
+        bandwidth_rev: Optional[float] = None,
+        duplex_factor: float = 0.9,
+        sharing: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Add a CPU-CPU interconnect (X-Bus / UPI / Infinity Fabric)."""
+        resource = Resource(
+            f"{kind.value}_{a}_{b}", capacity_fwd=bandwidth_fwd,
+            capacity_rev=bandwidth_rev, duplex_factor=duplex_factor,
+            sharing=SharingCurve(sharing) if sharing else None,
+            latency_s=kind.hop_latency_s)
+        self.topology.add_edge(f"cpu{a}", f"cpu{b}", resource, kind)
+
+    def add_gpu(
+        self,
+        numa: int,
+        spec: GpuSpec,
+        link: LinkKind,
+        bandwidth: float,
+        bandwidth_rev: Optional[float] = None,
+        duplex_factor: float = 0.85,
+        hbm_bw: Optional[float] = None,
+        via: Optional[str] = None,
+    ) -> int:
+        """Attach a GPU to NUMA node ``numa`` (or to switch ``via``).
+
+        Returns the GPU id.  ``bandwidth`` is the effective CPU-GPU rate
+        in the HtoD direction; ``bandwidth_rev`` defaults to it.
+        """
+        gpu_id = len(self.gpu_specs)
+        name = f"gpu{gpu_id}"
+        hbm = Resource(f"gmem{gpu_id}",
+                       capacity_fwd=hbm_bw or gb(720.0),
+                       capacity_rev=hbm_bw or gb(720.0),
+                       latency_s=LinkKind.MEMORY.hop_latency_s)
+        self.topology.add_node(name, NodeKind.GPU, memory=hbm, numa=numa)
+        self.gpu_specs[name] = spec
+        self.gpu_numa[name] = numa
+        upstream = via if via is not None else f"cpu{numa}"
+        resource = Resource(f"{link.value}_{upstream}_{name}",
+                            capacity_fwd=bandwidth,
+                            capacity_rev=bandwidth_rev,
+                            duplex_factor=duplex_factor,
+                            latency_s=link.hop_latency_s)
+        self.topology.add_edge(upstream, name, resource, link)
+        return gpu_id
+
+    def add_switch(
+        self,
+        name: str,
+        numa: int,
+        kind: LinkKind,
+        uplink_fwd: float,
+        uplink_rev: Optional[float] = None,
+        duplex_factor: float = 0.8,
+        sharing: Optional[Dict[int, float]] = None,
+    ) -> str:
+        """Add a switch below NUMA node ``numa`` with a shared uplink."""
+        self.topology.add_node(name, NodeKind.SWITCH, numa=numa)
+        resource = Resource(f"{kind.value}_uplink_{name}",
+                            capacity_fwd=uplink_fwd,
+                            capacity_rev=uplink_rev,
+                            duplex_factor=duplex_factor,
+                            sharing=SharingCurve(sharing) if sharing
+                            else None,
+                            latency_s=kind.hop_latency_s)
+        self.topology.add_edge(f"cpu{numa}", name, resource, kind)
+        return name
+
+    def connect_gpus(
+        self,
+        a: int,
+        b: int,
+        kind: LinkKind,
+        bandwidth: float,
+        duplex_factor: float = 1.0,
+    ) -> None:
+        """Add a direct P2P link between two GPUs."""
+        resource = Resource(f"{kind.value}_gpu{a}_gpu{b}",
+                            capacity_fwd=bandwidth,
+                            capacity_rev=bandwidth,
+                            duplex_factor=duplex_factor,
+                            latency_s=kind.hop_latency_s)
+        self.topology.add_edge(f"gpu{a}", f"gpu{b}", resource, kind)
+
+    def add_nvswitch(self, port_bandwidth: float, gpu_ids: Sequence[int],
+                     duplex_factor: float = 0.95,
+                     fabric_bandwidth: float = cal.DGX_NVSWITCH_FABRIC) -> None:
+        """Connect ``gpu_ids`` all-to-all through an NVSwitch fabric."""
+        # The fabric node itself is modelled as non-blocking (its
+        # aggregate bandwidth far exceeds the sum of the port rates).
+        self.topology.add_node("nvswitch", NodeKind.SWITCH)
+        for gpu_id in gpu_ids:
+            port = Resource(f"nvswitch_port_gpu{gpu_id}",
+                            capacity_fwd=port_bandwidth,
+                            capacity_rev=port_bandwidth,
+                            duplex_factor=duplex_factor,
+                            latency_s=LinkKind.NVSWITCH.hop_latency_s)
+            self.topology.add_edge(f"gpu{gpu_id}", "nvswitch", port,
+                                   LinkKind.NVSWITCH)
+
+    def build(self, cpu: CpuSpec) -> SystemSpec:
+        """Finalize the machine."""
+        if not self.numa:
+            raise TopologyError("a system needs at least one NUMA node")
+        if not self.gpu_specs:
+            raise TopologyError("a system needs at least one GPU")
+        return SystemSpec(
+            name=self.name,
+            display_name=self.display_name,
+            cpu=cpu,
+            numa=list(self.numa),
+            topology=self.topology,
+            gpu_specs=dict(self.gpu_specs),
+            gpu_numa=dict(self.gpu_numa),
+            p2p_traverse_efficiency=self.p2p_traverse_efficiency,
+            preferred_gpu_sets=dict(self.preferred_gpu_sets),
+        )
+
+
+# --------------------------------------------------------------------------
+# The three platforms of Table 1
+# --------------------------------------------------------------------------
+def _cpu_spec(system: str, model: str, sockets: int, cores: int,
+              has_x86_simd: bool) -> CpuSpec:
+    paradis = cal.PARADIS_RATE[system]
+    rates = {
+        "paradis": paradis,
+        "gnu_parallel": paradis * cal.LIBRARY_SORT_FRACTION["gnu_parallel"],
+        "tbb": paradis * cal.LIBRARY_SORT_FRACTION["tbb"],
+        "std_par": paradis * cal.LIBRARY_SORT_FRACTION["std_par"],
+    }
+    if has_x86_simd and system in cal.SIMD_LSB_RATE:
+        rates["simd_lsb"] = cal.SIMD_LSB_RATE[system]
+    return CpuSpec(
+        model=model, sockets=sockets, cores_per_socket=cores,
+        sort_rates=rates,
+        multiway_merge_rate=cal.MULTIWAY_MERGE_RATE[system],
+        merge_k_factors=dict(cal.MULTIWAY_MERGE_K_FACTORS[system]),
+        stream_bw=cal.STREAM_BW[system],
+        has_x86_simd=has_x86_simd,
+    )
+
+
+def ibm_ac922() -> SystemSpec:
+    """IBM Power System AC922 (Table 1a).
+
+    2x POWER9 (16 x 2.7 GHz), 4x Tesla V100, NVLink 2.0 both CPU-GPU
+    and P2P (three bricks each, 75 GB/s peak / 72 GB/s effective), X-Bus
+    between the CPUs.  GPUs 0, 1 attach to CPU 0; GPUs 2, 3 to CPU 1.
+    P2P links exist within the local pairs (0-1 and 2-3) only.
+    """
+    c = cal.AC922
+    b = SystemBuilder("ibm-ac922", "IBM Power System AC922")
+    b.p2p_traverse_efficiency = c.p2p_host_traverse_efficiency
+    for _ in range(2):
+        b.add_numa_node(read_bw=c.mem_read, write_bw=c.mem_write,
+                        capacity=cal.HOST_MEMORY["ibm-ac922"] / 2,
+                        duplex_factor=c.mem_duplex)
+    b.connect_numa_nodes(0, 1, LinkKind.XBUS, c.cpu_cpu_fwd, c.cpu_cpu_rev,
+                         duplex_factor=c.cpu_cpu_duplex,
+                         sharing=c.cpu_cpu_sharing)
+    for numa in (0, 0, 1, 1):
+        b.add_gpu(numa=numa, spec=SystemBuilder.v100_spec(),
+                  link=LinkKind.NVLINK2, bandwidth=c.cpu_gpu_fwd,
+                  bandwidth_rev=c.cpu_gpu_rev,
+                  duplex_factor=c.cpu_gpu_duplex,
+                  hbm_bw=cal.V100_HBM_BW)
+    b.connect_gpus(0, 1, LinkKind.NVLINK2, c.p2p, duplex_factor=c.p2p_duplex)
+    b.connect_gpus(2, 3, LinkKind.NVLINK2, c.p2p, duplex_factor=c.p2p_duplex)
+    b.preferred_gpu_sets = {1: (0,), 2: (0, 1), 4: (0, 1, 2, 3)}
+    return b.build(cpu=_cpu_spec("ibm-ac922", "IBM POWER9", 2, 16,
+                                 has_x86_simd=False))
+
+
+def delta_d22x() -> SystemSpec:
+    """DELTA System D22x M4 PS (Table 1b).
+
+    2x Xeon Gold 6148 (20 x 2.4 GHz), 4x Tesla V100 behind exclusive
+    PCIe 3.0 switches (GPUs 0, 1 on CPU 0; GPUs 2, 3 on CPU 1), UPI
+    between the CPUs, NVLink 2.0 P2P: two bricks on 0-1, 0-2 and 2-3,
+    one brick (25 GB/s peak) on 1-3.  Pairs (0, 3) and (1, 2) are not
+    directly interconnected (Section 4.3).
+    """
+    c = cal.DELTA
+    b = SystemBuilder("delta-d22x", "DELTA System D22x M4 PS")
+    b.p2p_traverse_efficiency = c.p2p_host_traverse_efficiency
+    for _ in range(2):
+        b.add_numa_node(read_bw=c.mem_read, write_bw=c.mem_write,
+                        capacity=cal.HOST_MEMORY["delta-d22x"] / 2,
+                        duplex_factor=c.mem_duplex)
+    b.connect_numa_nodes(0, 1, LinkKind.UPI, c.cpu_cpu_fwd, c.cpu_cpu_rev,
+                         duplex_factor=c.cpu_cpu_duplex,
+                         sharing=c.cpu_cpu_sharing)
+    for numa in (0, 0, 1, 1):
+        b.add_gpu(numa=numa, spec=SystemBuilder.v100_spec(),
+                  link=LinkKind.PCIE3, bandwidth=c.cpu_gpu_fwd,
+                  bandwidth_rev=c.cpu_gpu_rev,
+                  duplex_factor=c.cpu_gpu_duplex,
+                  hbm_bw=cal.V100_HBM_BW)
+    b.connect_gpus(0, 1, LinkKind.NVLINK2, c.p2p, duplex_factor=c.p2p_duplex)
+    b.connect_gpus(0, 2, LinkKind.NVLINK2, c.p2p, duplex_factor=c.p2p_duplex)
+    b.connect_gpus(2, 3, LinkKind.NVLINK2, c.p2p, duplex_factor=c.p2p_duplex)
+    b.connect_gpus(1, 3, LinkKind.NVLINK2, cal.DELTA_P2P_SINGLE,
+                   duplex_factor=c.p2p_duplex)
+    b.preferred_gpu_sets = {1: (0,), 2: (0, 1), 4: (0, 1, 2, 3)}
+    return b.build(cpu=_cpu_spec("delta-d22x", "Intel Xeon Gold 6148", 2, 20,
+                                 has_x86_simd=True))
+
+
+def dgx_a100() -> SystemSpec:
+    """NVIDIA DGX A100 (Table 1c).
+
+    2x EPYC 7742 (64 x 2.25 GHz), 8x A100.  GPU pairs (0,1), (2,3),
+    (4,5), (6,7) each share one PCIe 4.0 switch uplink to the host
+    (Section 4.2); all GPUs are all-to-all interconnected through
+    NVLink 3.0-based NVSwitch; Infinity Fabric links the CPUs.
+    """
+    c = cal.DGX
+    b = SystemBuilder("dgx-a100", "NVIDIA DGX A100")
+    b.p2p_traverse_efficiency = c.p2p_host_traverse_efficiency
+    for _ in range(2):
+        b.add_numa_node(read_bw=c.mem_read, write_bw=c.mem_write,
+                        capacity=cal.HOST_MEMORY["dgx-a100"] / 2,
+                        duplex_factor=c.mem_duplex)
+    b.connect_numa_nodes(0, 1, LinkKind.INFINITY_FABRIC,
+                         c.cpu_cpu_fwd, c.cpu_cpu_rev,
+                         duplex_factor=c.cpu_cpu_duplex,
+                         sharing=c.cpu_cpu_sharing)
+    # One PCIe 4.0 switch per GPU pair; the shared uplink is the
+    # bottleneck the paper identifies (Figure 4: (0,1) does not scale,
+    # (0,2) does).
+    for pair, numa in ((0, 0), (1, 0), (2, 1), (3, 1)):
+        b.add_switch(f"pcie_sw{pair}", numa=numa, kind=LinkKind.PCIE4,
+                     uplink_fwd=c.cpu_gpu_fwd, uplink_rev=c.cpu_gpu_rev,
+                     duplex_factor=c.cpu_gpu_duplex,
+                     sharing=cal.DGX_SWITCH_SHARING)
+    for gpu_id in range(8):
+        switch = f"pcie_sw{gpu_id // 2}"
+        numa = 0 if gpu_id < 4 else 1
+        b.add_gpu(numa=numa, spec=SystemBuilder.a100_spec(),
+                  link=LinkKind.PCIE4, bandwidth=c.cpu_gpu_fwd,
+                  bandwidth_rev=c.cpu_gpu_rev,
+                  duplex_factor=c.cpu_gpu_duplex,
+                  hbm_bw=cal.A100_HBM_BW, via=switch)
+    b.add_nvswitch(cal.DGX_NVSWITCH_PORT, range(8),
+                   duplex_factor=c.p2p_duplex)
+    b.preferred_gpu_sets = {
+        1: (0,), 2: (0, 2), 4: (0, 2, 4, 6),
+        8: (0, 1, 2, 3, 4, 5, 6, 7),
+    }
+    return b.build(cpu=_cpu_spec("dgx-a100", "AMD EPYC 7742", 2, 64,
+                                 has_x86_simd=True))
+
+
+_CATALOG = {
+    "ibm-ac922": ibm_ac922,
+    "delta-d22x": delta_d22x,
+    "dgx-a100": dgx_a100,
+}
+
+
+def system_by_name(name: str) -> SystemSpec:
+    """Build a catalog platform by name.
+
+    Accepted names: ``ibm-ac922``, ``delta-d22x``, ``dgx-a100``.
+    """
+    try:
+        return _CATALOG[name]()
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise TopologyError(f"unknown system {name!r} (known: {known})") from None

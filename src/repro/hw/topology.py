@@ -1,0 +1,347 @@
+"""Interconnect topology graph and copy-path routing.
+
+A :class:`Topology` is an undirected multigraph: nodes are CPUs (NUMA
+nodes), GPUs and switches (PCIe switches, NVSwitch); edges carry a
+shared :class:`~repro.sim.resources.Resource` plus the link kind.  A
+node may own a memory resource (host DRAM for CPU nodes, HBM for GPU
+nodes) that every copy starting or ending at the node crosses.
+
+Routing follows CUDA semantics rather than generic graph routing:
+
+* GPUs never forward traffic for other GPUs — multi-hop P2P routing
+  exists only as future work in the paper (Section 7), so GPU nodes are
+  endpoints, never transit nodes.
+* A P2P copy uses the direct link (or switch fabric) when one exists;
+  otherwise it is staged over the host side, exactly like
+  ``cudaMemcpyPeer`` on systems without P2P access.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.hw.links import LinkKind
+from repro.sim.resources import Direction, Resource
+
+Hop = Tuple[Resource, Direction]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the interconnect graph."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    SWITCH = "switch"
+
+
+@dataclass
+class TopologyNode:
+    """One vertex of the interconnect graph."""
+
+    name: str
+    kind: NodeKind
+    #: Memory subsystem of this node, if it has addressable memory.
+    memory: Optional[Resource] = None
+    #: Arbitrary extras (e.g. NUMA node index).
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def can_transit(self) -> bool:
+        """Whether copies may pass *through* this node."""
+        return self.kind is not NodeKind.GPU
+
+    def __repr__(self) -> str:
+        return f"<TopologyNode {self.name} ({self.kind.value})>"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One undirected link between two nodes.
+
+    Travelling ``a -> b`` crosses the resource in ``Direction.FWD``;
+    ``b -> a`` crosses it in ``Direction.REV``.
+    """
+
+    a: str
+    b: str
+    resource: Resource
+    kind: LinkKind
+
+    def other(self, node: str) -> str:
+        """The opposite endpoint of ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"{node} is not an endpoint of edge {self}")
+
+    def direction_from(self, node: str) -> Direction:
+        """Resource direction when leaving ``node`` over this edge."""
+        if node == self.a:
+            return Direction.FWD
+        if node == self.b:
+            return Direction.REV
+        raise TopologyError(f"{node} is not an endpoint of edge {self}")
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved copy path with metadata the runtime needs."""
+
+    src: str
+    dst: str
+    hops: Tuple[Hop, ...]
+    #: Link kinds crossed, in order (memory resources excluded).
+    link_kinds: Tuple[LinkKind, ...]
+    #: Whether the path is staged through a CPU node between two GPUs.
+    host_traversing: bool
+    #: Minimum static capacity along the path (forward direction of travel).
+    bottleneck: float
+
+
+class Topology:
+    """The interconnect graph of one machine."""
+
+    def __init__(self, name: str = "machine"):
+        self.name = name
+        self._nodes: Dict[str, TopologyNode] = {}
+        self._edges: List[Edge] = []
+        self._adjacency: Dict[str, List[Edge]] = {}
+        self._route_cache: Dict[Tuple[str, str], Route] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        kind: NodeKind,
+        memory: Optional[Resource] = None,
+        **attrs: object,
+    ) -> TopologyNode:
+        """Add a vertex; returns the created node."""
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node {name!r}")
+        node = TopologyNode(name=name, kind=kind, memory=memory, attrs=dict(attrs))
+        self._nodes[name] = node
+        self._adjacency[name] = []
+        return node
+
+    def add_edge(self, a: str, b: str, resource: Resource,
+                 kind: LinkKind) -> Edge:
+        """Connect two existing nodes with a shared resource."""
+        for endpoint in (a, b):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"unknown node {endpoint!r}")
+        if a == b:
+            raise TopologyError(f"self-loop on {a!r}")
+        edge = Edge(a=a, b=b, resource=resource, kind=kind)
+        self._edges.append(edge)
+        self._adjacency[a].append(edge)
+        self._adjacency[b].append(edge)
+        self._route_cache.clear()
+        return edge
+
+    # -- lookups -----------------------------------------------------------
+    def node(self, name: str) -> TopologyNode:
+        """Node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    @property
+    def nodes(self) -> List[TopologyNode]:
+        """All nodes in insertion order."""
+        return list(self._nodes.values())
+
+    @property
+    def edges(self) -> List[Edge]:
+        """All edges in insertion order."""
+        return list(self._edges)
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[TopologyNode]:
+        """All nodes of one kind, in insertion order."""
+        return [n for n in self._nodes.values() if n.kind is kind]
+
+    def edges_between(self, a: str, b: str) -> List[Edge]:
+        """All direct edges between two nodes."""
+        return [e for e in self._adjacency.get(a, ())
+                if e.other(a) == b]
+
+    def has_direct_p2p(self, gpu_a: str, gpu_b: str) -> bool:
+        """Whether two GPUs can copy without crossing the host side.
+
+        True if they share a direct P2P-capable edge or both attach to a
+        common switch over P2P-capable links (NVSwitch).
+        """
+        for edge in self.edges_between(gpu_a, gpu_b):
+            if edge.kind.is_p2p_capable:
+                return True
+        switches_a = {e.other(gpu_a) for e in self._adjacency[gpu_a]
+                      if e.kind.is_p2p_capable
+                      and self._nodes[e.other(gpu_a)].kind is NodeKind.SWITCH}
+        switches_b = {e.other(gpu_b) for e in self._adjacency[gpu_b]
+                      if e.kind.is_p2p_capable
+                      and self._nodes[e.other(gpu_b)].kind is NodeKind.SWITCH}
+        return bool(switches_a & switches_b)
+
+    def gpu_relay_path(self, src: str, dst: str) -> Optional[List[str]]:
+        """A widest GPU-relayed P2P path from ``src`` to ``dst``.
+
+        Multi-hop P2P routing (the paper's Section 7 future work, after
+        Paul et al. [55]): instead of staging a copy through the host,
+        forward it through intermediate GPUs over direct P2P links.
+        Returns the node sequence ``[src, relay..., dst]`` maximizing
+        the bottleneck P2P bandwidth (ties broken by hop count), or
+        ``None`` when no all-P2P path with at least one relay helps
+        (e.g. a direct link already exists, or a GPU is unreachable
+        over P2P links alone).
+        """
+        if self.has_direct_p2p(src, dst):
+            return None
+        gpus = [n.name for n in self.nodes_of_kind(NodeKind.GPU)]
+        # Build the direct-P2P neighbour map with per-edge bandwidth.
+        bandwidth: Dict[Tuple[str, str], float] = {}
+        for a in gpus:
+            for edge in self._adjacency[a]:
+                if not edge.kind.is_p2p_capable:
+                    continue
+                b = edge.other(a)
+                if self._nodes[b].kind is NodeKind.GPU:
+                    cap = edge.resource.raw_capacity(edge.direction_from(a))
+                    key = (a, b)
+                    bandwidth[key] = max(bandwidth.get(key, 0.0), cap)
+        # Widest-path Dijkstra over GPU nodes only.
+        best: Dict[str, Tuple[float, int]] = {src: (float("inf"), 0)}
+        parent: Dict[str, str] = {}
+        heap: List[Tuple[float, int, str]] = [(-float("inf"), 0, src)]
+        settled: set = set()
+        while heap:
+            neg_width, hops, here = heapq.heappop(heap)
+            if here in settled:
+                continue
+            settled.add(here)
+            if here == dst:
+                break
+            width = -neg_width
+            for (a, b), cap in bandwidth.items():
+                if a != here or b in settled:
+                    continue
+                cand = (min(width, cap), hops + 1)
+                known = best.get(b)
+                if known is None or cand[0] > known[0] or (
+                        cand[0] == known[0] and cand[1] < known[1]):
+                    best[b] = cand
+                    parent[b] = here
+                    heapq.heappush(heap, (-cand[0], cand[1], b))
+        if dst not in parent:
+            return None
+        path = [dst]
+        while path[-1] != src:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    # -- routing -----------------------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        """Resolve the copy path from ``src`` to ``dst``.
+
+        The path is the hop-minimal one (ties broken by the largest
+        bottleneck bandwidth, then by construction order for
+        determinism), never transiting GPU nodes.  Memory resources of
+        the endpoints are prepended/appended: the source memory is read
+        (``FWD``), the destination memory is written (``REV``).
+        """
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        if src == dst:
+            raise TopologyError(f"source and destination are both {src!r}")
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+
+        edge_path = self._shortest_edge_path(src, dst)
+        hops: List[Hop] = []
+        if src_node.memory is not None:
+            hops.append((src_node.memory, Direction.FWD))
+        here = src
+        kinds: List[LinkKind] = []
+        host_traversing = False
+        for edge in edge_path:
+            hops.append((edge.resource, edge.direction_from(here)))
+            kinds.append(edge.kind)
+            here = edge.other(here)
+            if (here != dst
+                    and self._nodes[here].kind is NodeKind.CPU
+                    and src_node.kind is NodeKind.GPU
+                    and dst_node.kind is NodeKind.GPU):
+                host_traversing = True
+        if dst_node.memory is not None:
+            hops.append((dst_node.memory, Direction.REV))
+
+        bottleneck = min(
+            (edge.resource.raw_capacity(edge.direction_from(a)))
+            for edge, a in zip(edge_path, self._walk_nodes(src, edge_path))
+        )
+        route = Route(src=src, dst=dst, hops=tuple(hops),
+                      link_kinds=tuple(kinds),
+                      host_traversing=host_traversing,
+                      bottleneck=bottleneck)
+        self._route_cache[key] = route
+        return route
+
+    def _walk_nodes(self, src: str, edge_path: Sequence[Edge]) -> List[str]:
+        """Nodes a path departs from, one per edge."""
+        names = [src]
+        for edge in edge_path[:-1]:
+            names.append(edge.other(names[-1]))
+        return names
+
+    def _shortest_edge_path(self, src: str, dst: str) -> List[Edge]:
+        """Search over edges, honoring transit rules, widest-path tie-break.
+
+        Dijkstra on the cost ``(hop count, -bottleneck width)`` so that
+        among hop-minimal paths the one with the largest bottleneck
+        capacity wins deterministically.
+        """
+        best: Dict[str, Tuple[int, float]] = {src: (0, float("inf"))}
+        parent: Dict[str, Tuple[str, Edge]] = {}
+        counter = 0
+        heap: List[Tuple[int, float, int, str]] = [(0, 0.0, counter, src)]
+        settled: set = set()
+        while heap:
+            depth, neg_width, _, here = heapq.heappop(heap)
+            if here in settled:
+                continue
+            settled.add(here)
+            width = -neg_width if neg_width else float("inf")
+            if here == dst:
+                break
+            if here != src and not self._nodes[here].can_transit:
+                continue
+            for edge in self._adjacency[here]:
+                there = edge.other(here)
+                if there in settled:
+                    continue
+                cap = edge.resource.raw_capacity(edge.direction_from(here))
+                cand = (depth + 1, min(width, cap))
+                known = best.get(there)
+                if known is None or cand[0] < known[0] or (
+                        cand[0] == known[0] and cand[1] > known[1]):
+                    best[there] = cand
+                    parent[there] = (here, edge)
+                    counter += 1
+                    heapq.heappush(heap, (cand[0], -cand[1], counter, there))
+        if dst not in parent:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        path: List[Edge] = []
+        walk = dst
+        while walk != src:
+            prev, edge = parent[walk]
+            path.append(edge)
+            walk = prev
+        path.reverse()
+        return path

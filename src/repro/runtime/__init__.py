@@ -1,0 +1,29 @@
+"""Virtual CUDA-like runtime on top of the simulated hardware.
+
+The runtime exposes the programming model the paper's implementations
+are written against — devices, streams, async copies, kernel launches —
+with two effects per operation: the *functional* effect (NumPy data
+really moves / gets sorted) and the *timing* effect (simulated time
+advances according to the calibrated hardware model).
+
+>>> from repro.hw import ibm_ac922
+>>> from repro.runtime import Machine
+>>> machine = Machine(ibm_ac922())
+>>> machine.num_gpus
+4
+"""
+
+from repro.runtime.buffer import DeviceBuffer, HostBuffer
+from repro.runtime.context import Machine
+from repro.runtime.device import Device
+from repro.runtime.stream import Stream
+from repro.runtime.sync import Semaphore
+
+__all__ = [
+    "Device",
+    "DeviceBuffer",
+    "HostBuffer",
+    "Machine",
+    "Semaphore",
+    "Stream",
+]

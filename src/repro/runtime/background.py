@@ -1,0 +1,74 @@
+"""Background workloads: traffic that co-runs with a sort.
+
+Sorting rarely owns a database machine: scans stream through host
+memory, other operators copy to accelerators.  The paper assumes
+exclusive use (Section 6: "assuming exclusive system usage"); these
+helpers quantify what that assumption is worth by injecting competing
+traffic into the same flow network before a sort runs.
+
+The injected work shares links, switches, memory controllers and copy
+engines with the sort through the ordinary max-min fair allocation —
+no special contention code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import RuntimeApiError
+from repro.runtime.memcpy import copy_async, span
+from repro.sim.resources import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+
+def start_memory_scan(machine: "Machine", bandwidth: float,
+                      numa: int = 0) -> None:
+    """Occupy ``bandwidth`` bytes/s of one NUMA node's memory, forever.
+
+    Models a co-running scan-heavy query: a rate-capped flow that reads
+    and writes the node's memory until the simulation ends.  Start it
+    *before* running a sort on the same machine.
+    """
+    if bandwidth <= 0:
+        raise RuntimeApiError(f"bandwidth must be positive, got {bandwidth}")
+    node = machine.spec.topology.node(machine.spec.numa_node_name(numa))
+    route = ((node.memory, Direction.FWD), (node.memory, Direction.REV))
+    # Effectively infinite: the flow outlives any sort.
+    machine.net.start_flow(route, 1e24, rate_cap=bandwidth,
+                           label=f"background-scan@numa{numa}")
+
+
+def start_copy_stream(machine: "Machine", gpu_id: int,
+                      chunk_elements: int = 250_000,
+                      dtype=np.int32, numa: int = 0,
+                      direction: str = "htod",
+                      count: Optional[int] = None) -> None:
+    """Launch a looping CPU-GPU copy stream on one GPU.
+
+    Models another operator shipping data to/from an accelerator while
+    the sort runs.  Each iteration copies one pinned chunk; the loop
+    runs ``count`` times (forever by default — it simply stops mattering
+    once the machine's main process completes).
+    """
+    if direction not in ("htod", "dtoh"):
+        raise RuntimeApiError(f"direction must be htod/dtoh, got {direction}")
+    host = machine.host_buffer(np.zeros(chunk_elements, dtype), numa=numa)
+    device_buffer = machine.device(gpu_id).alloc(chunk_elements, dtype,
+                                                 label=f"bg{gpu_id}")
+
+    def loop():
+        done = 0
+        while count is None or done < count:
+            if direction == "htod":
+                yield from copy_async(machine, span(device_buffer),
+                                      span(host))
+            else:
+                yield from copy_async(machine, span(host),
+                                      span(device_buffer))
+            done += 1
+
+    machine.env.process(loop())

@@ -1,0 +1,125 @@
+"""Host and device memory buffers.
+
+Buffers pair a NumPy array (the functional payload) with placement
+metadata the simulator needs (which NUMA node / GPU, pinned or not).
+With a machine ``scale`` factor > 1, an array of ``n`` physical bytes
+*represents* ``n * scale`` logical bytes; all timing and capacity
+accounting uses logical bytes while correctness is verified on the
+physical data (see DESIGN.md, "Reproduction strategy").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.errors import RuntimeApiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.device import Device
+
+
+class HostBuffer:
+    """A host-memory array living on one NUMA node.
+
+    ``pinned`` buffers are page-locked: the CUDA driver DMA-copies them
+    directly.  Pageable buffers pay the staging penalty of
+    :data:`repro.hw.calibration.PAGEABLE_PENALTY` (Section 4.2).
+    """
+
+    def __init__(self, data: np.ndarray, numa: int = 0, pinned: bool = True):
+        if data.ndim != 1:
+            raise RuntimeApiError("buffers must wrap one-dimensional arrays")
+        self.data = data
+        self.numa = numa
+        self.pinned = pinned
+
+    @property
+    def nbytes(self) -> int:
+        """Physical payload size in bytes."""
+        return self.data.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the payload."""
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        kind = "pinned" if self.pinned else "pageable"
+        return (f"<HostBuffer {len(self.data)} x {self.data.dtype} "
+                f"on numa{self.numa} ({kind})>")
+
+
+class DeviceBuffer:
+    """A pre-allocated device-memory array on one GPU.
+
+    Sorting implementations pre-allocate all device memory up front
+    (Section 5.1: dynamic allocations are expensive — 150 ms for 8 GB on
+    the AC922); the allocator in :class:`repro.runtime.device.Device`
+    enforces the capacity limit in logical bytes.
+
+    ``valid`` tracks how many leading elements currently hold meaningful
+    data; slicing helpers hand out views for kernels and copies.
+    """
+
+    def __init__(self, device: "Device", data: np.ndarray, label: str = ""):
+        if data.ndim != 1:
+            raise RuntimeApiError("buffers must wrap one-dimensional arrays")
+        self.device = device
+        self._data = data
+        self.label = label
+        self.valid = 0
+        self.released = False
+
+    @property
+    def data(self) -> np.ndarray:
+        """The payload array; raises after :meth:`free` (use-after-free)."""
+        if self.released:
+            raise RuntimeApiError(
+                f"use after free: {self.label or 'device buffer'} on "
+                f"{self.device.name} was already released")
+        return self._data
+
+    @property
+    def capacity(self) -> int:
+        """Capacity in elements."""
+        return len(self._data)
+
+    @property
+    def nbytes(self) -> int:
+        """Physical capacity in bytes."""
+        return self._data.nbytes
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type of the payload."""
+        return self._data.dtype
+
+    def view(self, start: int = 0, stop: Optional[int] = None) -> np.ndarray:
+        """A writable element-range view of the payload."""
+        stop = self.capacity if stop is None else stop
+        if not 0 <= start <= stop <= self.capacity:
+            raise RuntimeApiError(
+                f"view [{start}:{stop}) out of range for capacity "
+                f"{self.capacity}")
+        return self.data[start:stop]
+
+    def valid_view(self) -> np.ndarray:
+        """View of the currently valid prefix."""
+        return self.data[:self.valid]
+
+    def free(self) -> None:
+        """Return this buffer's reservation to the device allocator."""
+        self.device._release(self)
+        self.released = True
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return (f"<DeviceBuffer {self.label or hex(id(self))} "
+                f"{self.capacity} x {self.dtype} on {self.device.name}>")

@@ -1,0 +1,118 @@
+"""The :class:`Machine`: one simulated multi-GPU platform instance.
+
+A machine binds a :class:`~repro.hw.systems.SystemSpec` to a fresh
+simulation environment, flow network, trace, and per-GPU device state.
+All higher-level code — the sorting algorithms, the interconnect
+benchmarks — runs as processes inside a machine:
+
+>>> from repro.hw import dgx_a100
+>>> from repro.runtime import Machine
+>>> machine = Machine(dgx_a100(), scale=1)
+>>> machine.num_gpus
+8
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Union
+
+import numpy as np
+
+from repro.errors import RuntimeApiError
+from repro.hw.systems import SystemSpec
+from repro.runtime.buffer import HostBuffer
+from repro.runtime.device import Device
+from repro.sim.engine import Environment, Process
+from repro.sim.flows import FlowNetwork
+from repro.sim.trace import Trace
+
+
+class Machine:
+    """One simulated run context over a platform.
+
+    Parameters
+    ----------
+    spec:
+        The platform (from :mod:`repro.hw.systems` or a custom builder).
+    scale:
+        Logical bytes represented per physical byte.  ``scale=1`` is a
+        fully functional run; benchmarks reproduce the paper's
+        multi-billion-key experiments with small physical arrays and a
+        large scale (see DESIGN.md).
+    fast_functional:
+        Replace the from-scratch functional algorithms with NumPy's
+        sort for the payload effect (timing is unchanged).  Intended
+        for large benchmark runs.
+    """
+
+    def __init__(self, spec: SystemSpec, scale: float = 1.0,
+                 fast_functional: bool = False):
+        if scale < 1.0:
+            raise RuntimeApiError(f"scale must be >= 1, got {scale}")
+        self.spec = spec
+        self.scale = float(scale)
+        self.fast_functional = fast_functional
+        self.env = Environment()
+        self.net = FlowNetwork(self.env)
+        self.trace = Trace(self.env)
+        self.devices: List[Device] = [
+            Device(self, gpu_id=i, name=name,
+                   spec=spec.gpu_specs[name],
+                   numa=spec.gpu_numa[name])
+            for i, name in enumerate(spec.gpu_names)
+        ]
+
+    # -- devices -----------------------------------------------------------
+    @property
+    def num_gpus(self) -> int:
+        """Number of GPUs on the platform."""
+        return len(self.devices)
+
+    def device(self, gpu_id: int) -> Device:
+        """Device by GPU id."""
+        try:
+            return self.devices[gpu_id]
+        except IndexError:
+            raise RuntimeApiError(
+                f"no GPU {gpu_id} on {self.spec.name} "
+                f"({self.num_gpus} GPUs)") from None
+
+    # -- host memory ---------------------------------------------------------
+    def host_buffer(self, data: Union[np.ndarray, int], dtype=None,
+                    numa: int = 0, pinned: bool = True) -> HostBuffer:
+        """Wrap an array (or allocate ``n`` elements) as a host buffer.
+
+        The paper stores all input data in the host memory of NUMA node
+        0 and pins every transfer buffer (Section 4.2) — the defaults
+        here.
+        """
+        if isinstance(data, (int, np.integer)):
+            if dtype is None:
+                raise RuntimeApiError(
+                    "allocating by element count requires a dtype")
+            data = np.empty(int(data), dtype=dtype)
+        else:
+            data = np.ascontiguousarray(data)
+        if not 0 <= numa < len(self.spec.numa):
+            raise RuntimeApiError(f"no NUMA node {numa} on {self.spec.name}")
+        return HostBuffer(data, numa=numa, pinned=pinned)
+
+    # -- execution -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.env.now
+
+    def run(self, process: Union[Generator, Process]):
+        """Run a top-level process to completion; returns its value."""
+        if not isinstance(process, Process):
+            process = self.env.process(process)
+        return self.env.run(until=process)
+
+    def logical_bytes(self, physical_bytes: float) -> float:
+        """Physical payload bytes to the logical bytes they represent."""
+        return physical_bytes * self.scale
+
+    def __repr__(self) -> str:
+        return (f"<Machine {self.spec.name} x{self.scale:g} "
+                f"t={self.env.now:.6f}s>")

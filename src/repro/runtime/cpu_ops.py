@@ -1,0 +1,110 @@
+"""Host-side compute operations: CPU sorting and multiway merging.
+
+CPU compute is modelled as *flows through the NUMA node's memory
+resource* rather than plain delays: a merge reads and writes every byte
+through the same memory controller the GPU copy engines use, so running
+it concurrently with CPU-GPU transfers slows both sides down.  This is
+precisely the contention the paper observes for eager merging
+(Section 6.2: "the transfers and the CPU merge compete for host memory
+bandwidth") — here it emerges from the shared-resource model instead of
+being hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.cpuprims.multiway_merge import multiway_merge
+from repro.cpuprims.std_sorts import cpu_functional_sort
+from repro.errors import RuntimeApiError
+from repro.runtime.buffer import HostBuffer
+from repro.sim.resources import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+
+def _memory_route(machine: "Machine", numa: int):
+    node = machine.spec.topology.node(machine.spec.numa_node_name(numa))
+    memory = node.memory
+    return ((memory, Direction.FWD), (memory, Direction.REV))
+
+
+def cpu_sort(machine: "Machine", target: HostBuffer,
+             primitive: Optional[str] = None, phase: str = "CPUSort"):
+    """Process: sort a host buffer in place with a CPU primitive.
+
+    ``primitive`` defaults to the platform's best baseline (PARADIS on
+    all three systems for large data, Section 6).  Timing: a flow of
+    the buffer's logical size through its NUMA node's memory, capped at
+    the primitive's calibrated rate.
+    """
+    cpu = machine.spec.cpu
+    if primitive is None:
+        primitive = cpu.best_sort_primitive()
+    rate = cpu.sort_rate(primitive)
+    logical = target.nbytes * machine.scale
+    start = machine.env.now
+    flow = machine.net.start_flow(_memory_route(machine, target.numa),
+                                  logical, rate_cap=rate,
+                                  label=f"cpu-sort:{primitive}")
+    yield flow.done
+    if machine.fast_functional:
+        target.data.sort()
+    else:
+        target.data[:] = cpu_functional_sort(primitive)(target.data)
+    machine.trace.record(phase, f"cpu{target.numa}", start, bytes=logical)
+    return target
+
+
+def cpu_multiway_merge(machine: "Machine", out: np.ndarray,
+                       runs: Sequence[np.ndarray], numa: int = 0,
+                       phase: str = "Merge",
+                       values_out: Optional[np.ndarray] = None,
+                       value_runs: Optional[Sequence[np.ndarray]] = None):
+    """Process: k-way merge sorted ``runs`` into ``out`` on the CPU.
+
+    Timing: a flow of the output's logical size through NUMA node
+    ``numa``'s memory in both directions, capped at the calibrated
+    gnu_parallel multiway-merge rate.  The merge occupies the memory
+    controller for its whole duration, so concurrent GPU copies share
+    the bandwidth (the Section 6.2 effect).
+
+    Pass ``values_out``/``value_runs`` to merge key-value records;
+    payload bytes add to the merged volume.
+    """
+    total = sum(run.size for run in runs)
+    if total != out.size:
+        raise RuntimeApiError(
+            f"merge output size {out.size} != sum of runs {total}")
+    if (values_out is None) != (value_runs is None):
+        raise RuntimeApiError(
+            "values_out and value_runs must be passed together")
+    logical = out.nbytes * machine.scale
+    if values_out is not None:
+        logical += values_out.nbytes * machine.scale
+    start = machine.env.now
+    rate = machine.spec.cpu.multiway_merge_rate_for(len(runs))
+    flow = machine.net.start_flow(_memory_route(machine, numa), logical,
+                                  rate_cap=rate, label="cpu-multiway-merge")
+    yield flow.done
+    if runs:
+        if values_out is None:
+            if machine.fast_functional:
+                merged = np.concatenate([np.asarray(r) for r in runs])
+                merged.sort()
+                out[:] = merged
+            else:
+                out[:] = multiway_merge(runs)
+        else:
+            from repro.cpuprims.multiway_merge import (
+                multiway_merge_with_values,
+            )
+
+            keys, values = multiway_merge_with_values(runs, value_runs)
+            out[:] = keys
+            values_out[:] = values
+    machine.trace.record(phase, f"cpu{numa}", start, bytes=logical)
+    return out

@@ -1,0 +1,193 @@
+"""Asynchronous copies between host and device buffers.
+
+:func:`copy_async` is the single entry point for every transfer kind the
+paper exercises — HtoD, DtoH, host-staged and direct P2P, and
+device-local copies.  It spawns a flow over the routed path (charging
+simulated time under bandwidth sharing) and moves the NumPy payload on
+completion.
+
+All copy process functions are generators meant to run under
+``machine.env.process`` (or ``yield from`` inside another process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+
+from repro.errors import RuntimeApiError
+from repro.hw import calibration as cal
+from repro.runtime.buffer import DeviceBuffer, HostBuffer
+from repro.sim.resources import Direction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+Buffer = Union[HostBuffer, DeviceBuffer]
+
+
+@dataclass(frozen=True)
+class Span:
+    """An element range of a buffer, the unit all copies operate on."""
+
+    buffer: Buffer
+    start: int
+    stop: int
+
+    @property
+    def view(self) -> np.ndarray:
+        """Writable NumPy view of the range."""
+        return self.buffer.data[self.start:self.stop]
+
+    @property
+    def nbytes(self) -> int:
+        """Physical size of the range in bytes."""
+        return (self.stop - self.start) * self.buffer.data.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def span(buffer: Buffer, start: int = 0, stop: Optional[int] = None) -> Span:
+    """Construct a :class:`Span` (``stop`` defaults to the buffer end)."""
+    stop = len(buffer.data) if stop is None else stop
+    if not 0 <= start <= stop <= len(buffer.data):
+        raise RuntimeApiError(
+            f"span [{start}:{stop}) out of range for buffer of "
+            f"{len(buffer.data)} elements")
+    return Span(buffer, start, stop)
+
+
+def _node_of(machine: "Machine", buffer: Buffer) -> str:
+    if isinstance(buffer, HostBuffer):
+        return machine.spec.numa_node_name(buffer.numa)
+    if isinstance(buffer, DeviceBuffer):
+        return buffer.device.name
+    raise RuntimeApiError(f"not a buffer: {buffer!r}")
+
+
+def _copy_kind(src: Buffer, dst: Buffer) -> str:
+    src_gpu = isinstance(src, DeviceBuffer)
+    dst_gpu = isinstance(dst, DeviceBuffer)
+    if src_gpu and dst_gpu:
+        return "DtoD" if src.device is dst.device else "PtoP"
+    if src_gpu:
+        return "DtoH"
+    if dst_gpu:
+        return "HtoD"
+    return "HtoH"
+
+
+def copy_async(machine: "Machine", dst: Span, src: Span,
+               phase: Optional[str] = None):
+    """Process: copy ``src`` into ``dst`` (sizes and dtypes must match).
+
+    Timing model per copy kind:
+
+    * **HtoD / DtoH / HtoH** — a flow over the routed path; pageable
+      host buffers are additionally capped at
+      :data:`~repro.hw.calibration.PAGEABLE_PENALTY` times the path
+      bottleneck (Section 4.2); the GPU-side DMA engine of the matching
+      direction is held for the duration.
+    * **PtoP, direct** — a flow over the P2P link / NVSwitch ports,
+      holding the source's outbound and the destination's inbound
+      engine.
+    * **PtoP, host-staged** — same, but rate-capped at the system's
+      ``p2p_traverse_efficiency`` times the path's static bottleneck
+      (Figures 5a/6a: 33 GB/s on the AC922, 9 GB/s on the DELTA).
+    * **DtoD on one GPU** — kernel-driven local copy at the device's
+      ``local_copy_rate``, crossing only the GPU's own memory; no DMA
+      engine is held, so it overlaps with P2P traffic (Section 5.2).
+    """
+    if len(dst) != len(src):
+        raise RuntimeApiError(
+            f"copy size mismatch: dst has {len(dst)} elements, "
+            f"src has {len(src)}")
+    if dst.buffer.data.dtype != src.buffer.data.dtype:
+        raise RuntimeApiError(
+            f"copy dtype mismatch: {dst.buffer.data.dtype} vs "
+            f"{src.buffer.data.dtype}")
+    if len(src) == 0:
+        return None
+
+    env = machine.env
+    kind = _copy_kind(src.buffer, dst.buffer)
+    logical = src.nbytes * machine.scale
+    start_time = env.now
+    # Snapshot the payload when the copy is issued: the 3n pipeline's
+    # in-place transfer swap overwrites the source region with the next
+    # inbound chunk while this copy drains it (Section 5.3, Figure 10).
+    payload = src.view.copy()
+
+    engines = []
+    if kind == "DtoD":
+        device = src.buffer.device
+        yield env.timeout(device.spec.launch_overhead_s)
+        memory = machine.spec.topology.node(device.name).memory
+        route_hops = ((memory, Direction.FWD), (memory, Direction.REV))
+        flow = machine.net.start_flow(
+            route_hops, logical, rate_cap=device.spec.local_copy_rate,
+            label=f"DtoD@{device.name}")
+        yield flow.done
+    else:
+        src_node = _node_of(machine, src.buffer)
+        dst_node = _node_of(machine, dst.buffer)
+        route = machine.spec.topology.route(src_node, dst_node)
+
+        rate_cap = None
+        if kind == "PtoP" and route.host_traversing:
+            rate_cap = machine.spec.p2p_traverse_efficiency * route.bottleneck
+        for buffer in (src.buffer, dst.buffer):
+            if isinstance(buffer, HostBuffer) and not buffer.pinned:
+                pageable = cal.PAGEABLE_PENALTY * route.bottleneck
+                rate_cap = pageable if rate_cap is None else min(rate_cap,
+                                                                 pageable)
+
+        if isinstance(src.buffer, DeviceBuffer):
+            engines.append(src.buffer.device.engine_out)
+        if isinstance(dst.buffer, DeviceBuffer):
+            engines.append(dst.buffer.device.engine_in)
+        for engine in engines:
+            yield engine.acquire()
+        try:
+            # Fixed cost before the first byte moves: the launch
+            # overhead of the involved devices plus one traversal
+            # latency per hop of the route.
+            overhead = sum(resource.latency_s
+                           for resource, _direction in route.hops)
+            launch = 0.0
+            for buffer in (src.buffer, dst.buffer):
+                if isinstance(buffer, DeviceBuffer):
+                    launch = max(launch,
+                                 buffer.device.spec.launch_overhead_s)
+            overhead += launch
+            if overhead:
+                yield env.timeout(overhead)
+            flow = machine.net.start_flow(
+                route.hops, logical, rate_cap=rate_cap,
+                label=f"{kind}:{src_node}->{dst_node}")
+            yield flow.done
+        finally:
+            for engine in reversed(engines):
+                engine.release()
+
+    dst.view[:] = payload
+    if phase is not None:
+        actor = _node_of(machine, dst.buffer if kind != "DtoH"
+                         else src.buffer)
+        machine.trace.record(phase, actor, start_time, bytes=logical)
+    return dst
+
+
+def copy_all(machine: "Machine", pairs, phase: Optional[str] = None):
+    """Process: run several copies concurrently; done when all finish.
+
+    ``pairs`` is an iterable of ``(dst_span, src_span)``.
+    """
+    procs = [machine.env.process(copy_async(machine, dst, src, phase=phase))
+             for dst, src in pairs]
+    if procs:
+        yield machine.env.all_of(procs)
+    return None

@@ -1,0 +1,52 @@
+"""CUDA-stream-like serial work queues.
+
+A :class:`Stream` serializes the operations submitted to it while
+different streams proceed concurrently — the semantics the paper's
+implementations rely on to overlap copies with compute (Sections 5.2,
+5.3).  Implementation: each submission chains on the completion of the
+previous one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.sim.engine import Event, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+
+class Stream:
+    """A FIFO queue of simulation processes."""
+
+    def __init__(self, machine: "Machine", name: str = ""):
+        self.machine = machine
+        self.name = name or f"stream{id(self):x}"
+        self._tail: Optional[Event] = None
+
+    def submit(self, operation: Generator) -> Process:
+        """Enqueue an operation; it starts when the previous one ends.
+
+        Returns the process of the operation (an event; its value is
+        the operation's return value).
+        """
+        previous = self._tail
+        process = self.machine.env.process(
+            self._run_after(previous, operation))
+        self._tail = process
+        return process
+
+    def _run_after(self, previous: Optional[Event], operation: Generator):
+        if previous is not None:
+            yield previous
+        result = yield from operation
+        return result
+
+    def synchronize(self) -> Event:
+        """Event that succeeds when everything submitted so far is done."""
+        if self._tail is not None:
+            return self._tail
+        done = self.machine.env.event()
+        done.succeed()
+        return done

@@ -1,0 +1,56 @@
+"""Synchronization primitives for simulation processes."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import RuntimeApiError
+from repro.sim.engine import Environment, Event
+
+
+class Semaphore:
+    """A counting semaphore for simulation processes.
+
+    Use from process code::
+
+        yield semaphore.acquire()
+        try:
+            ...
+        finally:
+            semaphore.release()
+
+    Waiters are served in FIFO order.
+    """
+
+    def __init__(self, env: Environment, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Number of currently free slots."""
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """Event that succeeds once a slot is held."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; wakes the oldest waiter, if any."""
+        if self._in_use <= 0:
+            raise RuntimeApiError("release() without a matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

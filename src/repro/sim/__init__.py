@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel and flow-level bandwidth model.
+
+This subpackage is the foundation the virtual hardware runs on.  It
+provides a small SimPy-style event loop (:mod:`repro.sim.engine`), shared
+directional resources with duplex and sharing-efficiency effects
+(:mod:`repro.sim.resources`), and a max-min fair flow network that rates
+concurrent data transfers (:mod:`repro.sim.flows`).
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.flows import Flow, FlowNetwork
+from repro.sim.resources import Direction, Resource, SharingCurve
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Direction",
+    "Environment",
+    "Event",
+    "Flow",
+    "FlowNetwork",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SharingCurve",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,371 @@
+"""A small discrete-event simulation kernel.
+
+The kernel follows the SimPy process-based model: simulation logic is
+written as generator functions ("processes") that ``yield`` events.  A
+process is suspended until the yielded event is *triggered*, at which
+point the event's value is sent back into the generator.
+
+Only the features the virtual GPU runtime needs are implemented:
+
+* :class:`Event` — one-shot condition with callbacks and a value,
+* :class:`Timeout` — event triggered after a simulated delay,
+* :class:`Process` — generator wrapper, itself an event (its completion),
+* :class:`AllOf` / :class:`AnyOf` — condition events over several events,
+* :class:`Environment` — the event queue and clock.
+
+The implementation is deterministic: events scheduled for the same time
+fire in scheduling order (a monotonically increasing sequence number
+breaks ties).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from a triggered ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* with a value via
+    :meth:`succeed` (or :meth:`fail` with an exception), and then has its
+    callbacks run by the environment at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        #: Set by ``fail`` so unhandled failures can be detected.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event is not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for a failed event)."""
+        if self._value is _PENDING:
+            raise SimulationError("event is not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # Support ``yield evt_a & evt_b`` / ``yield evt_a | evt_b``.
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a process on the next loop iteration."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* the event of its termination.
+
+    Yield events from the generator to wait for them.  The process event
+    succeeds with the generator's return value, or fails with any
+    uncaught exception.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator has terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process."""
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.defused = True
+        # Detach from the event currently waited on so its later triggering
+        # does not resume us twice.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event.defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {next_event!r}")
+        if next_event.env is not self.env:
+            raise SimulationError("cannot wait on an event from another environment")
+        if next_event.callbacks is None:
+            # Already processed: resume immediately on the next loop step.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.defused = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base class of :class:`AllOf` and :class:`AnyOf`.
+
+    An input event counts as *done* once it has been processed (its
+    callbacks ran) — being merely scheduled, like a fresh
+    :class:`Timeout`, does not count.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events: List[Event] = list(events)
+        self._count = 0
+        for event in self.events:
+            if event.env is not self.env:
+                raise SimulationError("all events must share one environment")
+        for event in self.events:
+            if event.callbacks is None:
+                # Already processed before the condition was created.
+                if not event._ok:
+                    event.defused = True
+                    self.fail(event._value)
+                    return
+                self._count += 1
+            else:
+                event.callbacks.append(self._on_event)
+        if not self.triggered and self._evaluate():
+            self._finish()
+
+    def _on_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate():
+            self._finish()
+
+    def _evaluate(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        self.succeed({e: e._value for e in self.events
+                      if e.callbacks is None and e._ok})
+
+
+class AllOf(_Condition):
+    """Succeeds once every given event has succeeded."""
+
+    def _evaluate(self) -> bool:
+        return self._count >= len(self.events)
+
+
+class AnyOf(_Condition):
+    """Succeeds once at least one given event has succeeded."""
+
+    def _evaluate(self) -> bool:
+        return len(self.events) == 0 or self._count >= 1
+
+
+class Environment:
+    """Execution environment: the clock and the event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """The current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (or ``None``)."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition that succeeds once all ``events`` succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition that succeeds once any of ``events`` succeeded."""
+        return AnyOf(self, events)
+
+    # -- scheduling & the loop -------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (an event, a time, or queue exhaustion).
+
+        Returns the value of the ``until`` event, if one was given.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue ran dry before the awaited event fired")
+                self.step()
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} lies in the past (now={self._now})")
+        while self._queue and self.peek() <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,154 @@
+"""Shared, directional bandwidth resources.
+
+A :class:`Resource` models one physical medium a data transfer can cross:
+an NVLink bundle, a PCIe switch uplink, a CPU interconnect (X-Bus, UPI,
+Infinity Fabric), a NUMA node's memory controller, or a GPU's own memory
+system.  Resources are *directional*: each has a forward and a reverse
+capacity, because several of the paper's measurements are asymmetric
+(e.g. the AC922's X-Bus sustains ~41 GB/s HtoD but only ~35 GB/s DtoH,
+Figure 2a).
+
+Two empirical effects from the paper's interconnect analysis (Section 4)
+are modelled explicitly:
+
+* **Duplex overhead** — when both directions are active at once the
+  per-direction capacity drops.  On the AC922, two local GPUs reach
+  141 GB/s HtoD or 109 GB/s DtoH alone, but only 136 GB/s combined when
+  copying bidirectionally (Figure 2b).  A ``duplex_factor`` in (0, 1]
+  scales each direction's capacity while the opposite direction carries
+  at least one flow.
+* **Sharing efficiency** — some media lose efficiency as more concurrent
+  flows cross them (the X-Bus retry pathology, Section 4.2).  A
+  :class:`SharingCurve` maps the number of concurrent flows on the
+  resource to a capacity multiplier.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+
+class Direction(enum.Enum):
+    """Logical direction of travel across a resource."""
+
+    FWD = "fwd"
+    REV = "rev"
+
+    def flipped(self) -> "Direction":
+        """The opposite direction."""
+        return Direction.REV if self is Direction.FWD else Direction.FWD
+
+
+class SharingCurve:
+    """Capacity multiplier as a function of concurrent flow count.
+
+    The curve is specified at a few support points and evaluated with
+    step-and-hold semantics: the factor for ``n`` flows is the factor of
+    the largest specified point ``<= n``.  Points default to ``{1: 1.0}``
+    (no degradation).
+    """
+
+    def __init__(self, points: Optional[Dict[int, float]] = None):
+        pts = dict(points or {})
+        pts.setdefault(1, 1.0)
+        for n, factor in pts.items():
+            if n < 1:
+                raise ValueError(f"flow count must be >= 1, got {n}")
+            if not 0.0 < factor <= 1.0:
+                raise ValueError(f"sharing factor must be in (0, 1], got {factor}")
+        self._points: Tuple[Tuple[int, float], ...] = tuple(sorted(pts.items()))
+
+    def factor(self, flows: int) -> float:
+        """Capacity multiplier when ``flows`` flows share the resource."""
+        if flows < 1:
+            return 1.0
+        result = 1.0
+        for n, f in self._points:
+            if n <= flows:
+                result = f
+            else:
+                break
+        return result
+
+    def __repr__(self) -> str:
+        return f"SharingCurve({dict(self._points)!r})"
+
+
+#: A sharing curve with no degradation, shared by default resources.
+NO_DEGRADATION = SharingCurve()
+
+
+class Resource:
+    """One directional bandwidth medium in the machine.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in traces and error messages).
+    capacity_fwd / capacity_rev:
+        Sustainable throughput per direction in bytes/second.  These are
+        *effective* (measured) capacities, not datasheet peaks; the
+        platform catalog calibrates them against the paper's Figures 2-7.
+    duplex_factor:
+        Factor in (0, 1] applied to each direction's capacity while both
+        directions are simultaneously busy.
+    sharing:
+        Optional :class:`SharingCurve` degrading capacity with the number
+        of concurrent flows on the resource (both directions combined).
+    latency_s:
+        One-way traversal latency in seconds, paid once per hop before
+        a transfer's first byte moves.  Irrelevant for the paper's 4 GB
+        copies, but it puts small transfers in the latency-bound regime
+        real interconnects show.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_fwd: float,
+        capacity_rev: Optional[float] = None,
+        duplex_factor: float = 1.0,
+        sharing: Optional[SharingCurve] = None,
+        latency_s: float = 0.0,
+    ):
+        if capacity_fwd <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_fwd}")
+        if capacity_rev is not None and capacity_rev <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_rev}")
+        if not 0.0 < duplex_factor <= 1.0:
+            raise ValueError(f"duplex_factor must be in (0, 1], got {duplex_factor}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.name = name
+        self._capacity = {
+            Direction.FWD: float(capacity_fwd),
+            Direction.REV: float(capacity_rev if capacity_rev is not None
+                                 else capacity_fwd),
+        }
+        self.duplex_factor = float(duplex_factor)
+        self.sharing = sharing or NO_DEGRADATION
+        self.latency_s = float(latency_s)
+
+    def raw_capacity(self, direction: Direction) -> float:
+        """Configured capacity of one direction, ignoring load effects."""
+        return self._capacity[direction]
+
+    def effective_capacity(
+        self,
+        direction: Direction,
+        flows_this_direction: int,
+        flows_other_direction: int,
+    ) -> float:
+        """Capacity of ``direction`` under the given concurrent load."""
+        capacity = self._capacity[direction]
+        if flows_other_direction > 0 and flows_this_direction > 0:
+            capacity *= self.duplex_factor
+        total = flows_this_direction + flows_other_direction
+        capacity *= self.sharing.factor(total)
+        return capacity
+
+    def __repr__(self) -> str:
+        fwd = self._capacity[Direction.FWD]
+        rev = self._capacity[Direction.REV]
+        return f"<Resource {self.name} fwd={fwd:.3g} rev={rev:.3g}>"

@@ -1,0 +1,117 @@
+"""Span-based tracing of simulated activity.
+
+The sorting algorithms annotate their work with named spans ("HtoD",
+"Sort", "Merge", "DtoH", ...).  The paper's sort-duration breakdowns
+(Figures 12-14, bottom) define a phase to end *when the last GPU
+completes it*; :meth:`Trace.phase_durations` implements exactly that
+reduction over the recorded spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Environment
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed activity interval on one actor."""
+
+    phase: str
+    actor: str
+    start: float
+    end: float
+    bytes: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in simulated seconds."""
+        return self.end - self.start
+
+
+class Trace:
+    """Collects :class:`Span` records during a simulation run."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.spans: List[Span] = []
+
+    def record(self, phase: str, actor: str, start: float,
+               end: Optional[float] = None, bytes: float = 0.0) -> Span:
+        """Append a completed span (``end`` defaults to *now*)."""
+        if end is None:
+            end = self.env.now
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        span = Span(phase=phase, actor=actor, start=start, end=end, bytes=bytes)
+        self.spans.append(span)
+        return span
+
+    def span(self, phase: str, actor: str, bytes: float = 0.0):
+        """Context manager recording a span around a ``with`` block.
+
+        Only meaningful inside process code that advances simulated time
+        via ``yield`` *outside* the block; use :meth:`record` from
+        processes instead when the span brackets yields.
+        """
+        return _SpanContext(self, phase, actor, bytes)
+
+    def phases(self) -> List[str]:
+        """Distinct phase names in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans:
+            seen.setdefault(span.phase, None)
+        return list(seen)
+
+    def phase_window(self, phase: str) -> Optional[tuple]:
+        """(earliest start, latest end) over all spans of ``phase``."""
+        matching = [s for s in self.spans if s.phase == phase]
+        if not matching:
+            return None
+        return (min(s.start for s in matching), max(s.end for s in matching))
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Per-phase wall duration: last end minus first start.
+
+        This matches the paper's definition of a phase ending when the
+        last GPU completes it.
+        """
+        result: Dict[str, float] = {}
+        for phase in self.phases():
+            start, end = self.phase_window(phase)
+            result[phase] = end - start
+        return result
+
+    def busy_time(self, actor: str, phase: Optional[str] = None) -> float:
+        """Total span time of one actor (optionally one phase only)."""
+        return sum(s.duration for s in self.spans
+                   if s.actor == actor and (phase is None or s.phase == phase))
+
+    def total_bytes(self, phase: Optional[str] = None) -> float:
+        """Total bytes attributed to spans (optionally one phase only)."""
+        return sum(s.bytes for s in self.spans
+                   if phase is None or s.phase == phase)
+
+    def clear(self) -> None:
+        """Drop all recorded spans."""
+        self.spans.clear()
+
+
+@dataclass
+class _SpanContext:
+    trace: Trace
+    phase: str
+    actor: str
+    bytes: float
+    _start: float = field(default=0.0, init=False)
+
+    def __enter__(self) -> "_SpanContext":
+        self._start = self.trace.env.now
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.trace.record(self.phase, self.actor, self._start,
+                              bytes=self.bytes)

@@ -1,0 +1,35 @@
+"""Multi-GPU sorting algorithms: the paper's primary contribution.
+
+* :func:`repro.sort.p2p.p2p_sort` — GPU-only sort-merge with P2P block
+  swaps (builds on Tanasic et al., extended to any ``g = 2^k`` GPUs),
+* :func:`repro.sort.het.het_sort` — heterogeneous GPU-sort / CPU-merge
+  for in-core and out-of-core data (2n/3n pipelining, optional eager
+  merging),
+* :mod:`repro.sort.pivot` — leftmost pivot selection (Algorithm 1),
+* :mod:`repro.sort.gpu_set` — GPU set selection and ordering (5.4).
+"""
+
+from repro.sort.advisor import Plan, Recommendation, recommend
+from repro.sort.het import HetConfig, het_sort
+from repro.sort.p2p import P2PConfig, p2p_sort
+from repro.sort.pivot import select_pivot, select_pivot_paper
+from repro.sort.gpu_set import best_gpu_order_for_p2p, preferred_gpu_ids
+from repro.sort.radix_partition import RPConfig, rp_sort
+from repro.sort.result import SortResult
+
+__all__ = [
+    "HetConfig",
+    "Plan",
+    "Recommendation",
+    "P2PConfig",
+    "RPConfig",
+    "SortResult",
+    "best_gpu_order_for_p2p",
+    "het_sort",
+    "p2p_sort",
+    "preferred_gpu_ids",
+    "recommend",
+    "rp_sort",
+    "select_pivot",
+    "select_pivot_paper",
+]

@@ -1,0 +1,62 @@
+"""Result records of the sorting algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SortResult:
+    """Outcome of one simulated multi-GPU sort run.
+
+    ``duration`` and ``phase_durations`` are simulated seconds; the
+    phase breakdown follows the paper's convention (a phase ends when
+    the last GPU completes it, Section 6.1).  ``logical_keys`` is the
+    number of keys the run *represents* (physical keys times the
+    machine scale).
+    """
+
+    algorithm: str
+    system: str
+    gpu_ids: Tuple[int, ...]
+    physical_keys: int
+    logical_keys: float
+    dtype: str
+    duration: float
+    phase_durations: Dict[str, float] = field(default_factory=dict)
+    #: Logical bytes moved over P2P links in the merge phase (P2P sort).
+    p2p_bytes: float = 0.0
+    #: Number of merge stages executed (P2P sort).
+    merge_stages: int = 0
+    #: Pivot chosen at every merge-stage execution (P2P sort), in
+    #: completion order; zero pivots mean the swap was skipped entirely
+    #: (the leftmost-pivot optimization, Section 5.2).
+    pivots: Tuple[int, ...] = ()
+    #: Number of chunk groups processed (HET sort).
+    chunk_groups: int = 0
+    #: Sorted output (physical payload); ``None`` for timing-only runs.
+    output: Optional[np.ndarray] = None
+    #: Payload values reordered alongside the keys (key-value sorts).
+    output_values: Optional[np.ndarray] = None
+
+    @property
+    def keys_per_second(self) -> float:
+        """Logical sorting throughput."""
+        return self.logical_keys / self.duration if self.duration else 0.0
+
+    def phase_fraction(self, phase: str) -> float:
+        """Share of the total duration one phase accounts for."""
+        if not self.duration:
+            return 0.0
+        return self.phase_durations.get(phase, 0.0) / self.duration
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        phases = ", ".join(f"{name}={seconds:.3f}s"
+                           for name, seconds in self.phase_durations.items())
+        return (f"{self.algorithm} on {self.system} GPUs{self.gpu_ids}: "
+                f"{self.logical_keys / 1e9:.2f}B keys in "
+                f"{self.duration:.3f}s ({phases})")

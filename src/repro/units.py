@@ -1,0 +1,42 @@
+"""Unit helpers.
+
+Throughout the library, bandwidth is expressed in bytes per second and
+data sizes in bytes.  The paper reports decimal gigabytes (1 GB/s =
+1e9 B/s); these helpers keep call sites readable and conversion-free.
+"""
+
+from __future__ import annotations
+
+#: One decimal kilobyte/megabyte/gigabyte in bytes.
+KB = 1_000.0
+MB = 1_000_000.0
+GB = 1_000_000_000.0
+
+#: Binary units, for device memory capacities quoted in GiB.
+KiB = 1024.0
+MiB = 1024.0 ** 2
+GiB = 1024.0 ** 3
+
+#: Time units in seconds.
+US = 1e-6
+MS = 1e-3
+
+
+def gb(x: float) -> float:
+    """``x`` decimal gigabytes in bytes (or GB/s in B/s)."""
+    return x * GB
+
+
+def gib(x: float) -> float:
+    """``x`` binary gibibytes in bytes."""
+    return x * GiB
+
+
+def to_gb(nbytes: float) -> float:
+    """Bytes to decimal gigabytes."""
+    return nbytes / GB
+
+
+def keys(n_billion: float) -> int:
+    """``n_billion`` billion keys as an integer count."""
+    return int(round(n_billion * 1e9))

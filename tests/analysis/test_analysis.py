@@ -1,0 +1,109 @@
+"""Unit tests of breakdowns and derived metrics."""
+
+import pytest
+
+from repro.analysis import (
+    PhaseBreakdown,
+    breakdown_of,
+    crossover_point,
+    shape_error,
+    speedup,
+)
+from repro.errors import ReproError
+from repro.sort.result import SortResult
+
+
+def make_result(**overrides):
+    defaults = dict(
+        algorithm="p2p", system="ibm-ac922", gpu_ids=(0, 1),
+        physical_keys=1000, logical_keys=2e9, dtype="int32",
+        duration=0.25,
+        phase_durations={"HtoD": 0.05, "Sort": 0.07, "Merge": 0.05,
+                         "DtoH": 0.07})
+    defaults.update(overrides)
+    return SortResult(**defaults)
+
+
+class TestBreakdown:
+    def test_fractions(self):
+        breakdown = breakdown_of(make_result())
+        assert breakdown.fraction("Sort") == pytest.approx(0.28)
+        assert breakdown.fraction("Missing") == 0.0
+
+    def test_dominant_phase(self):
+        breakdown = PhaseBreakdown(total=1.0,
+                                   phases={"HtoD": 0.2, "Merge": 0.7})
+        assert breakdown.dominant_phase() == "Merge"
+
+    def test_rows_in_display_order(self):
+        rows = breakdown_of(make_result()).rows()
+        assert [name for name, _, _ in rows] == \
+            ["HtoD", "Sort", "Merge", "DtoH"]
+
+    def test_zero_total(self):
+        breakdown = PhaseBreakdown(total=0.0, phases={"Sort": 0.0})
+        assert breakdown.fraction("Sort") == 0.0
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(2.0, 0.5) == 4.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            speedup(1.0, 0.0)
+
+
+class TestShapeError:
+    def test_perfect_match(self):
+        assert shape_error([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_symmetric_in_direction(self):
+        assert shape_error([2.0], [1.0]) == pytest.approx(
+            shape_error([1.0], [2.0]))
+
+    def test_worst_point_dominates(self):
+        assert shape_error([1.0, 3.0], [1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            shape_error([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            shape_error([], [])
+        with pytest.raises(ReproError):
+            shape_error([0.0], [1.0])
+
+
+class TestCrossover:
+    def test_finds_crossing(self):
+        xs = [1, 2, 3, 4]
+        a = [4.0, 3.0, 2.0, 1.0]
+        b = [2.5, 2.5, 2.5, 2.5]
+        x, value = crossover_point(xs, a, b)
+        assert 2 < x < 3
+        assert value == pytest.approx(2.5)
+
+    def test_a_already_below(self):
+        assert crossover_point([1, 2], [1.0, 1.0], [2.0, 2.0]) == (1, 1.0)
+
+    def test_no_crossing(self):
+        assert crossover_point([1, 2], [3.0, 3.0], [2.0, 2.0]) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            crossover_point([1], [1.0, 2.0], [1.0])
+
+
+class TestSortResultHelpers:
+    def test_keys_per_second(self):
+        assert make_result().keys_per_second == pytest.approx(8e9)
+
+    def test_zero_duration(self):
+        assert make_result(duration=0.0).keys_per_second == 0.0
+
+    def test_phase_fraction(self):
+        assert make_result().phase_fraction("HtoD") == pytest.approx(0.2)
+
+    def test_summary_format(self):
+        text = make_result().summary()
+        assert "p2p" in text and "ibm-ac922" in text and "2.00B" in text

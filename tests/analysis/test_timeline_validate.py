@@ -1,0 +1,93 @@
+"""Unit tests of the Chrome trace export and output validation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import to_chrome_trace, write_chrome_trace
+from repro.analysis.validate import (
+    ValidationError,
+    first_inversion,
+    is_permutation,
+    is_sorted,
+    verify_sort,
+)
+from repro.sim.trace import Trace
+
+
+class TestChromeTrace:
+    @pytest.fixture
+    def trace(self, env):
+        trace = Trace(env)
+        trace.record("HtoD", "gpu0", 0.0, end=0.1, bytes=4e9)
+        trace.record("Sort", "gpu0", 0.1, end=0.2, bytes=4e9)
+        trace.record("HtoD", "gpu1", 0.0, end=0.15, bytes=4e9)
+        return trace
+
+    def test_one_row_per_actor(self, trace):
+        payload = to_chrome_trace(trace)
+        names = [e for e in payload["traceEvents"]
+                 if e.get("name") == "thread_name"]
+        assert {e["args"]["name"] for e in names} == {"gpu0", "gpu1"}
+
+    def test_slices_carry_timing_in_microseconds(self, trace):
+        payload = to_chrome_trace(trace)
+        slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 3
+        sort_slice = next(e for e in slices if e["name"] == "Sort")
+        assert sort_slice["ts"] == pytest.approx(0.1e6)
+        assert sort_slice["dur"] == pytest.approx(0.1e6)
+        assert sort_slice["args"]["bytes"] == 4e9
+
+    def test_write_round_trips_as_json(self, trace, tmp_path):
+        path = write_chrome_trace(trace, str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) >= 3
+
+    def test_sort_run_produces_exportable_trace(self, dgx, rng):
+        from repro.sort import p2p_sort
+
+        data = rng.integers(0, 100, size=1024).astype(np.int32)
+        p2p_sort(dgx, data, gpu_ids=(0, 2))
+        payload = to_chrome_trace(dgx.trace)
+        phases = {e["name"] for e in payload["traceEvents"]
+                  if e["ph"] == "X"}
+        assert {"HtoD", "Sort", "Merge", "DtoH"} <= phases
+
+
+class TestValidation:
+    def test_is_sorted(self):
+        assert is_sorted(np.array([1, 2, 2, 3]))
+        assert not is_sorted(np.array([2, 1]))
+        assert is_sorted(np.empty(0, np.int32))
+        assert is_sorted(np.array([5]))
+
+    def test_first_inversion(self):
+        assert first_inversion(np.array([1, 3, 2, 4])) == 1
+        assert first_inversion(np.array([1, 2, 3])) == -1
+
+    def test_is_permutation(self):
+        a = np.array([3, 1, 2], np.int32)
+        assert is_permutation(a, np.array([1, 2, 3], np.int32))
+        assert not is_permutation(a, np.array([1, 2, 4], np.int32))
+        assert not is_permutation(a, np.array([1, 2], np.int32))
+        assert not is_permutation(a, np.array([1, 2, 3], np.int64))
+
+    def test_verify_sort_passes_good_output(self, rng):
+        data = rng.integers(0, 100, size=500).astype(np.int32)
+        verify_sort(data, np.sort(data))
+
+    def test_verify_sort_catches_unsortedness(self):
+        with pytest.raises(ValidationError, match="not sorted"):
+            verify_sort(np.array([1, 2, 3]), np.array([1, 3, 2]))
+
+    def test_verify_sort_catches_lost_keys(self):
+        with pytest.raises(ValidationError, match="permutation"):
+            verify_sort(np.array([1, 2, 3]), np.array([1, 2, 4]))
+
+    def test_verify_sort_catches_size_change(self):
+        with pytest.raises(ValidationError, match="elements"):
+            verify_sort(np.array([1, 2, 3]), np.array([1, 2]))

@@ -1,0 +1,44 @@
+"""Unit tests of the experiment registry and CLI."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, experiment_by_id
+from repro.bench.__main__ import main
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_covered(self):
+        ids = {e.id for e in EXPERIMENTS}
+        for required in ("table2", "fig1", "fig2", "fig3", "fig4", "fig5",
+                         "fig6", "fig7", "fig12", "fig13", "fig14",
+                         "fig15a", "fig15b", "fig16"):
+            assert required in ids
+
+    def test_lookup(self):
+        assert experiment_by_id("fig1").id == "fig1"
+
+    def test_unknown_id(self):
+        with pytest.raises(ReproError):
+            experiment_by_id("fig99")
+
+    def test_experiments_have_unique_ids(self):
+        ids = [e.id for e in EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_run_returns_tables(self):
+        tables = experiment_by_id("table2").run()
+        assert tables and tables[0].rows
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+
+    def test_run_one(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "thrust" in out

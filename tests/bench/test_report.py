@@ -1,0 +1,65 @@
+"""Unit tests of the reporting tables."""
+
+import pytest
+
+from repro.bench.report import (
+    Table,
+    comparison_table,
+    format_gbps,
+    format_ratio,
+    format_seconds,
+    series_table,
+)
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_row_arity_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_print_smoke(self, capsys):
+        table = Table(["x"])
+        table.add_row(1)
+        table.print()
+        assert "1" in capsys.readouterr().out
+
+
+class TestFormatters:
+    def test_gbps(self):
+        assert format_gbps(72.04).strip() == "72.0"
+
+    def test_seconds(self):
+        assert format_seconds(0.2456).strip() == "0.246"
+
+    def test_ratio(self):
+        assert format_ratio(1.0, 2.0).strip() == "0.50x"
+        assert format_ratio(1.0, 0.0).strip() == "n/a"
+
+
+class TestBuilders:
+    def test_comparison_table_with_missing_reference(self):
+        table = comparison_table("t", "label",
+                                 [("a", 10.0, 20.0), ("b", 5.0, None)])
+        text = table.render()
+        assert "0.50x" in text
+        assert "-" in text
+
+    def test_series_table(self):
+        table = series_table("t", "x", [1, 2], ["s1", "s2"],
+                             [[0.1, 0.2], [0.3, 0.4]])
+        assert len(table.rows) == 2
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            series_table("t", "x", [1, 2], ["s1"], [[0.1]])

@@ -1,0 +1,53 @@
+"""Tests of the latency model and the transfer-size ramp."""
+
+import pytest
+
+from repro.bench.experiments.transfer_ramp import (
+    half_bandwidth_size,
+    ramp,
+    run_transfer_ramp,
+    transfer_seconds,
+)
+from repro.hw.links import LinkKind
+
+
+class TestLatencyModel:
+    def test_all_kinds_have_latency(self):
+        for kind in LinkKind:
+            assert kind.hop_latency_s >= 0
+
+    def test_small_transfers_are_latency_bound(self):
+        tiny = transfer_seconds("ibm-ac922", ("host", 0), ("gpu", 0),
+                                1024)
+        # 1 KB at 72 GB/s would take 14 ns; latency dominates by orders
+        # of magnitude.
+        assert tiny > 100 * (1024 / 72e9)
+
+    def test_large_transfers_reach_line_rate(self):
+        seconds = transfer_seconds("ibm-ac922", ("host", 0), ("gpu", 0),
+                                   4e9)
+        assert 4e9 / seconds / 1e9 == pytest.approx(72.0, rel=0.01)
+
+    def test_remote_paths_pay_more_latency(self):
+        local = transfer_seconds("ibm-ac922", ("host", 0), ("gpu", 0),
+                                 1024)
+        remote = transfer_seconds("ibm-ac922", ("host", 0), ("gpu", 2),
+                                  1024)
+        assert remote > local
+
+
+class TestRamp:
+    def test_monotone_nondecreasing_bandwidth(self):
+        points = ramp("dgx-a100", ("gpu", 0), ("gpu", 1))
+        rates = [rate for _, rate in points]
+        assert all(a <= b * 1.001 for a, b in zip(rates, rates[1:]))
+
+    def test_half_bandwidth_point_near_latency_bandwidth_product(self):
+        points = ramp("delta-d22x", ("host", 0), ("gpu", 0))
+        half = half_bandwidth_size(points)
+        # PCIe 3.0: ~12 GB/s x ~12 us fixed cost -> low hundreds of KB.
+        assert 1e4 < half < 1e7
+
+    def test_table_renders(self):
+        table = run_transfer_ramp()
+        assert len(table.rows) >= 10

@@ -1,0 +1,55 @@
+"""Unit tests of the transfer measurement harness."""
+
+import pytest
+
+from repro.bench.transfers import (
+    bidir,
+    dtoh,
+    gpu,
+    htod,
+    measure_throughput,
+    p2p,
+    p2p_bidir,
+)
+from repro.errors import ReproError
+from repro.hw import ibm_ac922
+
+
+class TestDescriptors:
+    def test_htod_dtoh(self):
+        assert htod(3) == (("host", 0), ("gpu", 3))
+        assert dtoh(3, numa=1) == (("gpu", 3), ("host", 1))
+
+    def test_bidir_is_both_directions(self):
+        assert bidir(2) == [htod(2), dtoh(2)]
+
+    def test_p2p(self):
+        assert p2p(0, 3) == (("gpu", 0), ("gpu", 3))
+        assert p2p_bidir(0, 3) == [p2p(0, 3), p2p(3, 0)]
+
+
+class TestMeasurement:
+    def test_accepts_spec_or_builder(self):
+        serial = measure_throughput(ibm_ac922, [htod(0)])
+        also = measure_throughput(ibm_ac922(), [htod(0)])
+        assert serial == pytest.approx(also)
+
+    def test_serial_htod_matches_figure2(self):
+        assert measure_throughput(ibm_ac922, [htod(0)]) == \
+            pytest.approx(72.0, rel=0.01)
+
+    def test_empty_transfer_list_rejected(self):
+        with pytest.raises(ReproError):
+            measure_throughput(ibm_ac922, [])
+
+    def test_unknown_endpoint_kind_rejected(self):
+        with pytest.raises(ReproError):
+            measure_throughput(ibm_ac922, [(("nic", 0), ("gpu", 0))])
+
+    def test_pageable_measurement_is_slower(self):
+        pinned = measure_throughput(ibm_ac922, [htod(0)], pinned=True)
+        pageable = measure_throughput(ibm_ac922, [htod(0)], pinned=False)
+        assert pageable < pinned
+
+    def test_gpu_endpoint_shorthand(self):
+        assert gpu(5) == ("gpu", 5)

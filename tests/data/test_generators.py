@@ -1,0 +1,105 @@
+"""Unit tests of the workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DISTRIBUTIONS,
+    KEY_TYPES,
+    generate,
+    key_dtype,
+    nearly_sorted,
+    reverse_sorted,
+    sorted_keys,
+)
+from repro.errors import SortError
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    def test_deterministic_under_seed(self, name):
+        a = generate(1000, name, np.int32, seed=7)
+        b = generate(1000, name, np.int32, seed=7)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", sorted(DISTRIBUTIONS))
+    @pytest.mark.parametrize("dtype", [np.int32, np.int64, np.float32,
+                                       np.float64])
+    def test_dtype_and_size(self, name, dtype):
+        values = generate(500, name, dtype, seed=1)
+        assert values.dtype == np.dtype(dtype)
+        assert values.size == 500
+
+    def test_sorted_is_sorted(self):
+        values = sorted_keys(2000, np.int32, seed=5)
+        assert np.all(np.diff(values.astype(np.int64)) >= 0)
+
+    def test_reverse_sorted_is_descending(self):
+        values = reverse_sorted(2000, np.int32, seed=5)
+        assert np.all(np.diff(values.astype(np.int64)) <= 0)
+
+    def test_nearly_sorted_is_mostly_ordered(self):
+        values = nearly_sorted(10_000, np.int32, seed=5, disorder=0.01)
+        inversions = np.count_nonzero(np.diff(values.astype(np.int64)) < 0)
+        assert 0 < inversions < 400
+
+    def test_nearly_sorted_zero_disorder(self):
+        values = nearly_sorted(1000, np.int32, seed=5, disorder=0.0)
+        assert np.all(np.diff(values.astype(np.int64)) >= 0)
+
+    def test_nearly_sorted_disorder_bounds(self):
+        with pytest.raises(SortError):
+            nearly_sorted(100, disorder=1.5)
+
+    def test_uniform_spans_range(self):
+        values = generate(50_000, "uniform", np.int32, seed=2)
+        span = float(values.max()) - float(values.min())
+        full = float(np.iinfo(np.int32).max) - float(np.iinfo(np.int32).min)
+        assert span > 0.9 * full
+
+    def test_normal_concentrates(self):
+        values = generate(50_000, "normal", np.int32, seed=2)
+        info = np.iinfo(np.int32)
+        middle = np.abs(values.astype(np.float64)) < 0.5 * info.max
+        assert np.count_nonzero(middle) / values.size > 0.9
+
+    def test_unknown_distribution(self):
+        with pytest.raises(SortError, match="unknown distribution"):
+            generate(10, "pareto")
+
+    def test_zipf_is_heavily_skewed(self):
+        values = generate(50_000, "zipf", np.int32, seed=3)
+        top, counts = np.unique(values, return_counts=True)
+        # The most frequent key covers a large share of the data.
+        assert counts.max() / values.size > 0.2
+        assert top.size > 10  # but there is a tail
+
+    def test_zipf_alpha_validation(self):
+        from repro.data import zipf
+        with pytest.raises(SortError):
+            zipf(10, alpha=1.0)
+
+    @given(st.sampled_from(sorted(DISTRIBUTIONS)), st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_size(self, name, n):
+        assert generate(n, name, np.int32, seed=0).size == n
+
+
+class TestKeyTypes:
+    def test_paper_names(self):
+        assert key_dtype("int") == np.int32
+        assert key_dtype("float") == np.float32
+        assert key_dtype("long") == np.int64
+        assert key_dtype("double") == np.float64
+
+    def test_numpy_names_accepted(self):
+        assert key_dtype("uint32") == np.uint32
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(SortError):
+            key_dtype("str")
+
+    def test_catalog_complete(self):
+        assert set(KEY_TYPES) == {"int", "float", "long", "double"}

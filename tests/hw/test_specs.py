@@ -1,0 +1,136 @@
+"""Unit tests of GPU/CPU spec validation and rate lookups."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hw.gpu import GpuSpec
+from repro.hw.host import CpuSpec, NumaNodeSpec
+from repro.hw.links import LinkKind
+from repro.units import gb, gib
+
+
+def make_gpu(**overrides) -> GpuSpec:
+    defaults = dict(
+        model="Test GPU", memory_bytes=gib(32),
+        sort_rates={"thrust": gb(58.0)}, merge_rate=gb(200.0),
+        local_copy_rate=gb(360.0))
+    defaults.update(overrides)
+    return GpuSpec(**defaults)
+
+
+class TestGpuSpec:
+    def test_sort_seconds(self):
+        spec = make_gpu()
+        assert spec.sort_seconds("thrust", gb(5.8), 4) == pytest.approx(
+            0.1, rel=1e-3)
+
+    def test_width64_factor_slows_wide_keys(self):
+        spec = make_gpu(width64_sort_factor=0.5)
+        assert spec.sort_rate("thrust", 8) == pytest.approx(gb(29.0))
+        assert spec.sort_rate("thrust", 4) == pytest.approx(gb(58.0))
+
+    def test_unknown_primitive(self):
+        with pytest.raises(CalibrationError, match="unknown sort primitive"):
+            make_gpu().sort_rate("bogosort", 4)
+
+    def test_merge_and_copy_seconds(self):
+        spec = make_gpu()
+        assert spec.merge_seconds(gb(2.0)) == pytest.approx(0.01, rel=1e-2)
+        assert spec.local_copy_seconds(gb(3.6)) == pytest.approx(
+            0.01, rel=1e-2)
+
+    def test_alloc_seconds_matches_paper(self):
+        # Section 5.1: 8 GB allocation takes 150 ms.
+        spec = make_gpu()
+        assert spec.alloc_seconds(gb(8.0)) == pytest.approx(0.15, rel=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            make_gpu(memory_bytes=0)
+        with pytest.raises(CalibrationError):
+            make_gpu(sort_rates={"thrust": -1.0})
+        with pytest.raises(CalibrationError):
+            make_gpu(merge_rate=0.0)
+        with pytest.raises(CalibrationError):
+            make_gpu(local_copy_rate=0.0)
+
+
+def make_cpu(**overrides) -> CpuSpec:
+    defaults = dict(
+        model="Test CPU", sockets=2, cores_per_socket=16,
+        sort_rates={"paradis": gb(2.0), "gnu_parallel": gb(1.5)},
+        multiway_merge_rate=gb(50.0), stream_bw=gb(130.0))
+    defaults.update(overrides)
+    return CpuSpec(**defaults)
+
+
+class TestCpuSpec:
+    def test_total_cores(self):
+        assert make_cpu().total_cores == 32
+
+    def test_best_primitive_prefers_fastest(self):
+        cpu = make_cpu(sort_rates={"paradis": gb(2.0), "simd_lsb": gb(3.0)})
+        assert cpu.best_sort_primitive() == "simd_lsb"
+
+    def test_best_primitive_skips_simd_without_x86(self):
+        cpu = make_cpu(sort_rates={"paradis": gb(2.0), "simd_lsb": gb(3.0)},
+                       has_x86_simd=False)
+        assert cpu.best_sort_primitive() == "paradis"
+
+    def test_merge_k_factors_interpolate(self):
+        cpu = make_cpu(merge_k_factors={4: 0.5, 8: 0.25})
+        # Flat at the base rate up to the paper's 2-run calibration.
+        assert cpu.multiway_merge_rate_for(1) == pytest.approx(gb(50.0))
+        assert cpu.multiway_merge_rate_for(2) == pytest.approx(gb(50.0))
+        # Anchor values hit exactly; between anchors linear in k.
+        assert cpu.multiway_merge_rate_for(4) == pytest.approx(gb(25.0))
+        assert cpu.multiway_merge_rate_for(3) == pytest.approx(gb(37.5))
+        assert cpu.multiway_merge_rate_for(6) == pytest.approx(gb(18.75))
+        assert cpu.multiway_merge_rate_for(8) == pytest.approx(gb(12.5))
+        # Held beyond the last anchor.
+        assert cpu.multiway_merge_rate_for(20) == pytest.approx(gb(12.5))
+
+    def test_merge_k_factors_empty_is_flat(self):
+        cpu = make_cpu()
+        assert cpu.multiway_merge_rate_for(16) == cpu.multiway_merge_rate
+
+    def test_unknown_primitive(self):
+        with pytest.raises(CalibrationError):
+            make_cpu().sort_rate("introsort")
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            make_cpu(sockets=0)
+        with pytest.raises(CalibrationError):
+            make_cpu(multiway_merge_rate=0.0)
+        with pytest.raises(CalibrationError):
+            make_cpu(sort_rates={"paradis": 0.0})
+
+
+class TestNumaNodeSpec:
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            NumaNodeSpec(index=0, capacity_bytes=0, read_bw=1, write_bw=1)
+        with pytest.raises(CalibrationError):
+            NumaNodeSpec(index=0, capacity_bytes=1, read_bw=0, write_bw=1)
+        with pytest.raises(CalibrationError):
+            NumaNodeSpec(index=0, capacity_bytes=1, read_bw=1, write_bw=1,
+                         duplex_factor=2.0)
+
+
+class TestLinkKind:
+    def test_peak_bandwidths_from_paper(self):
+        assert LinkKind.PCIE3.peak_bandwidth == gb(16.0)
+        assert LinkKind.PCIE4.peak_bandwidth == gb(32.0)
+        assert LinkKind.NVLINK2.peak_bandwidth == gb(25.0)
+        assert LinkKind.NVSWITCH.peak_bandwidth == gb(300.0)
+        assert LinkKind.XBUS.peak_bandwidth == gb(64.0)
+
+    def test_p2p_capability(self):
+        assert LinkKind.NVLINK2.is_p2p_capable
+        assert LinkKind.NVSWITCH.is_p2p_capable
+        assert not LinkKind.PCIE3.is_p2p_capable
+        assert not LinkKind.UPI.is_p2p_capable
+
+    def test_str(self):
+        assert str(LinkKind.NVLINK3) == "nvlink3"

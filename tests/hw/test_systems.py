@@ -1,0 +1,156 @@
+"""Unit tests of the platform catalog and the custom system builder."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hw import (
+    LinkKind,
+    SystemBuilder,
+    delta_d22x,
+    dgx_a100,
+    ibm_ac922,
+    system_by_name,
+)
+from repro.units import gb, gib
+
+
+class TestCatalog:
+    def test_lookup_by_name(self):
+        assert system_by_name("ibm-ac922").num_gpus == 4
+        assert system_by_name("delta-d22x").num_gpus == 4
+        assert system_by_name("dgx-a100").num_gpus == 8
+
+    def test_unknown_name(self):
+        with pytest.raises(TopologyError, match="unknown system"):
+            system_by_name("dgx-h100")
+
+    def test_builders_return_fresh_specs(self):
+        assert ibm_ac922() is not ibm_ac922()
+
+    def test_table1_cpu_models(self):
+        assert "POWER9" in ibm_ac922().cpu.model
+        assert "Xeon" in delta_d22x().cpu.model
+        assert "EPYC" in dgx_a100().cpu.model
+
+    def test_table1_gpu_models(self):
+        assert all("V100" in spec.model
+                   for spec in ibm_ac922().gpu_specs.values())
+        assert all("A100" in spec.model
+                   for spec in dgx_a100().gpu_specs.values())
+
+    def test_two_numa_nodes_everywhere(self):
+        for builder in (ibm_ac922, delta_d22x, dgx_a100):
+            assert len(builder().numa) == 2
+
+    def test_gpu_numa_assignment(self):
+        spec = dgx_a100()
+        assert [spec.gpu_numa[f"gpu{i}"] for i in range(8)] == \
+            [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_preferred_gpu_sets(self):
+        assert ibm_ac922().preferred_gpu_set(2) == (0, 1)
+        assert dgx_a100().preferred_gpu_set(2) == (0, 2)
+        assert dgx_a100().preferred_gpu_set(4) == (0, 2, 4, 6)
+
+    def test_preferred_set_default_and_overflow(self):
+        spec = ibm_ac922()
+        assert spec.preferred_gpu_set(3) == (0, 1, 2)
+        with pytest.raises(TopologyError):
+            spec.preferred_gpu_set(9)
+
+    def test_gpu_name_bounds(self):
+        spec = ibm_ac922()
+        assert spec.gpu_name(3) == "gpu3"
+        with pytest.raises(TopologyError):
+            spec.gpu_name(4)
+
+    def test_power9_has_no_x86_simd(self):
+        assert not ibm_ac922().cpu.has_x86_simd
+        assert "simd_lsb" not in ibm_ac922().cpu.sort_rates
+        assert "simd_lsb" in dgx_a100().cpu.sort_rates
+
+
+class TestTopologyShapes:
+    def test_ac922_p2p_pairs(self):
+        topo = ibm_ac922().topology
+        assert topo.has_direct_p2p("gpu0", "gpu1")
+        assert topo.has_direct_p2p("gpu2", "gpu3")
+        assert not topo.has_direct_p2p("gpu0", "gpu2")
+        assert not topo.has_direct_p2p("gpu1", "gpu2")
+
+    def test_delta_p2p_pairs(self):
+        topo = delta_d22x().topology
+        assert topo.has_direct_p2p("gpu0", "gpu1")
+        assert topo.has_direct_p2p("gpu0", "gpu2")
+        assert topo.has_direct_p2p("gpu2", "gpu3")
+        assert topo.has_direct_p2p("gpu1", "gpu3")
+        # Section 4.3: pairs (0, 3) and (1, 2) are not interconnected.
+        assert not topo.has_direct_p2p("gpu0", "gpu3")
+        assert not topo.has_direct_p2p("gpu1", "gpu2")
+
+    def test_dgx_all_to_all(self):
+        topo = dgx_a100().topology
+        for a in range(8):
+            for b in range(a + 1, 8):
+                assert topo.has_direct_p2p(f"gpu{a}", f"gpu{b}")
+
+    def test_dgx_shared_pcie_switch_pairs(self):
+        spec = dgx_a100()
+        # GPUs 0 and 1 route through the same switch uplink; 0 and 2
+        # do not (Figure 4).
+        r0 = spec.topology.route("cpu0", "gpu0")
+        r1 = spec.topology.route("cpu0", "gpu1")
+        r2 = spec.topology.route("cpu0", "gpu2")
+        uplink = {r.name for r, _ in r0.hops} & {r.name for r, _ in r1.hops}
+        assert any("uplink" in name for name in uplink)
+        shared_02 = ({r.name for r, _ in r0.hops}
+                     & {r.name for r, _ in r2.hops})
+        assert not any("uplink" in name for name in shared_02)
+
+    def test_ac922_remote_gpu_bottleneck_is_xbus(self):
+        route = ibm_ac922().topology.route("cpu0", "gpu2")
+        assert route.bottleneck == pytest.approx(gb(41.0))
+
+
+class TestSystemBuilder:
+    def test_custom_machine(self):
+        builder = SystemBuilder("toy", "Toy")
+        builder.add_numa_node(read_bw=gb(100), write_bw=gb(90),
+                              capacity=gib(128))
+        builder.add_gpu(numa=0, spec=SystemBuilder.v100_spec(),
+                        link=LinkKind.PCIE3, bandwidth=gb(12.5))
+        builder.add_gpu(numa=0, spec=SystemBuilder.v100_spec(),
+                        link=LinkKind.PCIE3, bandwidth=gb(12.5))
+        builder.connect_gpus(0, 1, LinkKind.NVLINK2, gb(48.0))
+        spec = builder.build(cpu=SystemBuilder.generic_cpu())
+        assert spec.num_gpus == 2
+        assert spec.topology.has_direct_p2p("gpu0", "gpu1")
+
+    def test_builder_requires_numa_and_gpu(self):
+        builder = SystemBuilder("empty")
+        with pytest.raises(TopologyError):
+            builder.build(cpu=SystemBuilder.generic_cpu())
+        builder.add_numa_node(gb(100), gb(100), gib(64))
+        with pytest.raises(TopologyError):
+            builder.build(cpu=SystemBuilder.generic_cpu())
+
+    def test_nvswitch_builder(self):
+        builder = SystemBuilder("switchy")
+        builder.add_numa_node(gb(100), gb(100), gib(64))
+        for _ in range(4):
+            builder.add_gpu(numa=0, spec=SystemBuilder.a100_spec(),
+                            link=LinkKind.PCIE4, bandwidth=gb(24.5))
+        builder.add_nvswitch(gb(279.0), range(4))
+        spec = builder.build(cpu=SystemBuilder.generic_cpu())
+        assert spec.topology.has_direct_p2p("gpu0", "gpu3")
+
+    def test_switch_hierarchy(self):
+        builder = SystemBuilder("switched")
+        builder.add_numa_node(gb(100), gb(100), gib(64))
+        switch = builder.add_switch("sw0", numa=0, kind=LinkKind.PCIE4,
+                                    uplink_fwd=gb(24.5))
+        builder.add_gpu(numa=0, spec=SystemBuilder.a100_spec(),
+                        link=LinkKind.PCIE4, bandwidth=gb(24.5), via=switch)
+        spec = builder.build(cpu=SystemBuilder.generic_cpu())
+        route = spec.topology.route("cpu0", "gpu0")
+        assert [r.name for r, _ in route.hops][1].startswith("pcie4_uplink")

@@ -1,0 +1,155 @@
+"""Unit tests of the topology graph and routing."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hw.links import LinkKind
+from repro.hw.topology import NodeKind, Topology
+from repro.sim.resources import Direction, Resource
+
+
+@pytest.fixture
+def simple():
+    """cpu0 - gpu0, cpu0 - cpu1 - gpu1, direct gpu0 - gpu1 link."""
+    topo = Topology("test")
+    topo.add_node("cpu0", NodeKind.CPU, memory=Resource("mem0", 100.0))
+    topo.add_node("cpu1", NodeKind.CPU, memory=Resource("mem1", 100.0))
+    topo.add_node("gpu0", NodeKind.GPU, memory=Resource("gmem0", 500.0))
+    topo.add_node("gpu1", NodeKind.GPU, memory=Resource("gmem1", 500.0))
+    topo.add_edge("cpu0", "cpu1", Resource("xbus", 40.0), LinkKind.XBUS)
+    topo.add_edge("cpu0", "gpu0", Resource("link0", 70.0), LinkKind.NVLINK2)
+    topo.add_edge("cpu1", "gpu1", Resource("link1", 70.0), LinkKind.NVLINK2)
+    topo.add_edge("gpu0", "gpu1", Resource("p2p", 70.0), LinkKind.NVLINK2)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self, simple):
+        with pytest.raises(TopologyError):
+            simple.add_node("cpu0", NodeKind.CPU)
+
+    def test_edge_requires_known_nodes(self, simple):
+        with pytest.raises(TopologyError):
+            simple.add_edge("cpu0", "nope", Resource("x", 1.0),
+                            LinkKind.PCIE3)
+
+    def test_self_loop_rejected(self, simple):
+        with pytest.raises(TopologyError):
+            simple.add_edge("cpu0", "cpu0", Resource("x", 1.0),
+                            LinkKind.PCIE3)
+
+    def test_unknown_node_lookup(self, simple):
+        with pytest.raises(TopologyError):
+            simple.node("ghost")
+
+    def test_nodes_of_kind(self, simple):
+        assert [n.name for n in simple.nodes_of_kind(NodeKind.GPU)] == \
+            ["gpu0", "gpu1"]
+
+
+class TestRouting:
+    def test_host_to_local_gpu(self, simple):
+        route = simple.route("cpu0", "gpu0")
+        names = [r.name for r, _ in route.hops]
+        assert names == ["mem0", "link0", "gmem0"]
+        directions = [d for _, d in route.hops]
+        assert directions == [Direction.FWD, Direction.FWD, Direction.REV]
+
+    def test_host_to_remote_gpu_crosses_interconnect(self, simple):
+        route = simple.route("cpu0", "gpu1")
+        names = [r.name for r, _ in route.hops]
+        assert names == ["mem0", "xbus", "link1", "gmem1"]
+        assert route.bottleneck == 40.0
+
+    def test_direct_p2p_preferred_over_host(self, simple):
+        route = simple.route("gpu0", "gpu1")
+        names = [r.name for r, _ in route.hops]
+        assert names == ["gmem0", "p2p", "gmem1"]
+        assert not route.host_traversing
+
+    def test_gpu_cannot_transit(self):
+        topo = Topology()
+        topo.add_node("gpu0", NodeKind.GPU)
+        topo.add_node("gpu1", NodeKind.GPU)
+        topo.add_node("gpu2", NodeKind.GPU)
+        topo.add_edge("gpu0", "gpu1", Resource("a", 1.0), LinkKind.NVLINK2)
+        topo.add_edge("gpu1", "gpu2", Resource("b", 1.0), LinkKind.NVLINK2)
+        with pytest.raises(TopologyError, match="no path"):
+            topo.route("gpu0", "gpu2")
+
+    def test_host_traversing_flag(self):
+        topo = Topology()
+        topo.add_node("cpu0", NodeKind.CPU, memory=Resource("mem", 100.0))
+        topo.add_node("gpu0", NodeKind.GPU)
+        topo.add_node("gpu1", NodeKind.GPU)
+        topo.add_edge("cpu0", "gpu0", Resource("a", 10.0), LinkKind.PCIE3)
+        topo.add_edge("cpu0", "gpu1", Resource("b", 10.0), LinkKind.PCIE3)
+        route = topo.route("gpu0", "gpu1")
+        assert route.host_traversing
+
+    def test_same_endpoint_rejected(self, simple):
+        with pytest.raises(TopologyError):
+            simple.route("gpu0", "gpu0")
+
+    def test_widest_path_tie_break(self):
+        topo = Topology()
+        topo.add_node("a", NodeKind.CPU)
+        topo.add_node("b", NodeKind.CPU)
+        topo.add_node("mid1", NodeKind.SWITCH)
+        topo.add_node("mid2", NodeKind.SWITCH)
+        topo.add_edge("a", "mid1", Resource("narrow1", 5.0), LinkKind.PCIE3)
+        topo.add_edge("mid1", "b", Resource("narrow2", 5.0), LinkKind.PCIE3)
+        topo.add_edge("a", "mid2", Resource("wide1", 50.0), LinkKind.PCIE4)
+        topo.add_edge("mid2", "b", Resource("wide2", 50.0), LinkKind.PCIE4)
+        route = topo.route("a", "b")
+        assert route.bottleneck == 50.0
+
+    def test_route_is_cached(self, simple):
+        assert simple.route("cpu0", "gpu0") is simple.route("cpu0", "gpu0")
+
+    def test_adding_edge_invalidates_cache(self, simple):
+        first = simple.route("cpu0", "gpu1")
+        simple.add_edge("cpu0", "gpu1", Resource("short", 99.0),
+                        LinkKind.NVLINK2)
+        second = simple.route("cpu0", "gpu1")
+        assert second is not first
+        assert [r.name for r, _ in second.hops] == ["mem0", "short", "gmem1"]
+
+
+class TestDirectP2P:
+    def test_direct_edge_counts(self, simple):
+        assert simple.has_direct_p2p("gpu0", "gpu1")
+
+    def test_shared_p2p_switch_counts(self):
+        topo = Topology()
+        topo.add_node("gpu0", NodeKind.GPU)
+        topo.add_node("gpu1", NodeKind.GPU)
+        topo.add_node("nvswitch", NodeKind.SWITCH)
+        topo.add_edge("gpu0", "nvswitch", Resource("p0", 279.0),
+                      LinkKind.NVSWITCH)
+        topo.add_edge("gpu1", "nvswitch", Resource("p1", 279.0),
+                      LinkKind.NVSWITCH)
+        assert topo.has_direct_p2p("gpu0", "gpu1")
+
+    def test_pcie_edge_is_not_p2p_capable(self):
+        topo = Topology()
+        topo.add_node("gpu0", NodeKind.GPU)
+        topo.add_node("gpu1", NodeKind.GPU)
+        topo.add_edge("gpu0", "gpu1", Resource("x", 16.0), LinkKind.PCIE3)
+        assert not topo.has_direct_p2p("gpu0", "gpu1")
+
+
+class TestEdge:
+    def test_direction_from_endpoints(self, simple):
+        edge = simple.edges_between("cpu0", "gpu0")[0]
+        assert edge.direction_from("cpu0") is Direction.FWD
+        assert edge.direction_from("gpu0") is Direction.REV
+        with pytest.raises(TopologyError):
+            edge.direction_from("cpu1")
+
+    def test_other(self, simple):
+        edge = simple.edges_between("cpu0", "gpu0")[0]
+        assert edge.other("cpu0") == "gpu0"
+        assert edge.other("gpu0") == "cpu0"
+        with pytest.raises(TopologyError):
+            edge.other("gpu1")

@@ -1,0 +1,235 @@
+"""Integration tests: the paper's qualitative and quantitative shapes.
+
+These are the reproduction acceptance tests: every published number we
+target must be within tolerance, every ordering/crossover claim must
+hold.  Tolerances are generous (the substrate is a calibrated model,
+not the authors' testbed) but the *shapes* are asserted strictly.
+"""
+
+import pytest
+
+from repro.analysis import shape_error, speedup
+from repro.bench.experiments.sort_scaling import (
+    PAPER_FIG1,
+    PAPER_TOTALS_2B,
+    cpu_sort_duration,
+    sort_duration,
+    sort_run,
+)
+from repro.bench.transfers import (
+    bidir,
+    dtoh,
+    htod,
+    measure_throughput,
+    p2p,
+    p2p_bidir,
+)
+from repro.hw import delta_d22x, dgx_a100, ibm_ac922
+
+#: Worst acceptable multiplicative deviation from a paper number.
+TOLERANCE = 1.25
+
+
+class TestInterconnectFigures:
+    @pytest.mark.parametrize("transfers,expected", [
+        ([htod(0)], 72.0), ([dtoh(0)], 72.0),
+        ([htod(2)], 41.0), ([dtoh(2)], 35.0),
+        ([htod(0), htod(1)], 141.0),
+        ([dtoh(0), dtoh(1)], 109.0),
+        (bidir(0) + bidir(1), 136.0),
+        ([htod(2), htod(3)], 39.0),
+        ([htod(i) for i in range(4)], 74.0),
+    ])
+    def test_figure2_ac922_cpu_gpu(self, transfers, expected):
+        measured = measure_throughput(ibm_ac922, transfers)
+        assert shape_error([measured], [expected]) < TOLERANCE
+
+    @pytest.mark.parametrize("transfers,expected", [
+        ([htod(0)], 12.0), ([dtoh(0)], 13.0), (bidir(0), 20.0),
+        ([htod(i) for i in range(4)], 49.0),
+        ([t for i in range(4) for t in bidir(i)], 79.0),
+    ])
+    def test_figure3_delta_cpu_gpu(self, transfers, expected):
+        measured = measure_throughput(delta_d22x, transfers)
+        assert shape_error([measured], [expected]) < TOLERANCE
+
+    @pytest.mark.parametrize("transfers,expected", [
+        ([htod(0)], 24.0), (bidir(0), 39.0),
+        ([htod(0), htod(1)], 25.0),          # shared PCIe switch
+        ([htod(0), htod(2)], 49.0),          # distinct switches
+        ([htod(i) for i in (0, 2, 4, 6)], 87.0),
+        ([htod(i) for i in range(8)], 89.0),
+        ([dtoh(i) for i in range(8)], 104.0),
+    ])
+    def test_figure4_dgx_cpu_gpu(self, transfers, expected):
+        measured = measure_throughput(dgx_a100, transfers)
+        assert shape_error([measured], [expected]) < TOLERANCE
+
+    @pytest.mark.parametrize("builder,transfers,expected", [
+        (ibm_ac922, [p2p(0, 1)], 72.0),
+        (ibm_ac922, [p2p(0, 2)], 32.0),
+        (ibm_ac922, p2p_bidir(0, 1), 145.0),
+        (ibm_ac922, p2p_bidir(0, 3) + p2p_bidir(1, 2), 53.0),
+        (delta_d22x, [p2p(0, 1)], 48.0),
+        (delta_d22x, [p2p(0, 3)], 9.0),
+        (delta_d22x, p2p_bidir(0, 1), 97.0),
+        (dgx_a100, [p2p(0, 1)], 279.0),
+        (dgx_a100, p2p_bidir(0, 1), 530.0),
+        (dgx_a100, p2p_bidir(0, 7) + p2p_bidir(1, 6) + p2p_bidir(2, 5)
+         + p2p_bidir(3, 4), 2116.0),
+    ])
+    def test_figures_5_to_7_p2p(self, builder, transfers, expected):
+        measured = measure_throughput(builder, transfers)
+        assert shape_error([measured], [expected]) < TOLERANCE
+
+    def test_headline_nvswitch_factors(self):
+        """Abstract: 35.3x over PCIe 3.0, 5.5x over NVLink 2.0 (4/2 GPUs)."""
+        dgx_pair = measure_throughput(dgx_a100, p2p_bidir(0, 1))
+        nvlink_pair = measure_throughput(ibm_ac922, p2p_bidir(0, 1))
+        assert 2.5 < dgx_pair / nvlink_pair < 5.5 * TOLERANCE
+
+        dgx_quad = measure_throughput(
+            dgx_a100, p2p_bidir(0, 3) + p2p_bidir(1, 2))
+        delta_quad = measure_throughput(
+            delta_d22x, p2p_bidir(0, 3) + p2p_bidir(1, 2))
+        assert 20.0 < dgx_quad / delta_quad < 35.3 * TOLERANCE
+
+
+class TestSortScalingFigures:
+    @pytest.mark.parametrize("system,algorithm", sorted(PAPER_TOTALS_2B))
+    def test_figures_12_to_14_totals(self, system, algorithm):
+        reference = PAPER_TOTALS_2B[(system, algorithm)]
+        measured = [sort_duration(system, algorithm, gpus, 2.0)
+                    for gpus in sorted(reference)]
+        expected = [reference[gpus] for gpus in sorted(reference)]
+        assert shape_error(measured, expected) < TOLERANCE
+
+    def test_figure1_dgx_16gb(self):
+        measured = [
+            cpu_sort_duration("dgx-a100", 4.0, primitive="paradis"),
+            sort_duration("dgx-a100", "het", 1, 4.0),
+            sort_duration("dgx-a100", "p2p", 2, 4.0),
+            sort_duration("dgx-a100", "p2p", 4, 4.0),
+            sort_duration("dgx-a100", "het", 2, 4.0),
+            sort_duration("dgx-a100", "het", 4, 4.0),
+        ]
+        expected = [PAPER_FIG1[key] for key in (
+            "PARADIS (CPU)", "Thrust (1 GPU)", "P2P sort (2 GPUs)",
+            "P2P sort (4 GPUs)", "HET sort (2 GPUs)", "HET sort (4 GPUs)")]
+        assert shape_error(measured, expected) < TOLERANCE
+
+    def test_linear_scaling_with_data_size(self):
+        small = sort_duration("dgx-a100", "p2p", 4, 2.0)
+        large = sort_duration("dgx-a100", "p2p", 4, 8.0)
+        assert large / small == pytest.approx(4.0, rel=0.1)
+
+    def test_p2p_beats_het_on_nvlink_systems(self):
+        for system, gpus in (("ibm-ac922", 2), ("dgx-a100", 2),
+                             ("dgx-a100", 8)):
+            p2p_time = sort_duration(system, "p2p", gpus, 2.0)
+            het_time = sort_duration(system, "het", gpus, 2.0)
+            assert p2p_time < het_time, (system, gpus)
+
+    def test_p2p_and_het_tie_without_p2p_interconnects(self):
+        # Section 6.1.2: on four DELTA GPUs both algorithms coincide.
+        p2p_time = sort_duration("delta-d22x", "p2p", 4, 2.0)
+        het_time = sort_duration("delta-d22x", "het", 4, 2.0)
+        assert shape_error([p2p_time], [het_time]) < 1.2
+
+    def test_p2p_over_het_factor_on_dgx(self):
+        # Abstract / Section 6.1.4: up to 1.65x on the DGX A100.
+        factors = [sort_duration("dgx-a100", "het", g, 2.0)
+                   / sort_duration("dgx-a100", "p2p", g, 2.0)
+                   for g in (2, 4, 8)]
+        assert max(factors) == pytest.approx(1.65, rel=0.2)
+
+    def test_speedups_over_paradis(self):
+        # Abstract: up to 14x for P2P sort and 9x for HET sort.
+        ac922_best = sort_duration("ibm-ac922", "p2p", 2, 2.0)
+        ac922_cpu = cpu_sort_duration("ibm-ac922", 2.0)
+        assert speedup(ac922_cpu, ac922_best) == pytest.approx(14.0,
+                                                               rel=0.25)
+        het_best = sort_duration("ibm-ac922", "het", 2, 2.0)
+        assert speedup(ac922_cpu, het_best) == pytest.approx(9.5, rel=0.25)
+
+    def test_ac922_two_gpus_match_dgx_eight(self):
+        # Section 6.1.4: the AC922 with two GPUs reaches the sort time
+        # of the DGX A100 with eight.
+        ac922 = sort_duration("ibm-ac922", "p2p", 2, 2.0)
+        dgx = sort_duration("dgx-a100", "p2p", 8, 2.0)
+        assert shape_error([ac922], [dgx]) < 1.2
+
+    def test_merge_dominates_het_on_ac922(self):
+        result = sort_run("ibm-ac922", "het", 2, 2.0)
+        # Figure 12b: the CPU merge is ~46% of the 2-GPU total.
+        assert result.phase_fraction("Merge") == pytest.approx(0.45,
+                                                               abs=0.08)
+
+    def test_transfers_dominate_p2p_on_delta(self):
+        result = sort_run("delta-d22x", "p2p", 2, 2.0)
+        copies = (result.phase_durations["HtoD"]
+                  + result.phase_durations["DtoH"])
+        # Figure 13a: CPU-GPU transfers are ~84% of the total.
+        assert copies / result.duration == pytest.approx(0.84, abs=0.08)
+
+    def test_dgx_merge_phase_fraction_grows_with_gpus(self):
+        # Figure 14a: merge is ~4% for two, ~13% for four, ~23% for
+        # eight GPUs.
+        fractions = [sort_run("dgx-a100", "p2p", g, 2.0)
+                     .phase_fraction("Merge") for g in (2, 4, 8)]
+        assert fractions[0] < fractions[1] < fractions[2]
+        assert fractions[0] < 0.10
+        assert 0.10 < fractions[2] < 0.35
+
+
+class TestLargeDataFigures:
+    def test_figure15a_eager_merging_hurts(self):
+        from repro.sort import HetConfig
+
+        plain = sort_duration("dgx-a100", "het", 8, 60.0,
+                              config=HetConfig(approach="2n"))
+        eager = sort_duration("dgx-a100", "het", 8, 60.0,
+                              config=HetConfig(approach="2n",
+                                               eager_merge=True))
+        assert 1.2 < eager / plain < 1.75 * 1.15
+
+    def test_figure15a_2n_equals_3n(self):
+        from repro.sort import HetConfig
+
+        two = sort_duration("dgx-a100", "het", 8, 60.0,
+                            config=HetConfig(approach="2n"))
+        three = sort_duration("dgx-a100", "het", 8, 60.0,
+                              config=HetConfig(approach="3n"))
+        assert shape_error([two], [three]) < 1.1
+
+    def test_figure15b_het_beats_cpu_for_large_data(self):
+        het = sort_duration("dgx-a100", "het", 8, 60.0)
+        cpu = cpu_sort_duration("dgx-a100", 60.0, primitive="paradis")
+        assert speedup(cpu, het) == pytest.approx(2.6, rel=0.3)
+
+    def test_paradis_endpoint_matches_figure15b(self):
+        assert shape_error(
+            [cpu_sort_duration("dgx-a100", 60.0, "paradis")],
+            [34.0]) < TOLERANCE
+
+
+class TestDistributionFigure:
+    def test_figure16_orderings(self):
+        durations = {
+            dist: sort_duration("ibm-ac922", "p2p", 2, 2.0,
+                                distribution=dist)
+            for dist in ("uniform", "sorted", "reverse-sorted",
+                         "nearly-sorted")
+        }
+        assert durations["sorted"] < durations["uniform"]
+        assert durations["nearly-sorted"] < durations["uniform"]
+        assert durations["reverse-sorted"] > durations["uniform"]
+        # Sorted data saves 9-20% (Section 6.3).
+        saving = 1 - durations["sorted"] / durations["uniform"]
+        assert 0.08 < saving < 0.25
+
+    def test_figure16_het_is_flat(self):
+        durations = [sort_duration("ibm-ac922", "het", 2, 2.0,
+                                   distribution=dist)
+                     for dist in ("uniform", "sorted", "reverse-sorted")]
+        assert shape_error(durations, [durations[0]] * 3) < 1.05

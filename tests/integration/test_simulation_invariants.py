@@ -1,0 +1,157 @@
+"""Property-based invariants of the simulation core.
+
+Randomized flow scenarios and topologies must satisfy conservation and
+bound laws regardless of the concrete numbers — the backbone guarantees
+every calibrated result rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.links import LinkKind
+from repro.hw.topology import NodeKind, Topology
+from repro.sim.engine import Environment
+from repro.sim.flows import FlowNetwork
+from repro.sim.resources import Direction, Resource
+
+FWD = Direction.FWD
+
+
+def drain(env, flows):
+    def waiter():
+        yield env.all_of([f.done for f in flows])
+
+    env.run(env.process(waiter()))
+
+
+class TestFlowInvariants:
+    @given(st.lists(st.tuples(st.floats(1.0, 1e4), st.floats(0.0, 50.0)),
+                    min_size=1, max_size=12),
+           st.floats(1.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_and_capacity_bound(self, jobs, capacity):
+        """Delivered bytes equal offered bytes; makespan respects both
+        the capacity bound and the largest-job bound."""
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Resource("link", capacity)
+        flows = []
+
+        def starter():
+            for size, delay in jobs:
+                yield env.timeout(delay)
+                flows.append(net.start_flow([(link, FWD)], size))
+
+        env.run(env.process(starter()))
+        drain(env, flows)
+        total = sum(size for size, _ in jobs)
+        assert net.delivered[(link, FWD)] == pytest.approx(total, rel=1e-6)
+        # The starter sleeps between submissions, so arrivals are at
+        # cumulative delays.
+        last_arrival = sum(delay for _, delay in jobs)
+        # Flows may finish a relative epsilon early (the fluid model's
+        # completion tolerance), hence the slack.
+        lower = max(total / capacity, last_arrival)
+        assert env.now >= lower * (1 - 1e-5) - 1e-9
+        # All jobs back to back can never take longer than serial
+        # service after the last arrival.
+        upper = last_arrival + total / capacity
+        assert env.now <= upper * (1 + 1e-5) + 1e-6
+
+    @given(st.integers(1, 8), st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_equal_flows_finish_together(self, count, capacity):
+        env = Environment()
+        net = FlowNetwork(env)
+        link = Resource("link", capacity)
+        flows = [net.start_flow([(link, FWD)], 100.0)
+                 for _ in range(count)]
+        drain(env, flows)
+        finish_times = {f.finished_at for f in flows}
+        assert len(finish_times) == 1
+        assert env.now == pytest.approx(100.0 * count / capacity)
+
+    @given(st.floats(0.1, 0.999))
+    @settings(max_examples=20, deadline=None)
+    def test_duplex_factor_never_speeds_up(self, factor):
+        def bidir_time(duplex):
+            env = Environment()
+            net = FlowNetwork(env)
+            link = Resource("link", 10.0, duplex_factor=duplex)
+            flows = [net.start_flow([(link, FWD)], 100.0),
+                     net.start_flow([(link, Direction.REV)], 100.0)]
+            drain(env, flows)
+            return env.now
+
+        assert bidir_time(factor) >= bidir_time(1.0) - 1e-9
+
+
+class TestRandomTopologies:
+    @given(st.integers(2, 6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_routing_reaches_every_gpu(self, gpu_count, data):
+        """Random trees of switches + GPUs stay fully routable."""
+        topology = Topology("fuzz")
+        topology.add_node("cpu0", NodeKind.CPU,
+                          memory=Resource("mem0", 100.0))
+        attach_points = ["cpu0"]
+        for s in range(data.draw(st.integers(0, 3))):
+            parent = data.draw(st.sampled_from(attach_points))
+            name = f"sw{s}"
+            topology.add_node(name, NodeKind.SWITCH)
+            topology.add_edge(parent, name,
+                              Resource(f"up{s}", 25.0), LinkKind.PCIE4)
+            attach_points.append(name)
+        for gpu in range(gpu_count):
+            parent = data.draw(st.sampled_from(attach_points))
+            name = f"gpu{gpu}"
+            topology.add_node(name, NodeKind.GPU,
+                              memory=Resource(f"gmem{gpu}", 700.0))
+            topology.add_edge(parent, name,
+                              Resource(f"down{gpu}", 12.5), LinkKind.PCIE3)
+        for gpu in range(gpu_count):
+            route = topology.route("cpu0", f"gpu{gpu}")
+            assert route.hops
+            assert route.bottleneck <= 25.0
+            back = topology.route(f"gpu{gpu}", "cpu0")
+            assert len(back.hops) == len(route.hops)
+        # GPU-to-GPU routes exist and never transit other GPUs.
+        route = topology.route("gpu0", f"gpu{gpu_count - 1}")
+        crossed = {res.name for res, _ in route.hops}
+        for other in range(1, gpu_count - 1):
+            assert f"gmem{other}" not in crossed
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_correct_on_random_machine(self, seed):
+        """A randomly shaped custom platform still sorts correctly."""
+        from repro.hw import SystemBuilder
+        from repro.runtime import Machine
+        from repro.sort import het_sort
+        from repro.units import gb, gib
+
+        rng = np.random.default_rng(seed)
+        builder = SystemBuilder(f"fuzz{seed}")
+        nodes = int(rng.integers(1, 3))
+        for _ in range(nodes):
+            builder.add_numa_node(read_bw=gb(float(rng.integers(50, 200))),
+                                  write_bw=gb(float(rng.integers(50, 200))),
+                                  capacity=gib(256))
+        if nodes == 2:
+            builder.connect_numa_nodes(0, 1, LinkKind.UPI,
+                                       gb(float(rng.integers(30, 100))))
+        gpu_count = int(rng.integers(1, 5))
+        for _ in range(gpu_count):
+            builder.add_gpu(numa=int(rng.integers(0, nodes)),
+                            spec=SystemBuilder.v100_spec(),
+                            link=LinkKind.PCIE3,
+                            bandwidth=gb(float(rng.integers(8, 14))))
+        spec = builder.build(cpu=SystemBuilder.generic_cpu())
+        machine = Machine(spec, scale=1)
+        keys = rng.integers(0, 1000, size=2000).astype(np.int32)
+        result = het_sort(machine, keys,
+                          gpu_ids=tuple(range(gpu_count)))
+        assert np.array_equal(result.output, np.sort(keys))
+        assert result.duration > 0

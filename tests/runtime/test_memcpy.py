@@ -1,0 +1,195 @@
+"""Unit tests of the copy engine: kinds, timing, payload movement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeApiError
+from repro.hw import dgx_a100, ibm_ac922
+from repro.runtime import Machine
+from repro.runtime.memcpy import copy_all, copy_async, span
+from repro.units import gb
+
+
+def run_copy(machine, dst, src, phase=None):
+    machine.run(copy_async(machine, dst, src, phase=phase))
+
+
+class TestFunctionalEffect:
+    def test_htod_moves_payload(self, ac922, rng):
+        data = rng.integers(0, 100, size=64, dtype=np.int32)
+        host = ac922.host_buffer(data.copy())
+        dev = ac922.device(0).alloc(64, np.int32)
+        run_copy(ac922, span(dev), span(host))
+        assert np.array_equal(dev.data, data)
+
+    def test_partial_spans(self, ac922):
+        host = ac922.host_buffer(np.arange(10, dtype=np.int32))
+        dev = ac922.device(0).alloc(10, np.int32)
+        dev.data[:] = -1
+        run_copy(ac922, span(dev, 5, 8), span(host, 0, 3))
+        assert list(dev.data[5:8]) == [0, 1, 2]
+        assert dev.data[0] == -1
+
+    def test_size_mismatch_rejected(self, ac922):
+        host = ac922.host_buffer(np.zeros(4, np.int32))
+        dev = ac922.device(0).alloc(8, np.int32)
+        with pytest.raises(RuntimeApiError, match="size mismatch"):
+            run_copy(ac922, span(dev), span(host))
+
+    def test_dtype_mismatch_rejected(self, ac922):
+        host = ac922.host_buffer(np.zeros(4, np.int64))
+        dev = ac922.device(0).alloc(4, np.int32)
+        with pytest.raises(RuntimeApiError, match="dtype mismatch"):
+            run_copy(ac922, span(dev), span(host))
+
+    def test_zero_length_copy_is_free(self, ac922):
+        host = ac922.host_buffer(np.zeros(4, np.int32))
+        dev = ac922.device(0).alloc(4, np.int32)
+        run_copy(ac922, span(dev, 0, 0), span(host, 0, 0))
+        assert ac922.now == 0.0
+
+    def test_snapshot_at_issue_time(self, ac922):
+        # An in-place transfer swap (3n pipeline) must read the data as
+        # of the copy's start, not its end.
+        src = ac922.host_buffer(np.full(1000, 7, np.int32))
+        staging = ac922.device(0).alloc(1000, np.int32)
+        staging.data[:] = 42
+        out = ac922.host_buffer(np.zeros(1000, np.int32))
+
+        def scenario():
+            outbound = ac922.env.process(
+                copy_async(ac922, span(out), span(staging)))
+            inbound = ac922.env.process(
+                copy_async(ac922, span(staging), span(src)))
+            yield outbound & inbound
+
+        ac922.run(scenario())
+        assert np.all(out.data == 42)       # old contents drained out
+        assert np.all(staging.data == 7)    # new contents arrived
+
+
+class TestTimingModel:
+    def test_htod_rate_matches_link(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        host = machine.host_buffer(np.zeros(1_000_000, np.int32))
+        dev = machine.device(0).alloc(1_000_000, np.int32)
+        run_copy(machine, span(dev), span(host))
+        # 4 GB logical over 72 GB/s NVLink 2.0.
+        assert machine.now == pytest.approx(4e9 / gb(72.0), rel=1e-2)
+
+    def test_pageable_buffer_pays_penalty(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        pinned = machine.host_buffer(np.zeros(1_000_000, np.int32))
+        dev = machine.device(0).alloc(1_000_000, np.int32)
+        run_copy(machine, span(dev), span(pinned))
+        pinned_time = machine.now
+
+        machine2 = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        pageable = machine2.host_buffer(np.zeros(1_000_000, np.int32),
+                                        pinned=False)
+        dev2 = machine2.device(0).alloc(1_000_000, np.int32)
+        run_copy(machine2, span(dev2), span(pageable))
+        assert machine2.now == pytest.approx(2 * pinned_time, rel=0.05)
+
+    def test_host_staged_p2p_is_capped(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        a = machine.device(0).alloc(1_000_000, np.int32)
+        b = machine.device(2).alloc(1_000_000, np.int32)
+        run_copy(machine, span(b), span(a))
+        # 0.8 x 41 GB/s = 32.8 GB/s (Figure 5a: ~32).
+        assert 4e9 / machine.now / 1e9 == pytest.approx(32.8, rel=0.02)
+
+    def test_local_dtod_uses_device_rate(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        dev = machine.device(0)
+        a = dev.alloc(1_000_000, np.int32)
+        b = dev.alloc(1_000_000, np.int32)
+        run_copy(machine, span(b), span(a))
+        assert 4e9 / machine.now / 1e9 == pytest.approx(360.0, rel=0.02)
+
+    def test_host_to_host_crosses_cpu_interconnect(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        src = machine.host_buffer(np.zeros(1_000_000, np.int32), numa=0)
+        dst = machine.host_buffer(np.zeros(1_000_000, np.int32), numa=1)
+        run_copy(machine, span(dst), span(src))
+        assert 4e9 / machine.now / 1e9 == pytest.approx(41.0, rel=0.02)
+
+    def test_phase_recorded_in_trace(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        host = machine.host_buffer(np.zeros(1000, np.int32))
+        dev = machine.device(0).alloc(1000, np.int32)
+        run_copy(machine, span(dev), span(host), phase="HtoD")
+        assert machine.trace.phases() == ["HtoD"]
+        assert machine.trace.spans[0].actor == "gpu0"
+
+
+class TestCopyEngines:
+    def test_same_direction_copies_serialize_per_gpu(self):
+        # Two HtoD copies to ONE GPU share its single inbound engine, so
+        # they serialize rather than halving the link fairly.
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        host = machine.host_buffer(np.zeros(1_000_000, np.int32))
+        d1 = machine.device(0).alloc(1_000_000, np.int32)
+        d2 = machine.device(0).alloc(1_000_000, np.int32)
+
+        def scenario():
+            yield machine.env.all_of([
+                machine.env.process(copy_async(machine, span(d1), span(host))),
+                machine.env.process(copy_async(machine, span(d2), span(host))),
+            ])
+
+        machine.run(scenario())
+        assert machine.now == pytest.approx(2 * 4e9 / gb(72.0), rel=0.02)
+
+    def test_opposite_directions_overlap(self):
+        machine = Machine(ibm_ac922(), scale=1000, fast_functional=True)
+        host_in = machine.host_buffer(np.zeros(1_000_000, np.int32))
+        host_out = machine.host_buffer(np.zeros(1_000_000, np.int32))
+        d = machine.device(0).alloc(1_000_000, np.int32)
+        d2 = machine.device(0).alloc(1_000_000, np.int32)
+
+        def scenario():
+            yield machine.env.all_of([
+                machine.env.process(copy_async(machine, span(d), span(host_in))),
+                machine.env.process(copy_async(machine, span(host_out), span(d2))),
+            ])
+
+        machine.run(scenario())
+        # Bidirectional: the slower leg is DtoH, bound by the host
+        # memory write capacity under duplex (109 x 0.544 GB/s), a bit
+        # tighter than the NVLink's own duplex rate.
+        assert machine.now == pytest.approx(4e9 / (gb(109.0) * 0.544),
+                                            rel=0.02)
+        # Still far faster than two serialized unidirectional copies.
+        assert machine.now < 1.6 * (4e9 / gb(72.0))
+
+
+class TestCopyAll:
+    def test_copy_all_runs_concurrently(self):
+        machine = Machine(dgx_a100(), scale=1000, fast_functional=True)
+        pairs = []
+        for gpu_id in (0, 2):
+            host = machine.host_buffer(np.zeros(1_000_000, np.int32))
+            dev = machine.device(gpu_id).alloc(1_000_000, np.int32)
+            pairs.append((span(dev), span(host)))
+        machine.run(copy_all(machine, pairs, phase="HtoD"))
+        # Separate PCIe switches: both copies at full 24.5 GB/s.
+        assert machine.now == pytest.approx(4e9 / gb(24.5), rel=0.02)
+
+    def test_copy_all_empty(self, ac922):
+        ac922.run(copy_all(ac922, []))
+        assert ac922.now == 0.0
+
+
+class TestSpan:
+    def test_span_bounds_checked(self, ac922):
+        buffer = ac922.host_buffer(np.zeros(10, np.int32))
+        with pytest.raises(RuntimeApiError):
+            span(buffer, 5, 20)
+        with pytest.raises(RuntimeApiError):
+            span(buffer, -1, 5)
+
+    def test_span_defaults_to_whole_buffer(self, ac922):
+        buffer = ac922.host_buffer(np.zeros(10, np.int32))
+        assert len(span(buffer)) == 10
+        assert span(buffer).nbytes == 40

@@ -1,0 +1,108 @@
+"""Unit tests of streams and the semaphore."""
+
+import pytest
+
+from repro.errors import RuntimeApiError
+from repro.runtime import Semaphore, Stream
+
+
+class TestStream:
+    def test_operations_serialize(self, ac922):
+        stream = Stream(ac922, "s")
+        order = []
+
+        def op(tag, delay):
+            yield ac922.env.timeout(delay)
+            order.append((tag, ac922.now))
+
+        stream.submit(op("first", 5))
+        stream.submit(op("second", 1))
+        ac922.run(stream.synchronize())
+        assert order == [("first", 5.0), ("second", 6.0)]
+
+    def test_different_streams_overlap(self, ac922):
+        s1, s2 = Stream(ac922), Stream(ac922)
+        done = []
+
+        def op(tag):
+            yield ac922.env.timeout(5)
+            done.append((tag, ac922.now))
+
+        s1.submit(op("a"))
+        s2.submit(op("b"))
+
+        def wait_both():
+            yield s1.synchronize() & s2.synchronize()
+
+        ac922.run(wait_both())
+        assert ac922.now == 5.0
+        assert len(done) == 2
+
+    def test_submit_returns_operation_result(self, ac922):
+        stream = Stream(ac922)
+
+        def op():
+            yield ac922.env.timeout(1)
+            return "value"
+
+        process = stream.submit(op())
+        assert ac922.run(process) == "value"
+
+    def test_synchronize_on_empty_stream(self, ac922):
+        stream = Stream(ac922)
+
+        def wait():
+            yield stream.synchronize()
+            return ac922.now
+
+        assert ac922.run(wait()) == 0.0
+
+
+class TestSemaphore:
+    def test_capacity_enforced(self, env):
+        sem = Semaphore(env, 2)
+        grabbed = []
+
+        def worker(tag):
+            yield sem.acquire()
+            grabbed.append((tag, env.now))
+            yield env.timeout(10)
+            sem.release()
+
+        for tag in "abc":
+            env.process(worker(tag))
+        env.run()
+        times = dict(grabbed)
+        assert times["a"] == 0 and times["b"] == 0
+        assert times["c"] == 10
+
+    def test_fifo_ordering(self, env):
+        sem = Semaphore(env, 1)
+        order = []
+
+        def worker(tag, arrival):
+            yield env.timeout(arrival)
+            yield sem.acquire()
+            order.append(tag)
+            yield env.timeout(5)
+            sem.release()
+
+        env.process(worker("late", 2))
+        env.process(worker("early", 1))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_available_count(self, env):
+        sem = Semaphore(env, 3)
+        assert sem.available == 3
+        sem.acquire()
+        assert sem.available == 2
+
+    def test_release_without_acquire(self, env):
+        sem = Semaphore(env, 1)
+        with pytest.raises(RuntimeApiError):
+            sem.release()
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Semaphore(env, 0)

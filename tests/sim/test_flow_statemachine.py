@@ -1,0 +1,84 @@
+"""Stateful property testing of the flow network.
+
+A hypothesis rule-based machine drives the network through arbitrary
+interleavings of flow arrivals and time advances, checking the fluid
+model's conservation laws at every step.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.engine import Environment
+from repro.sim.flows import FlowNetwork
+from repro.sim.resources import Direction, Resource
+
+
+class FlowNetworkMachine(RuleBasedStateMachine):
+    """Random arrivals over a two-link topology, with invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.env = Environment()
+        self.net = FlowNetwork(self.env)
+        self.link_a = Resource("a", 10.0, duplex_factor=0.8)
+        self.link_b = Resource("b", 4.0)
+        self.offered = 0.0
+        self.flows = []
+
+    @rule(size=st.floats(0.5, 50.0),
+          route=st.sampled_from(["a", "b", "ab", "a_rev"]))
+    def start_flow(self, size, route):
+        hops = {
+            "a": [(self.link_a, Direction.FWD)],
+            "a_rev": [(self.link_a, Direction.REV)],
+            "b": [(self.link_b, Direction.FWD)],
+            "ab": [(self.link_a, Direction.FWD),
+                   (self.link_b, Direction.FWD)],
+        }[route]
+        self.flows.append(self.net.start_flow(hops, size))
+        self.offered += size
+
+    @rule(delay=st.floats(0.1, 20.0))
+    def advance_time(self, delay):
+        deadline = self.env.now + delay
+        self.env.run(until=deadline)
+
+    @invariant()
+    def rates_never_exceed_capacity(self):
+        for link, cap in ((self.link_a, 10.0), (self.link_b, 4.0)):
+            for direction in Direction:
+                assert self.net.utilization(link, direction) <= cap + 1e-6
+
+    @invariant()
+    def remaining_is_never_negative(self):
+        for flow in self.flows:
+            assert flow.remaining >= -1e-9
+            assert flow.remaining <= flow.size + 1e-9
+
+    @invariant()
+    def finished_flows_triggered_their_events(self):
+        for flow in self.flows:
+            if flow.finished_at is not None:
+                assert flow.done.triggered
+                assert flow.remaining == 0.0
+
+    def teardown(self):
+        # Drain everything and check total conservation.
+        if not self.flows:
+            return
+        done = [f.done for f in self.flows]
+
+        def waiter():
+            yield self.env.all_of(done)
+
+        self.env.run(self.env.process(waiter()))
+        delivered = sum(f.size for f in self.flows
+                        if f.finished_at is not None)
+        assert delivered == pytest.approx(self.offered, rel=1e-6)
+
+
+FlowNetworkMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestFlowNetworkStateful = FlowNetworkMachine.TestCase

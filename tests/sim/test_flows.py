@@ -1,0 +1,194 @@
+"""Unit tests of the max-min fair flow network."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.resources import Direction, Resource, SharingCurve
+
+FWD, REV = Direction.FWD, Direction.REV
+
+
+def run_until_done(env, net, flows):
+    def waiter():
+        yield env.all_of([f.done for f in flows])
+
+    env.run(env.process(waiter()))
+
+
+class TestSingleFlow:
+    def test_duration_is_size_over_capacity(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 50.0)
+        run_until_done(env, net, [flow])
+        assert env.now == pytest.approx(5.0)
+        assert flow.finished_at == pytest.approx(5.0)
+
+    def test_rate_cap_binds_below_capacity(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 50.0, rate_cap=5.0)
+        run_until_done(env, net, [flow])
+        assert env.now == pytest.approx(10.0)
+
+    def test_zero_size_completes_immediately(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 0.0)
+        assert flow.done.triggered
+        assert flow.finished_at == env.now
+
+    def test_unconstrained_flow_rejected(self, env, net):
+        with pytest.raises(SimulationError):
+            net.start_flow([], 100.0)
+
+    def test_routeless_flow_with_cap_allowed(self, env, net):
+        flow = net.start_flow([], 100.0, rate_cap=10.0)
+        run_until_done(env, net, [flow])
+        assert env.now == pytest.approx(10.0)
+
+    def test_negative_size_rejected(self, env, net):
+        with pytest.raises(ValueError):
+            net.start_flow([], -1.0, rate_cap=1.0)
+
+    def test_invalid_rate_cap_rejected(self, env, net):
+        with pytest.raises(ValueError):
+            net.start_flow([], 1.0, rate_cap=0.0)
+
+
+class TestFairSharing:
+    def test_equal_flows_split_capacity(self, env, net):
+        link = Resource("l", 10.0)
+        flows = [net.start_flow([(link, FWD)], 50.0) for _ in range(2)]
+        run_until_done(env, net, flows)
+        assert env.now == pytest.approx(10.0)
+
+    def test_short_flow_finishes_and_frees_bandwidth(self, env, net):
+        link = Resource("l", 10.0)
+        long_flow = net.start_flow([(link, FWD)], 100.0)
+        short_flow = net.start_flow([(link, FWD)], 50.0)
+        run_until_done(env, net, [short_flow])
+        assert env.now == pytest.approx(10.0)
+        run_until_done(env, net, [long_flow])
+        # 50 bytes at rate 5 until t=10, then 50 at rate 10 -> t=15.
+        assert env.now == pytest.approx(15.0)
+
+    def test_opposite_directions_do_not_share(self, env, net):
+        link = Resource("l", 10.0)
+        fwd = net.start_flow([(link, FWD)], 100.0)
+        rev = net.start_flow([(link, REV)], 100.0)
+        run_until_done(env, net, [fwd, rev])
+        assert env.now == pytest.approx(10.0)
+
+    def test_duplex_penalty_lifts_after_reverse_finishes(self, env, net):
+        link = Resource("l", 10.0, duplex_factor=0.5)
+        fwd = net.start_flow([(link, FWD)], 100.0)
+        net.start_flow([(link, REV)], 25.0)
+        run_until_done(env, net, [fwd])
+        # 25 bytes at 5/s until t=5, then 75 at 10/s -> 12.5.
+        assert env.now == pytest.approx(12.5)
+
+    def test_bottleneck_on_multi_hop_route(self, env, net):
+        fast = Resource("fast", 100.0)
+        slow = Resource("slow", 10.0)
+        flow = net.start_flow([(fast, FWD), (slow, FWD)], 100.0)
+        run_until_done(env, net, [flow])
+        assert env.now == pytest.approx(10.0)
+
+    def test_water_filling_uneven_bottlenecks(self, env, net):
+        # Flow A crosses shared (cap 10) only; flow B also crosses a
+        # private slow link (cap 2).  Max-min: B gets 2, A gets 8.
+        shared = Resource("shared", 10.0)
+        private = Resource("private", 2.0)
+        a = net.start_flow([(shared, FWD)], 80.0)
+        b = net.start_flow([(shared, FWD), (private, FWD)], 20.0)
+        run_until_done(env, net, [a, b])
+        assert a.finished_at == pytest.approx(10.0)
+        assert b.finished_at == pytest.approx(10.0)
+
+    def test_rate_caps_release_share_to_others(self, env, net):
+        shared = Resource("shared", 10.0)
+        capped = net.start_flow([(shared, FWD)], 30.0, rate_cap=3.0)
+        free = net.start_flow([(shared, FWD)], 70.0)
+        run_until_done(env, net, [capped, free])
+        # capped at 3, free gets 7: both take 10s.
+        assert capped.finished_at == pytest.approx(10.0)
+        assert free.finished_at == pytest.approx(10.0)
+
+    def test_sharing_curve_degrades_capacity(self, env, net):
+        link = Resource("l", 10.0, sharing=SharingCurve({2: 0.5}))
+        flows = [net.start_flow([(link, FWD)], 25.0) for _ in range(2)]
+        run_until_done(env, net, flows)
+        # 2 flows -> capacity 5 -> 2.5 each -> 10s.
+        assert env.now == pytest.approx(10.0)
+
+    def test_same_resource_both_directions_in_one_route(self, env, net):
+        # A compute flow reading and writing one memory: the rate is
+        # bound by the tighter direction under duplex.
+        memory = Resource("mem", capacity_fwd=10.0, capacity_rev=4.0,
+                          duplex_factor=1.0)
+        flow = net.start_flow([(memory, FWD), (memory, REV)], 40.0)
+        run_until_done(env, net, [flow])
+        assert env.now == pytest.approx(10.0)
+
+
+class TestAccounting:
+    def test_delivered_bytes_recorded(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 50.0)
+        run_until_done(env, net, [flow])
+        assert net.delivered[(link, FWD)] == pytest.approx(50.0)
+
+    def test_conservation_across_many_flows(self, env, net, rng):
+        link = Resource("l", 7.0)
+        sizes = [float(s) for s in rng.integers(1, 100, size=20)]
+        flows = [net.start_flow([(link, FWD)], s) for s in sizes]
+        run_until_done(env, net, flows)
+        assert net.delivered[(link, FWD)] == pytest.approx(sum(sizes))
+
+    def test_utilization_snapshot(self, env, net):
+        link = Resource("l", 10.0)
+        net.start_flow([(link, FWD)], 100.0)
+        net.start_flow([(link, FWD)], 100.0)
+        assert net.utilization(link, Direction.FWD) == pytest.approx(10.0)
+        assert net.utilization(link, Direction.REV) == 0.0
+
+    def test_active_flows_listing(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 100.0)
+        assert flow in net.active_flows
+        run_until_done(env, net, [flow])
+        assert net.active_flows == []
+
+    def test_flow_repr(self, env, net):
+        link = Resource("l", 10.0)
+        flow = net.start_flow([(link, FWD)], 10.0, label="hto d")
+        assert "hto d" in repr(flow)
+
+
+class TestStaggeredArrivals:
+    def test_late_flow_reshapes_rates(self, env, net):
+        link = Resource("l", 10.0)
+        first = net.start_flow([(link, FWD)], 100.0)
+
+        def late_start():
+            yield env.timeout(5.0)
+            second = net.start_flow([(link, FWD)], 25.0)
+            yield second.done
+            return env.now
+
+        p = env.process(late_start())
+        env.run(until=p)
+        # First runs alone 5s (50 delivered); then both at 5/s: second's
+        # 25 bytes take 5s -> t=10.
+        assert env.now == pytest.approx(10.0)
+        run_until_done(env, net, [first])
+        # First: 50 remaining at t=10 minus 25 delivered during sharing
+        # -> 25 left at 10/s -> t=12.5.
+        assert env.now == pytest.approx(12.5)
+
+    def test_transfer_helper(self, env, net):
+        link = Resource("l", 10.0)
+
+        def proc():
+            flow = yield from net.transfer([(link, FWD)], 30.0)
+            return flow.finished_at
+
+        assert env.run(env.process(proc())) == pytest.approx(3.0)

@@ -1,0 +1,82 @@
+"""Unit tests of directional resources and sharing curves."""
+
+import pytest
+
+from repro.sim.resources import Direction, Resource, SharingCurve
+
+
+class TestDirection:
+    def test_flipped(self):
+        assert Direction.FWD.flipped() is Direction.REV
+        assert Direction.REV.flipped() is Direction.FWD
+
+
+class TestSharingCurve:
+    def test_default_is_flat(self):
+        curve = SharingCurve()
+        assert curve.factor(1) == 1.0
+        assert curve.factor(100) == 1.0
+
+    def test_step_and_hold(self):
+        curve = SharingCurve({2: 0.95, 4: 0.82})
+        assert curve.factor(1) == 1.0
+        assert curve.factor(2) == 0.95
+        assert curve.factor(3) == 0.95
+        assert curve.factor(4) == 0.82
+        assert curve.factor(9) == 0.82
+
+    def test_zero_flows_is_neutral(self):
+        assert SharingCurve({2: 0.5}).factor(0) == 1.0
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            SharingCurve({2: 0.0})
+        with pytest.raises(ValueError):
+            SharingCurve({2: 1.5})
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            SharingCurve({0: 0.9})
+
+
+class TestResource:
+    def test_symmetric_default(self):
+        resource = Resource("r", capacity_fwd=10.0)
+        assert resource.raw_capacity(Direction.FWD) == 10.0
+        assert resource.raw_capacity(Direction.REV) == 10.0
+
+    def test_asymmetric_capacities(self):
+        resource = Resource("r", capacity_fwd=41.0, capacity_rev=35.0)
+        assert resource.raw_capacity(Direction.FWD) == 41.0
+        assert resource.raw_capacity(Direction.REV) == 35.0
+
+    def test_duplex_applies_only_with_both_directions_busy(self):
+        resource = Resource("r", 10.0, duplex_factor=0.5)
+        assert resource.effective_capacity(Direction.FWD, 2, 0) == 10.0
+        assert resource.effective_capacity(Direction.FWD, 1, 1) == 5.0
+        assert resource.effective_capacity(Direction.REV, 1, 3) == 5.0
+
+    def test_sharing_counts_total_flows(self):
+        resource = Resource("r", 10.0, sharing=SharingCurve({4: 0.8}))
+        assert resource.effective_capacity(Direction.FWD, 3, 0) == 10.0
+        assert resource.effective_capacity(Direction.FWD, 4, 0) == 8.0
+        assert resource.effective_capacity(Direction.FWD, 2, 2) == 8.0
+
+    def test_duplex_and_sharing_compose(self):
+        resource = Resource("r", 10.0, duplex_factor=0.5,
+                            sharing=SharingCurve({2: 0.8}))
+        assert resource.effective_capacity(Direction.FWD, 1, 1) == \
+            pytest.approx(4.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("r", 0.0)
+        with pytest.raises(ValueError):
+            Resource("r", 10.0, capacity_rev=-1.0)
+        with pytest.raises(ValueError):
+            Resource("r", 10.0, duplex_factor=0.0)
+        with pytest.raises(ValueError):
+            Resource("r", 10.0, duplex_factor=1.5)
+
+    def test_repr_mentions_name(self):
+        assert "xbus" in repr(Resource("xbus", 41.0, 35.0))

@@ -1,0 +1,66 @@
+"""Unit tests of the span trace."""
+
+import pytest
+
+from repro.sim.trace import Trace
+
+
+@pytest.fixture
+def trace(env):
+    return Trace(env)
+
+
+class TestRecording:
+    def test_record_defaults_end_to_now(self, env, trace):
+        env.run(until=None)
+        span = trace.record("Sort", "gpu0", start=0.0)
+        assert span.end == env.now
+        assert span.duration == env.now - 0.0
+
+    def test_record_rejects_negative_span(self, env, trace):
+        with pytest.raises(ValueError):
+            trace.record("Sort", "gpu0", start=5.0, end=1.0)
+
+    def test_span_context_manager(self, env, trace):
+        with trace.span("Sort", "gpu0", bytes=100):
+            pass
+        assert trace.spans[0].phase == "Sort"
+        assert trace.spans[0].bytes == 100
+
+    def test_clear(self, trace):
+        trace.record("A", "x", 0.0, end=1.0)
+        trace.clear()
+        assert trace.spans == []
+
+
+class TestReductions:
+    @pytest.fixture
+    def populated(self, trace):
+        trace.record("HtoD", "gpu0", 0.0, end=1.0, bytes=10)
+        trace.record("HtoD", "gpu1", 0.5, end=2.0, bytes=10)
+        trace.record("Sort", "gpu0", 1.0, end=3.0, bytes=20)
+        trace.record("Sort", "gpu1", 2.0, end=4.0, bytes=20)
+        return trace
+
+    def test_phases_in_first_appearance_order(self, populated):
+        assert populated.phases() == ["HtoD", "Sort"]
+
+    def test_phase_window_spans_all_actors(self, populated):
+        assert populated.phase_window("HtoD") == (0.0, 2.0)
+
+    def test_phase_window_missing_phase(self, populated):
+        assert populated.phase_window("Merge") is None
+
+    def test_phase_durations_follow_paper_convention(self, populated):
+        # A phase ends when the last GPU completes it.
+        durations = populated.phase_durations()
+        assert durations["HtoD"] == pytest.approx(2.0)
+        assert durations["Sort"] == pytest.approx(3.0)
+
+    def test_busy_time_per_actor(self, populated):
+        assert populated.busy_time("gpu0") == pytest.approx(1.0 + 2.0)
+        assert populated.busy_time("gpu0", phase="Sort") == pytest.approx(2.0)
+
+    def test_total_bytes(self, populated):
+        assert populated.total_bytes() == 60
+        assert populated.total_bytes("HtoD") == 20

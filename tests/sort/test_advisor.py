@@ -1,0 +1,87 @@
+"""Tests of the algorithm advisor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SortError
+from repro.hw import delta_d22x, dgx_a100, ibm_ac922
+from repro.sort import HetConfig, P2PConfig, recommend
+from repro.sort.advisor import Plan
+
+
+class TestRecommendations:
+    def test_dgx_in_core_prefers_single_exchange(self):
+        rec = recommend(dgx_a100(), 2e9)
+        # Both GPU-resident algorithms beat HET on NVSwitch; the
+        # single-exchange RP sort edges out the merge-based one.
+        assert rec.algorithm in ("rp", "p2p")
+        assert len(rec.gpu_ids) == 8
+
+    def test_ac922_in_core_prefers_two_nvlink_gpus(self):
+        rec = recommend(ibm_ac922(), 2e9)
+        assert rec.algorithm == "p2p"
+        assert set(rec.gpu_ids) == {0, 1}
+
+    def test_ac922_out_of_core_prefers_gpu_merged_het(self):
+        rec = recommend(ibm_ac922(), 32e9)
+        assert rec.algorithm == "het"
+        assert isinstance(rec.best.config, HetConfig)
+        assert rec.best.config.gpu_merge_groups
+
+    def test_delta_finds_the_reordered_p2p_plan(self):
+        rec = recommend(delta_d22x(), 2e9)
+        assert rec.algorithm == "p2p"
+        # The optimizer's all-NVLink order, not the paper's default.
+        assert rec.gpu_ids != (0, 1, 2, 3)
+        assert set(rec.gpu_ids) == {0, 1, 2, 3}
+
+    def test_numa_local_wins_on_ac922_four_gpus(self):
+        rec = recommend(ibm_ac922(), 2e9, numa_local_input=True)
+        placed = [plan for plan in rec.candidates
+                  if isinstance(plan.config, P2PConfig)
+                  and plan.config.input_placement == "numa-local"
+                  and len(plan.gpu_ids) == 4]
+        default = [plan for plan in rec.candidates
+                   if isinstance(plan.config, P2PConfig)
+                   and plan.config.input_placement == "node0"
+                   and len(plan.gpu_ids) == 4]
+        assert placed and default
+        assert min(p.predicted_seconds for p in placed) < \
+            min(p.predicted_seconds for p in default)
+
+    def test_best_is_minimum_of_candidates(self):
+        rec = recommend(dgx_a100(), 1e9)
+        assert rec.predicted_seconds == min(
+            plan.predicted_seconds for plan in rec.candidates)
+
+    def test_plan_config_round_trips(self):
+        from repro.runtime import Machine
+        from repro.sort import het_sort, p2p_sort, rp_sort
+
+        rec = recommend(ibm_ac922(), 2e9)
+        sorter = {"p2p": p2p_sort, "het": het_sort, "rp": rp_sort}[
+            rec.algorithm]
+        machine = Machine(ibm_ac922(), scale=1)
+        keys = np.random.default_rng(0).integers(
+            0, 1000, size=2048).astype(np.int32)
+        result = sorter(machine, keys, gpu_ids=rec.gpu_ids,
+                        config=rec.best.config)
+        assert np.array_equal(result.output, np.sort(keys))
+
+    def test_table_lists_all_candidates(self):
+        rec = recommend(ibm_ac922(), 2e9)
+        assert len(rec.table().splitlines()) == len(rec.candidates)
+
+    def test_describe(self):
+        plan = Plan("p2p", (0, 1), 0.5, None, notes="reordered")
+        assert "p2p" in plan.describe()
+        assert "reordered" in plan.describe()
+
+    def test_invalid_key_count(self):
+        with pytest.raises(SortError):
+            recommend(dgx_a100(), 0)
+
+    def test_small_functional_probe(self):
+        # Fewer keys than the probe size: fully functional, still works.
+        rec = recommend(dgx_a100(), 5000)
+        assert rec.predicted_seconds > 0

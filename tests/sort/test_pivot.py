@@ -1,0 +1,123 @@
+"""Unit and property tests of pivot selection (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SortError
+from repro.sort.pivot import (
+    is_valid_pivot,
+    select_pivot,
+    select_pivot_paper,
+)
+
+
+def check_partition(a, b, p):
+    """Simulate the swap and verify the two-sided partition."""
+    n = len(a)
+    new_a = np.concatenate([a[:n - p], b[:p]])
+    new_b = np.concatenate([a[n - p:], b[p:]])
+    if new_a.size and new_b.size:
+        assert new_a.max() <= new_b.min()
+
+
+class TestSelectPivot:
+    def test_disjoint_sorted_inputs_need_no_swap(self):
+        a = np.arange(10)
+        b = np.arange(10, 20)
+        assert select_pivot(a, b) == 0
+
+    def test_fully_inverted_inputs_need_full_swap(self):
+        a = np.arange(10, 20)
+        b = np.arange(10)
+        assert select_pivot(a, b) == 10
+
+    def test_interleaved(self):
+        a = np.array([0, 2, 4, 6])
+        b = np.array([1, 3, 5, 7])
+        p = select_pivot(a, b)
+        assert is_valid_pivot(a, b, p)
+        check_partition(a, b, p)
+
+    def test_all_equal_picks_zero(self):
+        a = np.zeros(8, dtype=np.int32)
+        b = np.zeros(8, dtype=np.int32)
+        # Any pivot is valid; leftmost avoids all P2P traffic.
+        assert select_pivot(a, b) == 0
+
+    def test_single_element(self):
+        assert select_pivot([5], [3]) == 1
+        assert select_pivot([3], [5]) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SortError):
+            select_pivot([1, 2], [3])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SortError):
+            select_pivot([], [])
+
+    def test_works_on_floats(self, rng):
+        a = np.sort(rng.normal(size=50))
+        b = np.sort(rng.normal(size=50))
+        p = select_pivot(a, b)
+        assert is_valid_pivot(a, b, p)
+        check_partition(a, b, p)
+
+    @given(st.integers(1, 40), st.integers(1, 10), st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_property_valid_and_minimal(self, n, spread, data):
+        a = np.sort(np.array(data.draw(
+            st.lists(st.integers(0, spread), min_size=n, max_size=n))))
+        b = np.sort(np.array(data.draw(
+            st.lists(st.integers(0, spread), min_size=n, max_size=n))))
+        p = select_pivot(a, b)
+        assert is_valid_pivot(a, b, p)
+        check_partition(a, b, p)
+        if p > 0:
+            assert not is_valid_pivot(a, b, p - 1)
+
+
+class TestIsValidPivot:
+    def test_out_of_range(self):
+        a = np.arange(4)
+        assert not is_valid_pivot(a, a, -1)
+        assert not is_valid_pivot(a, a, 5)
+
+    def test_valid_set_is_contiguous(self, rng):
+        for _ in range(100):
+            n = int(rng.integers(1, 20))
+            a = np.sort(rng.integers(0, 6, size=n))
+            b = np.sort(rng.integers(0, 6, size=n))
+            validity = [is_valid_pivot(a, b, p) for p in range(n + 1)]
+            assert any(validity)
+            first = validity.index(True)
+            last = len(validity) - validity[::-1].index(True)
+            assert all(validity[first:last])
+            assert not any(validity[:first])
+            assert not any(validity[last:])
+
+
+class TestPaperAlgorithm:
+    def test_mostly_agrees_on_distinct_keys(self, rng):
+        for _ in range(200):
+            n = int(rng.integers(1, 30))
+            pool = rng.permutation(1000)[:2 * n]
+            a = np.sort(pool[:n])
+            b = np.sort(pool[n:])
+            ours = select_pivot(a, b)
+            theirs = select_pivot_paper(a, b)
+            if is_valid_pivot(a, b, theirs):
+                # A valid Algorithm 1 pivot is never left of leftmost.
+                assert theirs >= ours
+
+    def test_leftmost_never_moves_more_data(self, rng):
+        for _ in range(200):
+            n = int(rng.integers(1, 30))
+            a = np.sort(rng.integers(0, 5, size=n))
+            b = np.sort(rng.integers(0, 5, size=n))
+            ours = select_pivot(a, b)
+            theirs = select_pivot_paper(a, b)
+            if is_valid_pivot(a, b, theirs):
+                assert ours <= theirs

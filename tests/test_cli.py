@@ -1,0 +1,72 @@
+"""Tests of the top-level ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSortCommand:
+    def test_default_run(self, capsys):
+        assert main(["sort", "--keys", "1e8"]) == 0
+        out = capsys.readouterr().out
+        assert "p2p sort on NVIDIA DGX A100" in out
+        assert "HtoD" in out and "DtoH" in out
+
+    def test_system_and_gpus(self, capsys):
+        assert main(["sort", "--system", "ibm-ac922", "--gpus", "0,1",
+                     "--keys", "1e8"]) == 0
+        out = capsys.readouterr().out
+        assert "GPUs (0, 1)" in out
+
+    @pytest.mark.parametrize("algorithm", ["p2p", "het", "rp"])
+    def test_all_algorithms(self, capsys, algorithm):
+        assert main(["sort", "--algorithm", algorithm,
+                     "--keys", "1e8"]) == 0
+        assert f"{algorithm} sort" in capsys.readouterr().out
+
+    def test_distribution_and_dtype(self, capsys):
+        assert main(["sort", "--distribution", "reverse-sorted",
+                     "--dtype", "double", "--keys", "1e8"]) == 0
+        out = capsys.readouterr().out
+        assert "double keys (reverse-sorted)" in out
+
+    def test_trace_export(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["sort", "--keys", "1e8", "--trace", str(path)]) == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+
+    def test_small_key_count_runs_functionally(self, capsys):
+        # Fewer logical keys than the physical default: scale clamps
+        # to 1 and the run is fully functional.
+        assert main(["sort", "--keys", "1000"]) == 0
+        assert "B int keys" in capsys.readouterr().out
+
+    def test_bad_gpu_list_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sort", "--gpus", "zero,one"])
+
+
+class TestSystemsCommand:
+    def test_lists_all_three(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ibm-ac922", "delta-d22x", "dgx-a100"):
+            assert name in out
+
+
+class TestRecommendCommand:
+    def test_recommend_prints_plan(self, capsys):
+        assert main(["recommend", "--system", "ibm-ac922",
+                     "--keys", "2e9"]) == 0
+        out = capsys.readouterr().out
+        assert "best plan" in out
+        assert "p2p" in out
+
+    def test_recommend_with_numa_local(self, capsys):
+        assert main(["recommend", "--system", "ibm-ac922",
+                     "--keys", "2e9", "--numa-local-input"]) == 0
+        assert "numa-local" in capsys.readouterr().out
