@@ -21,7 +21,13 @@ def main(argv=None) -> int:
                         help="list available experiments and exit")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all result tables as JSON")
+    parser.add_argument("--quick", action="store_true",
+                        help="simcore only: run the small scenarios once "
+                             "each and skip the JSON record")
     args = parser.parse_args(argv)
+    if args.quick:
+        from repro.bench.experiments import simcore
+        simcore.QUICK = True
     if args.list:
         for experiment in EXPERIMENTS:
             print(f"{experiment.id:22s} {experiment.title}")

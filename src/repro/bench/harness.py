@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     large_data,
     local_copy,
     merge_saturation,
+    simcore,
     sort_scaling,
     table2,
     transfer_ramp,
@@ -106,6 +107,8 @@ EXPERIMENTS: List[Experiment] = [
                transfer_ramp.run_transfer_ramp),
     Experiment("ext-co-running", "Extension: co-running workloads",
                co_running.run_co_running),
+    Experiment("simcore", "Simulator-core throughput (engine + allocator)",
+               simcore.run_simcore_entry),
 ]
 
 _BY_ID: Dict[str, Experiment] = {e.id: e for e in EXPERIMENTS}

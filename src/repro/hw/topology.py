@@ -101,6 +101,9 @@ class Route:
     host_traversing: bool
     #: Minimum static capacity along the path (forward direction of travel).
     bottleneck: float
+    #: Total one-way traversal latency of the path (sum over hops),
+    #: pre-computed once so per-copy setup stays O(1).
+    latency_s: float = 0.0
 
 
 class Topology:
@@ -289,7 +292,9 @@ class Topology:
         route = Route(src=src, dst=dst, hops=tuple(hops),
                       link_kinds=tuple(kinds),
                       host_traversing=host_traversing,
-                      bottleneck=bottleneck)
+                      bottleneck=bottleneck,
+                      latency_s=sum(resource.latency_s
+                                    for resource, _direction in hops))
         self._route_cache[key] = route
         return route
 

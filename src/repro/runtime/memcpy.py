@@ -154,9 +154,8 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
         try:
             # Fixed cost before the first byte moves: the launch
             # overhead of the involved devices plus one traversal
-            # latency per hop of the route.
-            overhead = sum(resource.latency_s
-                           for resource, _direction in route.hops)
+            # latency per hop of the route (pre-summed on the route).
+            overhead = route.latency_s
             launch = 0.0
             for buffer in (src.buffer, dst.buffer):
                 if isinstance(buffer, DeviceBuffer):

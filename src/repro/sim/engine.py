@@ -52,6 +52,8 @@ class Event:
     callbacks run by the environment at the current simulation time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
@@ -120,6 +122,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after its creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -132,6 +136,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a process on the next loop iteration."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -148,6 +154,8 @@ class Process(Event):
     succeeds with the generator's return value, or fails with any
     uncaught exception.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -229,6 +237,8 @@ class _Condition(Event):
     :class:`Timeout`, does not count.
     """
 
+    __slots__ = ("events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self.events: List[Event] = list(events)
@@ -271,12 +281,16 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds once every given event has succeeded."""
 
+    __slots__ = ()
+
     def _evaluate(self) -> bool:
         return self._count >= len(self.events)
 
 
 class AnyOf(_Condition):
     """Succeeds once at least one given event has succeeded."""
+
+    __slots__ = ()
 
     def _evaluate(self) -> bool:
         return len(self.events) == 0 or self._count >= 1
@@ -285,11 +299,17 @@ class AnyOf(_Condition):
 class Environment:
     """Execution environment: the clock and the event queue."""
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process",
+                 "events_processed")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Number of events whose callbacks have run (for sim-throughput
+        #: metrics; see the ``simcore`` benchmark).
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -337,9 +357,15 @@ class Environment:
             raise SimulationError("no scheduled events")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        if len(callbacks) == 1:
+            # The overwhelmingly common case: one waiter (a process
+            # resume or a flow-completion handler).
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event.defused:
             raise event._value
 

@@ -14,12 +14,31 @@ X-Bus split its capacity.
 The network is a *fluid* model: between allocation changes each flow
 progresses linearly at its rate, so completion times can be scheduled
 exactly and re-scheduled whenever the allocation changes.
+
+The implementation is incremental, sized for simulations with thousands
+of flow arrivals:
+
+* each flow's deduplicated hops are resolved once at construction;
+* a persistent per-``(resource, direction)`` membership index is
+  maintained on flow add/remove instead of being re-derived from every
+  route on every allocation change;
+* a flow whose resources are untouched by any other active flow takes a
+  fast path — its rate is the plain bottleneck minimum and nobody else
+  is re-allocated (disjoint routes keep their rates);
+* completions are heap-scheduled events invalidated by token, not
+  watcher processes — a reallocation costs one event per flow, no
+  generator churn.
+
+Membership keys pack ``(id(resource), direction)`` into one integer
+(``id << 1 | direction bit``) so the hot dictionaries never hash enum
+members or tuples.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.resources import Direction, Resource
@@ -37,6 +56,12 @@ class Flow:
     byte has been delivered.  ``rate_cap`` optionally limits the flow to
     a source/sink-specific rate, e.g. a GPU copy engine's bandwidth.
     """
+
+    __slots__ = ("network", "route", "size", "remaining", "rate_cap",
+                 "label", "rate", "started_at", "finished_at", "done",
+                 "hops", "hop_keys", "resources",
+                 "_completion_token", "_last_update", "_finish_threshold",
+                 "_credited")
 
     def __init__(
         self,
@@ -61,6 +86,32 @@ class Flow:
         self.finished_at: Optional[float] = None
         self.done: Event = network.env.event()
         self._completion_token = 0
+        self._last_update = self.started_at
+        self._finish_threshold = _EPSILON_BYTES * max(self.size, 1.0)
+        #: Bytes already credited to the network's delivered counters.
+        self._credited = 0.0
+        # Deduplicated hops, resolved once: `hops` keeps the first
+        # occurrence of every (resource, direction); `hop_keys` are the
+        # packed integer membership keys; `resources` each distinct
+        # resource once, regardless of direction.
+        hops: List[Hop] = []
+        keys: List[int] = []
+        resources: List[Resource] = []
+        seen_keys = set()
+        seen_rids = set()
+        for resource, direction in self.route:
+            key = (id(resource) << 1) | (direction is Direction.REV)
+            if key not in seen_keys:
+                seen_keys.add(key)
+                hops.append((resource, direction))
+                keys.append(key)
+            rid = id(resource)
+            if rid not in seen_rids:
+                seen_rids.add(rid)
+                resources.append(resource)
+        self.hops: Tuple[Hop, ...] = tuple(hops)
+        self.hop_keys: Tuple[int, ...] = tuple(keys)
+        self.resources: Tuple[Resource, ...] = tuple(resources)
 
     @property
     def active(self) -> bool:
@@ -72,14 +123,62 @@ class Flow:
                 f"remaining={self.remaining:.3g} rate={self.rate:.3g}>")
 
 
+class _Completion(Event):
+    """Heap-scheduled completion of one flow at its current rate.
+
+    Like a :class:`~repro.sim.engine.Timeout`, the event is triggered at
+    creation and fires after ``delay``; unlike the old per-flow watcher
+    *processes*, it is a single heap entry with a single callback.  A
+    reallocation bumps the flow's ``_completion_token``, turning any
+    previously scheduled completion into a no-op when it fires.
+    """
+
+    __slots__ = ("flow", "token")
+
+    def __init__(self, network: "FlowNetwork", flow: Flow, delay: float):
+        # Inlined Event.__init__ + Environment._schedule: a reallocation
+        # creates one of these per flow, so construction cost is the
+        # dominant term of the allocator's own overhead.
+        env = network.env
+        self.env = env
+        self.callbacks = [network._completion_cb]
+        self._value = flow
+        self._ok = True
+        self.defused = False
+        self.flow = flow
+        self.token = flow._completion_token
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now + delay, env._eid, self))
+
+
 class FlowNetwork:
     """Tracks active flows and keeps their max-min fair rates current."""
 
     def __init__(self, env: Environment):
         self.env = env
-        self._flows: Set[Flow] = set()
-        #: Total bytes delivered over each resource direction (for traces).
-        self.delivered: Dict[Tuple[Resource, Direction], float] = {}
+        #: Active flows in arrival order (insertion-ordered dict-as-set).
+        self._flows: Dict[Flow, None] = {}
+        #: Membership index: packed (resource, direction) key -> the
+        #: active flows crossing it, in arrival order.
+        self._members: Dict[int, Dict[Flow, None]] = {}
+        #: Resources currently crossed by at least one active flow.
+        self._resources: Dict[int, Resource] = {}
+        #: Per-resource active-flow reference counts (both directions).
+        self._refs: Dict[int, int] = {}
+        self._delivered: Dict[Tuple[Resource, Direction], float] = {}
+        #: Simulated time of the last full advancement sweep.
+        self._advanced_at = -math.inf
+        #: Whether a flow may already sit below its finish threshold
+        #: (forces the next sweep even with no time elapsed).
+        self._may_have_finished = False
+        #: Pre-bound completion callback, shared by every scheduled
+        #: completion event (avoids a bound-method allocation apiece).
+        self._completion_cb = self._on_completion
+        #: Allocation statistics (for the ``simcore`` benchmark).
+        self.full_reallocations = 0
+        self.fast_starts = 0
+        self.fast_finishes = 0
+        self.completion_events = 0
 
     # -- public API -------------------------------------------------------
     def start_flow(
@@ -103,9 +202,19 @@ class FlowNetwork:
             raise SimulationError(
                 f"flow {label!r} has neither a route nor a rate cap; "
                 "its rate would be unbounded")
-        self._advance_all()
-        self._flows.add(flow)
-        self._reallocate()
+        finished = self._advance_all()
+        refs = self._refs
+        disjoint = not finished and not any(
+            refs.get(id(resource), 0) for resource in flow.resources)
+        self._insert(flow)
+        if flow.remaining <= flow._finish_threshold:
+            # Sub-epsilon (but non-zero) flow: make sure the next sweep
+            # picks it up even if no simulated time passes first.
+            self._may_have_finished = True
+        if disjoint:
+            self._allocate_single(flow)
+        else:
+            self._reallocate()
         return flow
 
     def transfer(self, route: Sequence[Hop], size: float,
@@ -117,115 +226,222 @@ class FlowNetwork:
 
     @property
     def active_flows(self) -> List[Flow]:
-        """Snapshot of the currently active flows."""
+        """Snapshot of the currently active flows, in arrival order."""
         return list(self._flows)
+
+    @property
+    def delivered(self) -> Dict[Tuple[Resource, Direction], float]:
+        """Total bytes delivered over each resource direction (for traces).
+
+        Progress of *active* flows is accounted lazily — reading this
+        property credits every flow's uncredited progress first, so the
+        returned counters are exact as of the current simulated time.
+        """
+        now = self.env.now
+        for flow in self._flows:
+            elapsed = now - flow._last_update
+            progress = flow.size - flow.remaining - flow._credited
+            if elapsed > 0 and flow.rate > 0:
+                progress += min(flow.rate * elapsed, flow.remaining)
+            if progress > 0:
+                self._credit(flow, progress)
+        return self._delivered
+
+    def _credit(self, flow: Flow, progress: float) -> None:
+        """Attribute ``progress`` bytes to every hop of ``flow``."""
+        delivered = self._delivered
+        for hop in flow.route:
+            delivered[hop] = delivered.get(hop, 0.0) + progress
+        flow._credited += progress
 
     def utilization(self, resource: Resource, direction: Direction) -> float:
         """Aggregate current rate crossing ``resource`` in ``direction``."""
+        key = (id(resource) << 1) | (direction is Direction.REV)
+        flows_here = self._members.get(key)
+        if not flows_here:
+            return 0.0
         total = 0.0
-        for flow in self._flows:
-            for res, direc in flow.route:
-                if res is resource and direc is direction:
-                    total += flow.rate
-                    break
+        for flow in flows_here:
+            total += flow.rate
         return total
 
+    # -- membership index -------------------------------------------------
+    def _insert(self, flow: Flow) -> None:
+        self._flows[flow] = None
+        members = self._members
+        for key in flow.hop_keys:
+            bucket = members.get(key)
+            if bucket is None:
+                members[key] = {flow: None}
+            else:
+                bucket[flow] = None
+        refs = self._refs
+        resources = self._resources
+        for resource in flow.resources:
+            rid = id(resource)
+            count = refs.get(rid, 0)
+            if count == 0:
+                resources[rid] = resource
+            refs[rid] = count + 1
+
+    def _remove(self, flow: Flow) -> None:
+        members = self._members
+        for key in flow.hop_keys:
+            bucket = members[key]
+            del bucket[flow]
+            if not bucket:
+                del members[key]
+        refs = self._refs
+        for resource in flow.resources:
+            rid = id(resource)
+            count = refs[rid] - 1
+            if count:
+                refs[rid] = count
+            else:
+                del refs[rid]
+                del self._resources[rid]
+
     # -- internals --------------------------------------------------------
-    def _advance_all(self) -> None:
-        """Account progress of every flow since its last update."""
+    def _advance_all(self) -> List[Flow]:
+        """Account progress of every flow since its last update.
+
+        Returns the flows that reached (epsilon-)completion and were
+        finished in the process.
+
+        Delivered-bytes accounting is *not* done here — progress is
+        credited lazily (on finish, or when :attr:`delivered` is read),
+        so the per-event sweep is a handful of float operations per
+        flow.  Sweeps repeated at one simulated instant short-circuit.
+        """
         now = self.env.now
+        if now == self._advanced_at and not self._may_have_finished:
+            return []
         finished: List[Flow] = []
         for flow in self._flows:
-            elapsed = now - flow._last_update if hasattr(flow, "_last_update") else 0.0
+            elapsed = now - flow._last_update
             if elapsed > 0 and flow.rate > 0:
                 moved = flow.rate * elapsed
                 moved = min(moved, flow.remaining)
                 flow.remaining -= moved
-                for hop in flow.route:
-                    self.delivered[hop] = self.delivered.get(hop, 0.0) + moved
-            flow._last_update = now
-            if flow.remaining <= _EPSILON_BYTES * max(flow.size, 1.0):
+                flow._last_update = now
+            elif elapsed > 0:
+                flow._last_update = now
+            if flow.remaining <= flow._finish_threshold:
                 finished.append(flow)
+        self._advanced_at = now
+        self._may_have_finished = False
         for flow in finished:
             self._finish(flow)
+        return finished
 
     def _finish(self, flow: Flow) -> None:
-        self._flows.discard(flow)
+        if flow in self._flows:
+            del self._flows[flow]
+            self._remove(flow)
         if flow.finished_at is None:
+            finale = flow.size - flow.remaining - flow._credited
+            if finale > 0:
+                self._credit(flow, finale)
             flow.finished_at = self.env.now
             flow.remaining = 0.0
             flow.done.succeed(flow)
 
-    def _reallocate(self) -> None:
-        """Recompute max-min fair rates and reschedule completions."""
-        flows = [f for f in self._flows if f.active]
-        if flows:
-            self._water_fill(flows)
-        now = self.env.now
-        for flow in flows:
-            flow._last_update = now
-            flow._completion_token += 1
-            token = flow._completion_token
-            if flow.rate <= 0:
-                raise SimulationError(
-                    f"flow {flow.label!r} was allocated zero bandwidth")
-            delay = flow.remaining / flow.rate
-            self.env.process(self._completion_watch(flow, token, delay))
-
-    def _completion_watch(self, flow: Flow, token: int, delay: float):
-        yield self.env.timeout(delay)
-        if flow._completion_token != token or not flow.active:
-            return
-        self._advance_all()
+    def _on_completion(self, event: _Completion) -> None:
+        """A flow's scheduled completion time arrived."""
+        flow = event.flow
+        if event.token != flow._completion_token or not flow.active:
+            return  # superseded by a later reallocation
+        self.completion_events += 1
+        finished = self._advance_all()
         if flow.active:
             # Numerical slack: force-finish, the residual is < epsilon.
             self._finish(flow)
-        self._reallocate()
+            finished.append(flow)
+        refs = self._refs
+        for done in finished:
+            for resource in done.resources:
+                if refs.get(id(resource), 0):
+                    # A surviving flow shares a resource with a finished
+                    # one; its effective capacity changed.
+                    self._reallocate()
+                    return
+        # Disjoint removal: every surviving flow keeps its rate and its
+        # already-scheduled completion.
+        self.fast_finishes += 1
 
-    def _water_fill(self, flows: List[Flow]) -> None:
-        """Progressive filling over all constrained resource directions."""
-        # Count directional usage per resource for effective capacities.
-        usage: Dict[Resource, Dict[Direction, List[Flow]]] = {}
-        for flow in flows:
-            seen: Set[Tuple[int, Direction]] = set()
-            for resource, direction in flow.route:
-                key = (id(resource), direction)
-                if key in seen:
-                    continue
-                seen.add(key)
-                per_res = usage.setdefault(
-                    resource, {Direction.FWD: [], Direction.REV: []})
-                per_res[direction].append(flow)
+    def _allocate_single(self, flow: Flow) -> None:
+        """Fast path: rate a flow whose resources nobody else crosses.
+
+        The flow's max-min rate is then simply the minimum effective
+        capacity along its (deduplicated) hops, further limited by its
+        rate cap; no other flow's allocation changes.
+        """
+        members = self._members
+        rate = math.inf
+        for (resource, direction), key in zip(flow.hops, flow.hop_keys):
+            other_bucket = members.get(key ^ 1)
+            cap = resource.effective_capacity(
+                direction, 1, 1 if other_bucket else 0)
+            if cap < rate:
+                rate = cap
+        if flow.rate_cap is not None and flow.rate_cap < rate:
+            rate = flow.rate_cap
+        if rate <= 0 or math.isinf(rate):
+            raise SimulationError(
+                f"flow {flow.label!r} was allocated zero bandwidth")
+        flow.rate = rate
+        self.fast_starts += 1
+        flow._completion_token += 1
+        _Completion(self, flow, flow.remaining / rate)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and reschedule all completions."""
+        self.full_reallocations += 1
+        if self._flows:
+            self._water_fill()
+        now = self.env.now
+        for flow in self._flows:
+            flow._last_update = now
+            flow._completion_token += 1
+            if flow.rate <= 0:
+                raise SimulationError(
+                    f"flow {flow.label!r} was allocated zero bandwidth")
+            _Completion(self, flow, flow.remaining / flow.rate)
+
+    def _water_fill(self) -> None:
+        """Progressive filling over all constrained resource directions.
+
+        Uses the persistent membership index: effective capacities come
+        from the per-direction member counts, and the per-bottleneck
+        "open" (not yet frozen) flow counts are maintained incrementally
+        as flows freeze.
+        """
+        members = self._members
+        resources = self._resources
 
         # Effective capacity of each (resource, direction) under this load.
-        capacity: Dict[Tuple[int, Direction], float] = {}
-        members: Dict[Tuple[int, Direction], List[Flow]] = {}
-        for resource, per_dir in usage.items():
-            n_fwd = len(per_dir[Direction.FWD])
-            n_rev = len(per_dir[Direction.REV])
-            for direction, flows_here in per_dir.items():
-                if not flows_here:
-                    continue
-                n_this = n_fwd if direction is Direction.FWD else n_rev
-                n_other = n_rev if direction is Direction.FWD else n_fwd
-                cap = resource.effective_capacity(direction, n_this, n_other)
-                key = (id(resource), direction)
-                capacity[key] = cap
-                members[key] = flows_here
+        remaining_cap: Dict[int, float] = {}
+        open_count: Dict[int, int] = {}
+        for key, flows_here in members.items():
+            n_this = len(flows_here)
+            other_bucket = members.get(key ^ 1)
+            n_other = len(other_bucket) if other_bucket else 0
+            direction = Direction.REV if key & 1 else Direction.FWD
+            remaining_cap[key] = resources[key >> 1].effective_capacity(
+                direction, n_this, n_other)
+            open_count[key] = n_this
 
         frozen: Dict[Flow, float] = {}
-        remaining_cap = dict(capacity)
-        unfrozen: Set[Flow] = set(flows)
+        unfrozen: Dict[Flow, None] = dict(self._flows)
 
         while unfrozen:
             # Per-flow rate caps act as single-flow pseudo-resources.
             best_share = math.inf
-            best_key: Optional[Tuple[int, Direction]] = None
-            for key, flows_here in members.items():
-                open_here = [f for f in flows_here if f not in frozen]
-                if not open_here:
+            best_key = -1
+            for key, count in open_count.items():
+                if count <= 0:
                     continue
-                share = remaining_cap[key] / len(open_here)
+                share = remaining_cap[key] / count
                 if share < best_share:
                     best_share = share
                     best_key = key
@@ -235,40 +451,51 @@ class FlowNetwork:
             if capped:
                 # Freeze the most restrictive rate-capped flows first.
                 tightest = min(f.rate_cap for f in capped)
-                for flow in [f for f in capped if f.rate_cap == tightest]:
-                    frozen[flow] = tightest
-                    unfrozen.discard(flow)
-                    self._charge(flow, tightest, remaining_cap)
+                for flow in capped:
+                    if flow.rate_cap == tightest:
+                        frozen[flow] = tightest
+                        del unfrozen[flow]
+                        self._charge(flow, tightest, remaining_cap,
+                                     open_count)
                 continue
 
-            if best_key is None:
+            if best_key < 0:
                 # No constrained resource left: only rate caps bound them.
-                for flow in list(unfrozen):
+                for flow in unfrozen:
                     if flow.rate_cap is None:
                         raise SimulationError(
                             f"flow {flow.label!r} is unconstrained")
                     frozen[flow] = flow.rate_cap
-                    unfrozen.discard(flow)
+                unfrozen.clear()
                 break
 
-            for flow in [f for f in members[best_key] if f not in frozen]:
-                frozen[flow] = best_share
-                unfrozen.discard(flow)
-                self._charge(flow, best_share, remaining_cap)
+            if best_share <= 0.0:
+                resource = resources[best_key >> 1]
+                direction = "rev" if best_key & 1 else "fwd"
+                squeezed = [f.label or repr(f) for f in members[best_key]
+                            if f not in frozen]
+                raise SimulationError(
+                    f"resource {resource.name!r} ({direction}) has zero "
+                    f"effective capacity left for flow(s) "
+                    f"{', '.join(squeezed)}; its bandwidth is fully "
+                    "consumed by rate-capped or multi-hop flows")
+
+            for flow in members[best_key]:
+                if flow not in frozen:
+                    frozen[flow] = best_share
+                    del unfrozen[flow]
+                    self._charge(flow, best_share, remaining_cap, open_count)
             # A bottleneck with zero open flows left must not be re-picked;
-            # it is naturally skipped because all members are frozen.
+            # its open count is now zero, so the share search skips it.
 
         for flow, rate in frozen.items():
             flow.rate = rate
 
     @staticmethod
     def _charge(flow: Flow, rate: float,
-                remaining_cap: Dict[Tuple[int, Direction], float]) -> None:
+                remaining_cap: Dict[int, float],
+                open_count: Dict[int, int]) -> None:
         """Subtract a frozen flow's rate from every hop it crosses."""
-        seen: Set[Tuple[int, Direction]] = set()
-        for resource, direction in flow.route:
-            key = (id(resource), direction)
-            if key in seen or key not in remaining_cap:
-                continue
-            seen.add(key)
+        for key in flow.hop_keys:
             remaining_cap[key] = max(0.0, remaining_cap[key] - rate)
+            open_count[key] -= 1

@@ -49,6 +49,8 @@ class SharingCurve:
     (no degradation).
     """
 
+    __slots__ = ("_points", "_trivial")
+
     def __init__(self, points: Optional[Dict[int, float]] = None):
         pts = dict(points or {})
         pts.setdefault(1, 1.0)
@@ -58,10 +60,13 @@ class SharingCurve:
             if not 0.0 < factor <= 1.0:
                 raise ValueError(f"sharing factor must be in (0, 1], got {factor}")
         self._points: Tuple[Tuple[int, float], ...] = tuple(sorted(pts.items()))
+        #: Whether every support point maps to 1.0 (no degradation) —
+        #: lets hot paths skip the step search entirely.
+        self._trivial = all(f == 1.0 for _n, f in self._points)
 
     def factor(self, flows: int) -> float:
         """Capacity multiplier when ``flows`` flows share the resource."""
-        if flows < 1:
+        if self._trivial or flows < 1:
             return 1.0
         result = 1.0
         for n, f in self._points:
@@ -103,6 +108,9 @@ class Resource:
         real interconnects show.
     """
 
+    __slots__ = ("name", "_cap_fwd", "_cap_rev", "duplex_factor",
+                 "sharing", "latency_s", "_load_sensitive")
+
     def __init__(
         self,
         name: str,
@@ -121,18 +129,22 @@ class Resource:
         if latency_s < 0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
         self.name = name
-        self._capacity = {
-            Direction.FWD: float(capacity_fwd),
-            Direction.REV: float(capacity_rev if capacity_rev is not None
-                                 else capacity_fwd),
-        }
+        self._cap_fwd = float(capacity_fwd)
+        self._cap_rev = float(capacity_rev if capacity_rev is not None
+                              else capacity_fwd)
         self.duplex_factor = float(duplex_factor)
         self.sharing = sharing or NO_DEGRADATION
         self.latency_s = float(latency_s)
+        #: Whether load changes the capacity at all; an insensitive
+        #: resource answers :meth:`effective_capacity` without touching
+        #: the duplex factor or the sharing curve (the common case —
+        #: NVLink bundles and switch ports carry no penalty).
+        self._load_sensitive = (self.duplex_factor != 1.0
+                                or not self.sharing._trivial)
 
     def raw_capacity(self, direction: Direction) -> float:
         """Configured capacity of one direction, ignoring load effects."""
-        return self._capacity[direction]
+        return self._cap_fwd if direction is Direction.FWD else self._cap_rev
 
     def effective_capacity(
         self,
@@ -141,7 +153,10 @@ class Resource:
         flows_other_direction: int,
     ) -> float:
         """Capacity of ``direction`` under the given concurrent load."""
-        capacity = self._capacity[direction]
+        capacity = (self._cap_fwd if direction is Direction.FWD
+                    else self._cap_rev)
+        if not self._load_sensitive:
+            return capacity
         if flows_other_direction > 0 and flows_this_direction > 0:
             capacity *= self.duplex_factor
         total = flows_this_direction + flows_other_direction
@@ -149,6 +164,5 @@ class Resource:
         return capacity
 
     def __repr__(self) -> str:
-        fwd = self._capacity[Direction.FWD]
-        rev = self._capacity[Direction.REV]
-        return f"<Resource {self.name} fwd={fwd:.3g} rev={rev:.3g}>"
+        return (f"<Resource {self.name} fwd={self._cap_fwd:.3g} "
+                f"rev={self._cap_rev:.3g}>")

@@ -1,0 +1,70 @@
+"""Tests of the simulator-core throughput benchmark (``simcore``).
+
+The ``perf``-marked smoke runs the quick suite through the real command
+line and enforces a *generous* wall-clock ceiling: it only fails on
+gross (multi-x) regressions of the simulator core, never on ordinary
+machine-to-machine noise.  Deselect with ``-m 'not perf'``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.experiments import simcore
+from repro.bench.harness import experiment_by_id
+
+#: Quick suite today runs in ~1-2 s; the seed tree needed ~4-5 s.  The
+#: ceiling therefore only trips on an order-of-magnitude regression.
+QUICK_CEILING_S = 30.0
+
+
+def test_registered_in_harness():
+    experiment = experiment_by_id("simcore")
+    assert experiment.runner is simcore.run_simcore_entry
+
+
+def test_quick_suite_metrics_and_json(tmp_path):
+    json_path = tmp_path / "simcore.json"
+    table = simcore.run_simcore(quick=True, repeats=1,
+                                json_path=str(json_path))
+    assert len(table.rows) == 2
+    record = json.loads(json_path.read_text())
+    assert record["benchmark"] == "simcore"
+    churn = record["scenarios"]["churn-400"]
+    # The churn storm reallocates on every arrival and completion...
+    assert churn["full_reallocations"] >= 2 * 400 - 4
+    assert churn["events"] > 0
+    assert churn["events_per_sec"] > 0
+    het = record["scenarios"]["het-8gpu-256b"]
+    # ...while the real sort exercises the disjoint fast paths too.
+    assert het["fast_starts"] > 0
+    assert het["fast_finishes"] > 0
+    assert het["full_reallocations"] > 0
+    assert het["sim_s"] > 0
+
+
+def test_committed_bench_record_meets_targets():
+    # The committed record must witness the optimization: >=3x on the
+    # churn storm and >=1.5x on the end-to-end 8-GPU HET sort.
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "BENCH_simcore.json"
+    record = json.loads(path.read_text())
+    scenarios = record["scenarios"]
+    assert scenarios["churn-800"]["speedup_vs_seed"] >= 3.0
+    assert scenarios["het-8gpu-2048b"]["speedup_vs_seed"] >= 1.5
+
+
+@pytest.mark.perf
+def test_quick_smoke_within_ceiling(monkeypatch, capsys):
+    monkeypatch.setattr(simcore, "QUICK", False)
+    start = time.perf_counter()
+    assert main(["simcore", "--quick"]) == 0
+    wall = time.perf_counter() - start
+    out = capsys.readouterr().out
+    assert "Simulator-core throughput (quick)" in out
+    assert wall < QUICK_CEILING_S, (
+        f"simcore --quick took {wall:.1f}s (ceiling {QUICK_CEILING_S}s): "
+        "gross simulator-core regression")
