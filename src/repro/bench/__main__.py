@@ -22,12 +22,14 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all result tables as JSON")
     parser.add_argument("--quick", action="store_true",
-                        help="simcore only: run the small scenarios once "
-                             "each and skip the JSON record")
+                        help="simcore/resilience only: run the reduced "
+                             "scenario sweep (simcore then skips its JSON "
+                             "record; resilience always writes its own)")
     args = parser.parse_args(argv)
     if args.quick:
-        from repro.bench.experiments import simcore
+        from repro.bench.experiments import resilience, simcore
         simcore.QUICK = True
+        resilience.QUICK = True
     if args.list:
         for experiment in EXPERIMENTS:
             print(f"{experiment.id:22s} {experiment.title}")

@@ -1,0 +1,182 @@
+"""Resilience benchmark: sorting under injected faults.
+
+This experiment does not reproduce a paper figure — it measures what the
+fault-injection subsystem (:mod:`repro.faults`) costs.  Every scenario
+sorts the same data twice on the DGX A100: once on a clean machine and
+once with a seeded :class:`~repro.faults.plan.FaultPlan` generated at a
+given intensity over the clean run's duration (so the fault windows
+actually overlap the sort).  The table reports the clean-vs-faulted
+overhead together with the recovery work performed — retried copies,
+re-routed transfers, time parked on down links, and fault downtime.
+
+Results are written to ``BENCH_resilience.json`` (in quick mode too:
+the record is this experiment's primary artifact; quick just sweeps a
+single intensity).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.report import Table
+from repro.data import generate
+from repro.faults import FaultPlan
+from repro.hw import dgx_a100
+from repro.runtime import Machine
+
+#: Seed of every generated fault plan (one plan per scenario, offset by
+#: the scenario index so the scenarios see distinct fault timelines).
+SEED = 20220610
+
+#: Physical keys per run; the scale factor supplies the billions.
+PHYSICAL_KEYS = 100_000
+
+#: Logical billions of keys per run.
+BILLIONS = 2.0
+
+
+@dataclass
+class ScenarioResult:
+    """Clean-vs-faulted outcome of one resilience scenario."""
+
+    name: str
+    algorithm: str
+    intensity: float
+    planned_faults: int
+    clean_s: float
+    faulted_s: float
+    degraded: bool
+    retries: int
+    reroutes: int
+    timeouts: int
+    fault_downtime_s: float
+    link_wait_s: float
+    excluded_gpus: Tuple[int, ...]
+    sorted_ok: bool
+
+    @property
+    def overhead_pct(self) -> float:
+        """Faulted slowdown over the clean run, in percent."""
+        if self.clean_s <= 0:
+            return 0.0
+        return 100.0 * (self.faulted_s - self.clean_s) / self.clean_s
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable record."""
+        return {
+            "algorithm": self.algorithm,
+            "intensity": self.intensity,
+            "planned_faults": self.planned_faults,
+            "clean_s": self.clean_s,
+            "faulted_s": self.faulted_s,
+            "overhead_pct": self.overhead_pct,
+            "degraded": self.degraded,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "timeouts": self.timeouts,
+            "fault_downtime_s": self.fault_downtime_s,
+            "link_wait_s": self.link_wait_s,
+            "excluded_gpus": list(self.excluded_gpus),
+            "sorted_ok": self.sorted_ok,
+        }
+
+
+def _sort(algorithm: str, machine: Machine, data: np.ndarray):
+    from repro.sort import het_sort, p2p_sort  # deferred: the sort stack
+
+    if algorithm == "p2p":
+        return p2p_sort(machine, data)
+    return het_sort(machine, data)
+
+
+def run_scenario(algorithm: str, intensity: float,
+                 seed: int = SEED) -> ScenarioResult:
+    """One clean + one faulted run of ``algorithm`` at ``intensity``."""
+    scale = BILLIONS * 1e9 / PHYSICAL_KEYS
+    data = generate(PHYSICAL_KEYS, "uniform", np.int32, seed=42)
+
+    clean_machine = Machine(dgx_a100(), scale=scale, fast_functional=True)
+    clean = _sort(algorithm, clean_machine, data)
+
+    faulted_machine = Machine(dgx_a100(), scale=scale, fast_functional=True)
+    plan = FaultPlan.generate(faulted_machine.spec, seed=seed,
+                              intensity=intensity, horizon=clean.duration)
+    faulted_machine.install_faults(plan)
+    faulted = _sort(algorithm, faulted_machine, data)
+
+    stats = faulted_machine.resilience_stats
+    return ScenarioResult(
+        name=f"{algorithm}-x{intensity:g}",
+        algorithm=algorithm,
+        intensity=intensity,
+        planned_faults=len(plan),
+        clean_s=clean.duration,
+        faulted_s=faulted.duration,
+        degraded=faulted.degraded,
+        retries=faulted.retries,
+        reroutes=faulted.reroutes,
+        timeouts=faulted.timeouts,
+        fault_downtime_s=faulted.fault_downtime,
+        link_wait_s=stats.link_wait_s,
+        excluded_gpus=faulted.excluded_gpus,
+        sorted_ok=bool(np.all(np.diff(faulted.output) >= 0)),
+    )
+
+
+def run_resilience(quick: bool = False,
+                   json_path: Optional[str] = "BENCH_resilience.json"
+                   ) -> Table:
+    """Run the resilience suite and build its table.
+
+    ``quick`` sweeps a single fault intensity per algorithm; the full
+    suite sweeps three.  Both write ``json_path`` — the JSON record is
+    the experiment's artifact, not a by-product.
+    """
+    intensities = [1.0] if quick else [0.5, 1.0, 2.0]
+    results: List[ScenarioResult] = []
+    for algorithm in ("p2p", "het"):
+        for index, intensity in enumerate(intensities):
+            results.append(run_scenario(algorithm, intensity,
+                                        seed=SEED + index))
+
+    table = Table(
+        ["scenario", "faults", "clean [s]", "faulted [s]", "overhead",
+         "retries", "reroutes", "downtime [s]", "degraded", "sorted"],
+        title="Sorting under injected faults (DGX A100, "
+              f"{BILLIONS:g}B keys)" + (" (quick)" if quick else ""))
+    for result in results:
+        table.add_row(
+            result.name, result.planned_faults,
+            f"{result.clean_s:.3f}", f"{result.faulted_s:.3f}",
+            f"{result.overhead_pct:+.1f}%",
+            result.retries, result.reroutes,
+            f"{result.fault_downtime_s:.3f}",
+            "yes" if result.degraded else "no",
+            "yes" if result.sorted_ok else "NO")
+
+    if json_path:
+        record = {
+            "benchmark": "resilience",
+            "seed": SEED,
+            "quick": quick,
+            "physical_keys": PHYSICAL_KEYS,
+            "billions": BILLIONS,
+            "scenarios": {r.name: r.to_json() for r in results},
+        }
+        with open(json_path, "w") as handle:
+            json.dump(record, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return table
+
+
+#: Set by the command line's ``--quick`` flag before the registry runs.
+QUICK = False
+
+
+def run_resilience_entry() -> Table:
+    """Registry entry point; honours the command line's ``--quick``."""
+    return run_resilience(quick=QUICK)

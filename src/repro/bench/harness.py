@@ -21,6 +21,7 @@ from repro.bench.experiments import (
     large_data,
     local_copy,
     merge_saturation,
+    resilience,
     simcore,
     sort_scaling,
     table2,
@@ -109,6 +110,8 @@ EXPERIMENTS: List[Experiment] = [
                co_running.run_co_running),
     Experiment("simcore", "Simulator-core throughput (engine + allocator)",
                simcore.run_simcore_entry),
+    Experiment("resilience", "Sorting under injected faults (fault model)",
+               resilience.run_resilience_entry),
 ]
 
 _BY_ID: Dict[str, Experiment] = {e.id: e for e in EXPERIMENTS}

@@ -23,3 +23,25 @@ class SortError(ReproError):
 
 class CalibrationError(ReproError):
     """Raised when calibration constants are inconsistent."""
+
+
+class TransferError(ReproError):
+    """Base class for failures of an in-flight copy."""
+
+
+class TransientTransferError(TransferError):
+    """A copy failed in a way that retrying may recover from.
+
+    Raised by the fault injector into flows it kills (link flaps,
+    injected per-flow failures); :func:`repro.runtime.memcpy.copy_async`
+    retries these with exponential backoff up to the machine's
+    :class:`~repro.faults.policy.ResiliencePolicy` limit.
+    """
+
+
+class CopyTimeoutError(TransferError):
+    """A copy exceeded the resilience policy's per-copy timeout."""
+
+
+class DeviceFaultError(ReproError):
+    """A GPU failed hard (injected device fault); not retryable."""

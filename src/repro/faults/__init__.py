@@ -1,0 +1,53 @@
+"""Deterministic, seeded fault injection for the simulated machine.
+
+The subsystem has three parts, mirroring how real clusters degrade
+(De Sensi et al. 2024 measure large run-to-run bandwidth variability;
+Li et al. 2019 show one slow link bottlenecking whole collectives):
+
+* :mod:`repro.faults.events` — the fault vocabulary: link degradation,
+  link down/flapping windows, copy-engine stalls, straggler GPUs, hard
+  GPU failures, and scheduled transient transfer failures.
+* :mod:`repro.faults.plan` — a :class:`FaultPlan`: an immutable,
+  seed-reproducible schedule of fault events in simulated time, either
+  hand-written or generated from a seed and an intensity knob.
+* :mod:`repro.faults.injector` — the :class:`FaultInjector` that plays
+  a plan against a live :class:`~repro.runtime.context.Machine`,
+  degrading resources through the flow network's water-fill, killing
+  in-flight flows, and recording every fault in the trace.
+
+:mod:`repro.faults.policy` holds the runtime's answer: the
+:class:`ResiliencePolicy` (retry/backoff/timeout/re-route knobs read by
+:func:`repro.runtime.memcpy.copy_async` and the sorts) and the
+:class:`ResilienceStats` counters surfaced on ``SortResult``.
+
+With no plan installed nothing here is ever consulted on a hot path —
+fault-free runs stay bit-identical to a build without this package.
+"""
+
+from repro.faults.events import (
+    CopyEngineStall,
+    FaultEvent,
+    GpuFail,
+    LinkDegradation,
+    LinkDown,
+    StragglerGpu,
+    TransientTransfer,
+)
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import ResiliencePolicy, ResilienceStats
+
+__all__ = [
+    "CopyEngineStall",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "GpuFail",
+    "LinkDegradation",
+    "LinkDown",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "StragglerGpu",
+    "TransientTransfer",
+]

@@ -1,0 +1,105 @@
+"""The fault vocabulary: immutable scheduled fault events.
+
+Every event names its target symbolically — resources by their
+topology-unique name (``nvswitch_port_gpu2``, ``xbus_cpu0_cpu1``, ...),
+GPUs by id — so plans are plain data: hashable, comparable, serializable
+and independent of any live machine.  The
+:class:`~repro.faults.injector.FaultInjector` resolves names against a
+machine's topology when the plan is installed.
+
+All times are absolute simulated seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class of all scheduled faults."""
+
+    #: Simulated time at which the fault begins.
+    at: float
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultEvent):
+    """A link's capacity drops to ``factor`` times normal for a window.
+
+    Applied through :meth:`~repro.sim.resources.Resource.set_fault_factor`
+    and the flow network's water-fill, so concurrent flows re-share the
+    degraded capacity max-min fairly — congestion emerges, it is not
+    scripted.  Overlapping degradations on one resource multiply.
+    """
+
+    resource: str
+    duration: float
+    factor: float
+
+
+@dataclass(frozen=True)
+class LinkDown(FaultEvent):
+    """A link is unusable for a window (flap = several short windows).
+
+    In-flight flows crossing the link fail with
+    :class:`~repro.errors.TransientTransferError`; new copies route
+    around the link (or wait for restoration when no detour exists).
+    Capacity is *not* zeroed — avoidance is a routing decision, keeping
+    the water-fill well-defined throughout.
+    """
+
+    resource: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class CopyEngineStall(FaultEvent):
+    """A GPU's DMA engine(s) are held busy for a window.
+
+    ``direction`` is ``"in"``, ``"out"`` or ``"both"``.  Copies needing
+    the engine queue behind the stall (FIFO), exactly like a wedged
+    hardware copy queue.
+    """
+
+    gpu: int
+    duration: float
+    direction: str = "both"
+
+
+@dataclass(frozen=True)
+class StragglerGpu(FaultEvent):
+    """One GPU runs slow for a window: kernels and copies alike.
+
+    Kernel launches take ``slowdown`` times longer; the GPU's memory
+    system capacity drops by the same factor, slowing every copy that
+    starts or ends on the device.
+    """
+
+    gpu: int
+    duration: float
+    slowdown: float
+
+
+@dataclass(frozen=True)
+class GpuFail(FaultEvent):
+    """Hard, permanent failure of one GPU from ``at`` onward.
+
+    Flows touching the GPU's memory fail with
+    :class:`~repro.errors.DeviceFaultError` (not retryable); sorts
+    started afterwards exclude the GPU from their working set.
+    """
+
+    gpu: int
+
+
+@dataclass(frozen=True)
+class TransientTransfer(FaultEvent):
+    """Kill one in-flight resilient copy at ``at`` (guaranteed, not
+    probabilistic — the probabilistic arm is
+    :attr:`repro.faults.plan.FaultPlan.transient_failure_prob`).
+
+    The first active flow started by ``copy_async`` fails with
+    :class:`~repro.errors.TransientTransferError`; the copy's retry
+    loop resubmits it.  A no-op if nothing is in flight at ``at``.
+    """

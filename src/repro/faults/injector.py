@@ -1,0 +1,354 @@
+"""The fault injector: plays a :class:`~repro.faults.plan.FaultPlan`
+against a live machine.
+
+Installation (via :meth:`repro.runtime.context.Machine.install_faults`)
+resolves every event's symbolic target against the machine's topology
+and spawns one driver process per event.  The injector then acts purely
+through existing mechanisms:
+
+* capacity windows (degradation, stragglers) go through
+  :meth:`~repro.sim.resources.Resource.set_fault_factor` plus a
+  :meth:`~repro.sim.flows.FlowNetwork.requery_capacity`, so the
+  incremental water-fill re-shares the degraded capacity;
+* link-down windows kill crossing flows with
+  :class:`~repro.errors.TransientTransferError` and publish the down
+  set for the resilient router in :mod:`repro.runtime.memcpy`;
+* engine stalls queue on the same DMA-engine semaphores copies use;
+* every fault is appended to the machine trace (``Fault:<kind>``
+  spans) and to the injector's :attr:`timeline` for reproducibility
+  checks.
+
+All randomness (per-flow transient kills) comes from one stream seeded
+by the plan, so a given ``(plan, workload)`` pair replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import DeviceFaultError, TopologyError, TransientTransferError
+from repro.faults.events import (
+    CopyEngineStall,
+    GpuFail,
+    LinkDegradation,
+    LinkDown,
+    StragglerGpu,
+    TransientTransfer,
+)
+from repro.faults.plan import FaultPlan
+from repro.sim.engine import Event
+from repro.sim.flows import Flow
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+#: Flow-label prefixes of copies whose waiters run the resilient retry
+#: loop in ``copy_async``; only these are eligible for injected
+#: transient kills (killing e.g. a CPU-merge flow would not model a
+#: transfer fault, it would just crash the workload).
+_RESILIENT_PREFIXES = ("HtoD:", "DtoH:", "PtoP:", "HtoH:")
+
+
+@dataclass
+class FaultRecord:
+    """One fault occurrence on the injector's timeline."""
+
+    kind: str
+    target: str
+    start: float
+    #: ``None`` while the window is still open (or for permanent faults).
+    end: Optional[float] = None
+
+    def key(self) -> Tuple[str, str, float, Optional[float]]:
+        """Hashable identity for reproducibility comparisons."""
+        return (self.kind, self.target, self.start, self.end)
+
+
+class FaultInjector:
+    """Drives one fault plan against one machine."""
+
+    def __init__(self, machine: "Machine", plan: FaultPlan):
+        self.machine = machine
+        self.env = machine.env
+        self.plan = plan
+        #: Chronological record of every fault that actually fired.
+        self.timeline: List[FaultRecord] = []
+        #: Down-window bookkeeping: id(resource) -> open window count.
+        self._down: Dict[int, int] = {}
+        #: id(resource) -> event fired when its last down window ends.
+        self._restored: Dict[int, Event] = {}
+        #: id(resource) -> stack of active capacity multipliers.
+        self._factors: Dict[int, List[float]] = {}
+        #: GPUs hard-failed so far (runtime view; the plan is the truth
+        #: for :meth:`failed_gpu_ids`, this powers the kill sweep).
+        self._failed: Set[int] = set()
+        self._by_name = self._resource_catalog()
+        self._rng = np.random.default_rng(plan.seed)
+        # Resolve every symbolic target eagerly so a typo in a plan
+        # fails at install time, not halfway through a chaos run.
+        for event in plan.events:
+            if isinstance(event, (LinkDegradation, LinkDown)):
+                self._resource(event.resource)
+            elif isinstance(event, (CopyEngineStall, StragglerGpu, GpuFail)):
+                machine.device(event.gpu)
+        for event in plan.events:
+            self.env.process(self._drive(event))
+
+    # -- target resolution ------------------------------------------------
+    def _resource_catalog(self) -> Dict[str, Resource]:
+        catalog: Dict[str, Resource] = {}
+        topology = self.machine.spec.topology
+        for edge in topology.edges:
+            catalog.setdefault(edge.resource.name, edge.resource)
+        for node in topology.nodes:
+            if node.memory is not None:
+                catalog.setdefault(node.memory.name, node.memory)
+        return catalog
+
+    def _resource(self, name: str) -> Resource:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TopologyError(
+                f"fault plan names unknown resource {name!r} on "
+                f"{self.machine.spec.name}") from None
+
+    # -- queries used by the resilient runtime and the sorts ---------------
+    @property
+    def down_ids(self) -> Dict[int, int]:
+        """``id(resource)`` of every currently-down resource (read-only)."""
+        return self._down
+
+    def restored_event(self, rid: int) -> Event:
+        """Event firing when resource ``rid`` leaves its down window(s).
+
+        Already-up resources get an already-succeeded event, so callers
+        can ``yield`` it unconditionally.
+        """
+        if rid not in self._down:
+            event = self.env.event()
+            event.succeed()
+            return event
+        return self._restored[rid]
+
+    def failed_gpu_ids(self) -> Set[int]:
+        """GPUs hard-failed at or before the current simulated time."""
+        now = self.env.now
+        return {event.gpu for event in self.plan.events
+                if isinstance(event, GpuFail) and event.at <= now}
+
+    def straggler_factor(self, gpu: int) -> float:
+        """Largest straggler slowdown active on ``gpu`` right now."""
+        now = self.env.now
+        factor = 1.0
+        for event in self.plan.events:
+            if (isinstance(event, StragglerGpu) and event.gpu == gpu
+                    and event.at <= now < event.at + event.duration):
+                factor = max(factor, event.slowdown)
+        return factor
+
+    def on_flow_started(self, flow: Flow) -> None:
+        """Arm the per-flow transient-failure draw for a resilient copy.
+
+        Called by ``copy_async`` for every flow it starts; one uniform
+        draw decides failure, a second places the failure at a fraction
+        of the flow's current expected lifetime.
+        """
+        probability = self.plan.transient_failure_prob
+        if probability <= 0.0 or not flow.active:
+            return
+        if self._rng.random() >= probability:
+            return
+        fraction = float(self._rng.random())
+        self.env.process(self._kill_flow_later(flow, fraction))
+
+    def downtime_between(self, start: float, end: float) -> float:
+        """Seconds in ``[start, end]`` with at least one fault window open.
+
+        The union (not the sum) of all timeline windows clipped to the
+        interval; still-open windows extend to ``end``.
+        """
+        intervals = []
+        for record in self.timeline:
+            hi = end if record.end is None else min(record.end, end)
+            lo = max(record.start, start)
+            if hi > lo:
+                intervals.append((lo, hi))
+        intervals.sort()
+        total = 0.0
+        cursor = start
+        for lo, hi in intervals:
+            lo = max(lo, cursor)
+            if hi > lo:
+                total += hi - lo
+                cursor = hi
+        return total
+
+    def timeline_keys(self) -> List[Tuple[str, str, float, Optional[float]]]:
+        """The timeline as plain tuples (for determinism assertions)."""
+        return [record.key() for record in self.timeline]
+
+    # -- event drivers -----------------------------------------------------
+    def _drive(self, event):
+        delay = event.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if isinstance(event, LinkDegradation):
+            yield from self._run_degradation(event)
+        elif isinstance(event, LinkDown):
+            yield from self._run_link_down(event)
+        elif isinstance(event, CopyEngineStall):
+            yield from self._run_engine_stall(event)
+        elif isinstance(event, StragglerGpu):
+            yield from self._run_straggler(event)
+        elif isinstance(event, GpuFail):
+            self._run_gpu_fail(event)
+        elif isinstance(event, TransientTransfer):
+            self._run_transient(event)
+        else:  # pragma: no cover - future event kinds
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def _open(self, kind: str, target: str) -> FaultRecord:
+        """Start a window record; traced when :meth:`_close` is called."""
+        record = FaultRecord(kind=kind, target=target, start=self.env.now)
+        self.timeline.append(record)
+        return record
+
+    def _close(self, record: FaultRecord) -> None:
+        record.end = self.env.now
+        self.machine.trace.record(f"Fault:{record.kind}", record.target,
+                                  record.start, end=record.end)
+
+    def _instant(self, kind: str, target: str) -> None:
+        now = self.env.now
+        self.timeline.append(FaultRecord(kind=kind, target=target,
+                                         start=now, end=now))
+        self.machine.trace.record(f"Fault:{kind}", target, now, end=now)
+
+    def _apply_factor(self, resource: Resource, factor: float) -> None:
+        stack = self._factors.setdefault(id(resource), [])
+        stack.append(factor)
+        self._refresh_factor(resource, stack)
+
+    def _lift_factor(self, resource: Resource, factor: float) -> None:
+        stack = self._factors[id(resource)]
+        stack.remove(factor)
+        self._refresh_factor(resource, stack)
+
+    def _refresh_factor(self, resource: Resource,
+                        stack: List[float]) -> None:
+        if not stack:
+            # Restore *exactly* 1.0 (no float drift from multiply/divide
+            # round trips) so post-fault time stays bit-identical to a
+            # never-faulted run.
+            resource.set_fault_factor(1.0)
+        else:
+            product = 1.0
+            for factor in stack:
+                product *= factor
+            resource.set_fault_factor(product)
+        self.machine.net.requery_capacity()
+
+    def _run_degradation(self, event: LinkDegradation):
+        resource = self._resource(event.resource)
+        record = self._open("degradation", resource.name)
+        self._apply_factor(resource, event.factor)
+        yield self.env.timeout(event.duration)
+        self._lift_factor(resource, event.factor)
+        self._close(record)
+
+    def _run_link_down(self, event: LinkDown):
+        resource = self._resource(event.resource)
+        rid = id(resource)
+        record = self._open("link_down", resource.name)
+        open_windows = self._down.get(rid, 0)
+        self._down[rid] = open_windows + 1
+        if open_windows == 0:
+            self._restored[rid] = self.env.event()
+        for flow in self.machine.net.flows_crossing(resource):
+            self.machine.net.abort_flow(flow, TransientTransferError(
+                f"link {resource.name} went down under flow "
+                f"{flow.label!r}"))
+        yield self.env.timeout(event.duration)
+        open_windows = self._down[rid] - 1
+        if open_windows:
+            self._down[rid] = open_windows
+        else:
+            del self._down[rid]
+            self._restored.pop(rid).succeed()
+        self._close(record)
+
+    def _run_engine_stall(self, event: CopyEngineStall):
+        if event.direction not in ("in", "out", "both"):
+            raise ValueError(
+                f"engine stall direction must be 'in', 'out' or 'both', "
+                f"got {event.direction!r}")
+        device = self.machine.device(event.gpu)
+        engines = []
+        if event.direction in ("in", "both"):
+            engines.append(device.engine_in)
+        if event.direction in ("out", "both"):
+            engines.append(device.engine_out)
+        for engine in engines:
+            yield engine.acquire()
+        record = self._open("engine_stall", device.name)
+        yield self.env.timeout(event.duration)
+        for engine in reversed(engines):
+            engine.release()
+        self._close(record)
+
+    def _run_straggler(self, event: StragglerGpu):
+        device = self.machine.device(event.gpu)
+        memory = self.machine.spec.topology.node(device.name).memory
+        record = self._open("straggler", device.name)
+        device.compute_slowdown *= event.slowdown
+        if memory is not None:
+            self._apply_factor(memory, 1.0 / event.slowdown)
+        yield self.env.timeout(event.duration)
+        device.compute_slowdown /= event.slowdown
+        if abs(device.compute_slowdown - 1.0) < 1e-12:
+            device.compute_slowdown = 1.0
+        if memory is not None:
+            self._lift_factor(memory, 1.0 / event.slowdown)
+        self._close(record)
+
+    def _run_gpu_fail(self, event: GpuFail) -> None:
+        device = self.machine.device(event.gpu)
+        self._failed.add(event.gpu)
+        # Permanent: the timeline window stays open, the trace gets an
+        # instantaneous marker at the moment of death.
+        self._open("gpu_fail", device.name)
+        self.machine.trace.record("Fault:gpu_fail", device.name,
+                                  self.env.now, end=self.env.now)
+        memory = self.machine.spec.topology.node(device.name).memory
+        if memory is not None:
+            for flow in self.machine.net.flows_crossing(memory):
+                self.machine.net.abort_flow(flow, DeviceFaultError(
+                    f"{device.name} failed under flow {flow.label!r}"))
+
+    def _run_transient(self, event: TransientTransfer) -> None:
+        for flow in self.machine.net.active_flows:
+            if flow.label.startswith(_RESILIENT_PREFIXES):
+                self.machine.net.abort_flow(flow, TransientTransferError(
+                    f"injected transient failure of flow {flow.label!r}"))
+                self._instant("transient", flow.label)
+                return
+        # Nothing resilient in flight: the shot fizzles (recorded so
+        # the timeline still reproduces).
+        self._instant("transient", "<no-target>")
+
+    def _kill_flow_later(self, flow: Flow, fraction: float):
+        if flow.rate > 0:
+            delay = fraction * (flow.remaining / flow.rate)
+        else:
+            delay = 0.0
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if flow.active:
+            self.machine.net.abort_flow(flow, TransientTransferError(
+                f"transient failure of flow {flow.label!r}"))
+            self._instant("transient", flow.label)

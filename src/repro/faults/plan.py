@@ -1,0 +1,118 @@
+"""Fault plans: immutable, seed-reproducible fault schedules.
+
+A :class:`FaultPlan` is the unit of chaos: a tuple of
+:mod:`~repro.faults.events` plus a per-flow transient-failure
+probability.  Plans are either written by hand (tests pin exact
+windows) or generated from ``(spec, seed, intensity, horizon)`` — the
+same arguments always produce the same plan, and installing the same
+plan on two identical machines yields bit-identical simulated
+timelines, which is what makes chaos runs debuggable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.events import (
+    FaultEvent,
+    LinkDegradation,
+    LinkDown,
+    StragglerGpu,
+    TransientTransfer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.systems import SystemSpec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events for one simulated run."""
+
+    #: Scheduled events, in ``at`` order.
+    events: Tuple[FaultEvent, ...] = ()
+    #: Probability that any one resilient copy's flow is killed mid-air
+    #: with a :class:`~repro.errors.TransientTransferError` (drawn once
+    #: per flow from the injector's seeded stream).
+    transient_failure_prob: float = 0.0
+    #: Seed of the injector's runtime random stream (per-flow transient
+    #: draws); also recorded for provenance by :meth:`generate`.
+    seed: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if not 0.0 <= self.transient_failure_prob < 1.0:
+            raise ValueError(
+                f"transient_failure_prob must be in [0, 1), got "
+                f"{self.transient_failure_prob}")
+        object.__setattr__(self, "events",
+                           tuple(sorted(self.events, key=lambda e: e.at)))
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """A plan that injects nothing (useful as a control)."""
+        return cls()
+
+    @classmethod
+    def generate(cls, spec: "SystemSpec", seed: int,
+                 intensity: float = 1.0,
+                 horizon: float = 1.0) -> "FaultPlan":
+        """Draw a random plan for ``spec`` from a seeded stream.
+
+        ``intensity`` scales both the expected event counts and the
+        transient-failure probability (0 = empty plan, 1 = a handful of
+        faults, larger = a genuinely bad day); ``horizon`` is the
+        simulated-seconds span the fault windows land in — pass the
+        expected duration of the workload so faults actually overlap it.
+
+        The draw order is fixed, so equal arguments give equal plans.
+        """
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if intensity == 0:
+            return cls(seed=seed)
+        rng = np.random.default_rng(seed)
+        link_names = []
+        seen = set()
+        for edge in spec.topology.edges:
+            name = edge.resource.name
+            if name not in seen:
+                seen.add(name)
+                link_names.append(name)
+        gpus = spec.num_gpus
+
+        events = []
+        # Link degradation windows (bandwidth variability).
+        for _ in range(int(rng.poisson(2.0 * intensity))):
+            events.append(LinkDegradation(
+                at=float(rng.uniform(0.05, 0.7) * horizon),
+                resource=link_names[int(rng.integers(len(link_names)))],
+                duration=float(rng.uniform(0.05, 0.25) * horizon),
+                factor=float(rng.uniform(0.25, 0.75))))
+        # Link down / flapping windows.
+        for _ in range(int(rng.poisson(1.0 * intensity))):
+            events.append(LinkDown(
+                at=float(rng.uniform(0.05, 0.7) * horizon),
+                resource=link_names[int(rng.integers(len(link_names)))],
+                duration=float(rng.uniform(0.02, 0.1) * horizon)))
+        # Straggler GPUs (slowed kernels and copies).
+        for _ in range(int(rng.poisson(1.0 * intensity))):
+            events.append(StragglerGpu(
+                at=float(rng.uniform(0.0, 0.5) * horizon),
+                gpu=int(rng.integers(gpus)),
+                duration=float(rng.uniform(0.2, 0.5) * horizon),
+                slowdown=float(rng.uniform(1.5, 3.0))))
+        # Guaranteed one-shot transfer kills.
+        for _ in range(int(rng.poisson(1.0 * intensity))):
+            events.append(TransientTransfer(
+                at=float(rng.uniform(0.05, 0.8) * horizon)))
+        return cls(events=tuple(events),
+                   transient_failure_prob=min(0.3, 0.02 * intensity),
+                   seed=seed)
+
+    def __len__(self) -> int:
+        return len(self.events)

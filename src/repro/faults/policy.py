@@ -1,0 +1,74 @@
+"""Resilience policy and counters for the runtime's fault handling.
+
+The policy is read by :func:`repro.runtime.memcpy.copy_async` (retry,
+backoff, timeout, re-route) and by the sorts (straggler exclusion);
+stats are accumulated machine-wide and snapshotted per sort so every
+:class:`~repro.sort.result.SortResult` reports exactly the recovery
+work done on its behalf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class ResiliencePolicy:
+    """Knobs of the resilient transfer and degraded-sort behavior."""
+
+    #: Attempts after the first failure of one copy; exceeding it
+    #: re-raises the last :class:`~repro.errors.TransientTransferError`.
+    max_retries: int = 4
+    #: First backoff delay; attempt ``k`` waits
+    #: ``backoff_base_s * backoff_multiplier ** (k - 1)``.
+    backoff_base_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+    #: Per-copy watchdog: a flow outliving this (per attempt) is aborted
+    #: with :class:`~repro.errors.CopyTimeoutError`.  ``None`` disables
+    #: the watchdog (the default: a timeout needs a workload-specific
+    #: bound, there is no universal one).
+    copy_timeout_s: Optional[float] = None
+    #: Whether a watchdog timeout counts as retryable.
+    retry_on_timeout: bool = True
+    #: Route around links the injector took down (host-staged detours
+    #: pay the platform's ``p2p_traverse_efficiency`` cap); ``False``
+    #: makes copies wait for the link to come back instead.
+    reroute: bool = True
+    #: A GPU whose active straggler slowdown is at least this factor is
+    #: excluded from new sorts (treated like a failed device).
+    straggler_exclude_factor: float = 4.0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+
+
+@dataclass
+class ResilienceStats:
+    """Machine-wide counters of recovery work (monotonic)."""
+
+    #: Copy attempts resubmitted after a transient failure or timeout.
+    retries: int = 0
+    #: Copies routed around a down link.
+    reroutes: int = 0
+    #: Watchdog expirations.
+    timeouts: int = 0
+    #: Simulated seconds copies spent parked waiting for a down link
+    #: with no detour to come back up.
+    link_wait_s: float = 0.0
+
+    def snapshot(self) -> "ResilienceStats":
+        """An independent copy of the current counters."""
+        return ResilienceStats(self.retries, self.reroutes,
+                               self.timeouts, self.link_wait_s)
+
+    def delta(self, since: "ResilienceStats") -> "ResilienceStats":
+        """Counters accumulated after ``since`` was snapshotted."""
+        return ResilienceStats(
+            self.retries - since.retries,
+            self.reroutes - since.reroutes,
+            self.timeouts - since.timeouts,
+            self.link_wait_s - since.link_wait_s)

@@ -114,7 +114,8 @@ class Topology:
         self._nodes: Dict[str, TopologyNode] = {}
         self._edges: List[Edge] = []
         self._adjacency: Dict[str, List[Edge]] = {}
-        self._route_cache: Dict[Tuple[str, str], Route] = {}
+        self._route_cache: Dict[Tuple[str, str, Optional[frozenset]],
+                                Route] = {}
 
     # -- construction ------------------------------------------------------
     def add_node(
@@ -249,7 +250,8 @@ class Topology:
         return path
 
     # -- routing -----------------------------------------------------------
-    def route(self, src: str, dst: str) -> Route:
+    def route(self, src: str, dst: str,
+              avoid: Optional[frozenset] = None) -> Route:
         """Resolve the copy path from ``src`` to ``dst``.
 
         The path is the hop-minimal one (ties broken by the largest
@@ -257,8 +259,16 @@ class Topology:
         determinism), never transiting GPU nodes.  Memory resources of
         the endpoints are prepended/appended: the source memory is read
         (``FWD``), the destination memory is written (``REV``).
+
+        ``avoid`` is a frozenset of ``id(resource)`` values whose edges
+        must not be crossed (the resilient runtime routes around links
+        the fault injector took down); endpoint memories cannot be
+        avoided.  Raises :class:`~repro.errors.TopologyError` when no
+        path survives the exclusion.
         """
-        key = (src, dst)
+        if avoid is not None and not avoid:
+            avoid = None
+        key = (src, dst, avoid)
         if key in self._route_cache:
             return self._route_cache[key]
         if src == dst:
@@ -266,7 +276,7 @@ class Topology:
         src_node = self.node(src)
         dst_node = self.node(dst)
 
-        edge_path = self._shortest_edge_path(src, dst)
+        edge_path = self._shortest_edge_path(src, dst, avoid)
         hops: List[Hop] = []
         if src_node.memory is not None:
             hops.append((src_node.memory, Direction.FWD))
@@ -305,7 +315,8 @@ class Topology:
             names.append(edge.other(names[-1]))
         return names
 
-    def _shortest_edge_path(self, src: str, dst: str) -> List[Edge]:
+    def _shortest_edge_path(self, src: str, dst: str,
+                            avoid: Optional[frozenset] = None) -> List[Edge]:
         """Search over edges, honoring transit rules, widest-path tie-break.
 
         Dijkstra on the cost ``(hop count, -bottleneck width)`` so that
@@ -328,6 +339,8 @@ class Topology:
             if here != src and not self._nodes[here].can_transit:
                 continue
             for edge in self._adjacency[here]:
+                if avoid is not None and id(edge.resource) in avoid:
+                    continue
                 there = edge.other(here)
                 if there in settled:
                     continue

@@ -19,6 +19,7 @@ from typing import Generator, List, Union
 import numpy as np
 
 from repro.errors import RuntimeApiError
+from repro.faults.policy import ResiliencePolicy, ResilienceStats
 from repro.hw.systems import SystemSpec
 from repro.runtime.buffer import HostBuffer
 from repro.runtime.device import Device
@@ -61,6 +62,28 @@ class Machine:
                    numa=spec.gpu_numa[name])
             for i, name in enumerate(spec.gpu_names)
         ]
+        #: Fault injector, installed via :meth:`install_faults`; ``None``
+        #: on a healthy machine (the common case — hot paths gate on it).
+        self.faults = None
+        #: Retry/backoff/re-route behavior of the resilient runtime.
+        self.resilience = ResiliencePolicy()
+        #: Machine-wide recovery counters (sorts snapshot/delta these).
+        self.resilience_stats = ResilienceStats()
+
+    def install_faults(self, plan):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on the machine.
+
+        Returns the live :class:`~repro.faults.injector.FaultInjector`.
+        At most one plan per machine; install before running workloads
+        so every scheduled fault window can fire.
+        """
+        from repro.faults.injector import FaultInjector
+
+        if self.faults is not None:
+            raise RuntimeApiError(
+                "a fault plan is already installed on this machine")
+        self.faults = FaultInjector(self, plan)
+        return self.faults
 
     # -- devices -----------------------------------------------------------
     @property

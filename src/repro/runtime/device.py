@@ -37,6 +37,10 @@ class Device:
         #: Inbound (writes into this GPU) and outbound DMA engines.
         self.engine_in = Semaphore(machine.env, 1)
         self.engine_out = Semaphore(machine.env, 1)
+        #: Kernel-duration multiplier (fault injection: straggler GPUs).
+        #: Exactly 1.0 when healthy; kernel launches skip it then, so
+        #: fault-free timing is untouched.
+        self.compute_slowdown = 1.0
 
     # -- memory ------------------------------------------------------------
     @property

@@ -54,6 +54,8 @@ def sort_on_device(machine: "Machine", target: Span,
     start = machine.env.now
     duration = device.spec.sort_seconds(primitive, logical,
                                         view.dtype.itemsize)
+    if device.compute_slowdown != 1.0:
+        duration *= device.compute_slowdown
     yield machine.env.timeout(duration)
     if values is None:
         if machine.fast_functional:
@@ -91,7 +93,10 @@ def merge_two_on_device(machine: "Machine", target: Span, split: int,
     if values is not None:
         logical += values.nbytes * machine.scale
     start = machine.env.now
-    yield machine.env.timeout(device.spec.merge_seconds(logical))
+    duration = device.spec.merge_seconds(logical)
+    if device.compute_slowdown != 1.0:
+        duration *= device.compute_slowdown
+    yield machine.env.timeout(duration)
     if split not in (0, len(view)):
         a, b = view[:split], view[split:]
         if values is None and machine.fast_functional:

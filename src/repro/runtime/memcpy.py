@@ -17,7 +17,12 @@ from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
-from repro.errors import RuntimeApiError
+from repro.errors import (
+    CopyTimeoutError,
+    RuntimeApiError,
+    TopologyError,
+    TransientTransferError,
+)
 from repro.hw import calibration as cal
 from repro.runtime.buffer import DeviceBuffer, HostBuffer
 from repro.sim.resources import Direction
@@ -100,6 +105,14 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
     * **DtoD on one GPU** — kernel-driven local copy at the device's
       ``local_copy_rate``, crossing only the GPU's own memory; no DMA
       engine is held, so it overlaps with P2P traffic (Section 5.2).
+
+    Under an installed :class:`~repro.faults.plan.FaultPlan` the routed
+    kinds run the machine's :class:`~repro.faults.policy.ResiliencePolicy`:
+    transient failures retry with exponential backoff, an optional
+    watchdog bounds each attempt, and routes detour around down links
+    (see :mod:`repro.faults`).  Without a plan none of that machinery is
+    touched and simulated timing is bit-identical to the pre-fault
+    engine.
     """
     if len(dst) != len(src):
         raise RuntimeApiError(
@@ -121,37 +134,118 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
     # inbound chunk while this copy drains it (Section 5.3, Figure 10).
     payload = src.view.copy()
 
-    engines = []
     if kind == "DtoD":
         device = src.buffer.device
         yield env.timeout(device.spec.launch_overhead_s)
         memory = machine.spec.topology.node(device.name).memory
         route_hops = ((memory, Direction.FWD), (memory, Direction.REV))
+        rate = device.spec.local_copy_rate
+        if device.compute_slowdown != 1.0:
+            # Straggler GPUs drive their kernel-driven local copies at
+            # the same reduced speed as their kernels.
+            rate /= device.compute_slowdown
         flow = machine.net.start_flow(
-            route_hops, logical, rate_cap=device.spec.local_copy_rate,
+            route_hops, logical, rate_cap=rate,
             label=f"DtoD@{device.name}")
         yield flow.done
     else:
-        src_node = _node_of(machine, src.buffer)
-        dst_node = _node_of(machine, dst.buffer)
-        route = machine.spec.topology.route(src_node, dst_node)
+        yield from _routed_copy(machine, dst, src, kind, logical)
 
-        rate_cap = None
-        if kind == "PtoP" and route.host_traversing:
-            rate_cap = machine.spec.p2p_traverse_efficiency * route.bottleneck
-        for buffer in (src.buffer, dst.buffer):
-            if isinstance(buffer, HostBuffer) and not buffer.pinned:
-                pageable = cal.PAGEABLE_PENALTY * route.bottleneck
-                rate_cap = pageable if rate_cap is None else min(rate_cap,
-                                                                 pageable)
+    dst.view[:] = payload
+    if phase is not None:
+        actor = _node_of(machine, dst.buffer if kind != "DtoH"
+                         else src.buffer)
+        machine.trace.record(phase, actor, start_time, bytes=logical)
+    return dst
 
-        if isinstance(src.buffer, DeviceBuffer):
-            engines.append(src.buffer.device.engine_out)
-        if isinstance(dst.buffer, DeviceBuffer):
-            engines.append(dst.buffer.device.engine_in)
+
+def _resolve_route(machine: "Machine", src_node: str, dst_node: str):
+    """Process: the route for a copy, honoring down links.
+
+    The healthy path is a straight cache hit.  When the direct route
+    crosses a link the fault injector took down, try a route avoiding
+    every down resource (a GPU-GPU detour through the host keeps its
+    ``host_traversing`` flag, so the caller's ``p2p_traverse_efficiency``
+    cap applies — graceful degradation, not teleportation).  With no
+    detour (or re-routing disabled), park until the first blocking link
+    is restored and resolve again.
+    """
+    topology = machine.spec.topology
+    faults = machine.faults
+    env = machine.env
+    while True:
+        route = topology.route(src_node, dst_node)
+        if faults is None or not faults.down_ids:
+            return route
+        down = faults.down_ids
+        blocked = [id(resource) for resource, _direction in route.hops
+                   if id(resource) in down]
+        if not blocked:
+            return route
+        if machine.resilience.reroute:
+            try:
+                detour = topology.route(src_node, dst_node,
+                                        avoid=frozenset(down))
+            except TopologyError:
+                detour = None
+            if detour is not None:
+                machine.resilience_stats.reroutes += 1
+                return detour
+        parked_at = env.now
+        yield faults.restored_event(blocked[0])
+        machine.resilience_stats.link_wait_s += env.now - parked_at
+
+
+def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
+                 logical: float):
+    """Process: the engine-holding, route-crossing copy with resilience.
+
+    Structure: acquire the DMA engines once (held across retries, like
+    a real driver holding its copy queue), then attempt the transfer
+    under the machine's :class:`~repro.faults.policy.ResiliencePolicy` —
+    re-resolving the route per attempt, arming the optional watchdog,
+    and backing off exponentially after transient failures.  Engines are
+    released exactly as acquired, even when an interrupt lands between
+    the two acquisitions.
+    """
+    env = machine.env
+    src_node = _node_of(machine, src.buffer)
+    dst_node = _node_of(machine, dst.buffer)
+    policy = machine.resilience
+    stats = machine.resilience_stats
+    faults = machine.faults
+
+    engines = []
+    if isinstance(src.buffer, DeviceBuffer):
+        engines.append(src.buffer.device.engine_out)
+    if isinstance(dst.buffer, DeviceBuffer):
+        engines.append(dst.buffer.device.engine_in)
+    acquired = []
+    try:
         for engine in engines:
-            yield engine.acquire()
-        try:
+            ticket = engine.acquire()
+            try:
+                yield ticket
+            except BaseException:
+                # Interrupted/failed between acquisitions: withdraw the
+                # ticket (queued or granted) so no slot leaks, and leave
+                # engines acquired so far to the finally clause.
+                engine.cancel(ticket)
+                raise
+            acquired.append(engine)
+
+        attempt = 0
+        while True:
+            route = yield from _resolve_route(machine, src_node, dst_node)
+            rate_cap = None
+            if kind == "PtoP" and route.host_traversing:
+                rate_cap = (machine.spec.p2p_traverse_efficiency
+                            * route.bottleneck)
+            for buffer in (src.buffer, dst.buffer):
+                if isinstance(buffer, HostBuffer) and not buffer.pinned:
+                    pageable = cal.PAGEABLE_PENALTY * route.bottleneck
+                    rate_cap = (pageable if rate_cap is None
+                                else min(rate_cap, pageable))
             # Fixed cost before the first byte moves: the launch
             # overhead of the involved devices plus one traversal
             # latency per hop of the route (pre-summed on the route).
@@ -167,17 +261,44 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
             flow = machine.net.start_flow(
                 route.hops, logical, rate_cap=rate_cap,
                 label=f"{kind}:{src_node}->{dst_node}")
-            yield flow.done
-        finally:
-            for engine in reversed(engines):
-                engine.release()
-
-    dst.view[:] = payload
-    if phase is not None:
-        actor = _node_of(machine, dst.buffer if kind != "DtoH"
-                         else src.buffer)
-        machine.trace.record(phase, actor, start_time, bytes=logical)
-    return dst
+            if faults is not None:
+                faults.on_flow_started(flow)
+            try:
+                if policy.copy_timeout_s is None:
+                    yield flow.done
+                else:
+                    deadline = env.timeout(policy.copy_timeout_s)
+                    yield env.any_of([flow.done, deadline])
+                    if not flow.done.triggered:
+                        machine.net.abort_flow(flow)
+                        stats.timeouts += 1
+                        raise CopyTimeoutError(
+                            f"copy {flow.label!r} exceeded the "
+                            f"{policy.copy_timeout_s}s watchdog")
+                return
+            except TransientTransferError:
+                if flow.active:
+                    machine.net.abort_flow(flow)
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise
+                stats.retries += 1
+                yield env.timeout(policy.backoff_s(attempt))
+            except CopyTimeoutError:
+                attempt += 1
+                if not policy.retry_on_timeout or attempt > policy.max_retries:
+                    raise
+                stats.retries += 1
+                yield env.timeout(policy.backoff_s(attempt))
+            except BaseException:
+                # Interrupt or any non-retryable failure: take the flow
+                # out of the network before unwinding.
+                if flow.active:
+                    machine.net.abort_flow(flow)
+                raise
+    finally:
+        for engine in reversed(acquired):
+            engine.release()
 
 
 def copy_all(machine: "Machine", pairs, phase: Optional[str] = None):

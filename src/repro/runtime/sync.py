@@ -54,3 +54,20 @@ class Semaphore:
             self._waiters.popleft().succeed()
         else:
             self._in_use -= 1
+
+    def cancel(self, ticket: Event) -> None:
+        """Withdraw an :meth:`acquire` whose waiter will never resume.
+
+        A still-queued ticket is simply forgotten; a ticket that was
+        already granted (its event triggered, holding a slot) releases
+        that slot.  Call this when an interrupt or failure hits a
+        process between requesting and yielding on the ticket — without
+        it the slot would leak forever.
+        """
+        try:
+            self._waiters.remove(ticket)
+            return
+        except ValueError:
+            pass
+        if ticket.triggered:
+            self.release()

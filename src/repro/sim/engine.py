@@ -126,7 +126,7 @@ class Timeout(Event):
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+            raise SimulationError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
         self._ok = True

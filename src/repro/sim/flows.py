@@ -179,6 +179,8 @@ class FlowNetwork:
         self.fast_starts = 0
         self.fast_finishes = 0
         self.completion_events = 0
+        #: Flows removed before completion (faults, timeouts, interrupts).
+        self.aborted_flows = 0
 
     # -- public API -------------------------------------------------------
     def start_flow(
@@ -228,6 +230,63 @@ class FlowNetwork:
     def active_flows(self) -> List[Flow]:
         """Snapshot of the currently active flows, in arrival order."""
         return list(self._flows)
+
+    def flows_crossing(self, resource: Resource) -> List[Flow]:
+        """Active flows crossing ``resource`` in either direction."""
+        rid2 = id(resource) << 1
+        seen: Dict[Flow, None] = {}
+        for key in (rid2, rid2 | 1):
+            bucket = self._members.get(key)
+            if bucket:
+                for flow in bucket:
+                    seen[flow] = None
+        return list(seen)
+
+    def abort_flow(self, flow: Flow, exc: Optional[BaseException] = None):
+        """Remove an active flow before its last byte is delivered.
+
+        Progress up to *now* is credited to the delivered counters, the
+        flow leaves the network (surviving flows are re-rated), and any
+        scheduled completion is invalidated via the completion token.
+        With ``exc`` the flow's ``done`` event fails with it (pre-defused,
+        so a waiter that already raced past — e.g. an ``AnyOf`` timeout —
+        does not crash the environment); without, ``done`` stays pending
+        and the caller is expected to stop waiting on it.
+
+        A flow that already finished (or reaches its finish threshold in
+        the catch-up sweep at this very instant) is left untouched.
+        """
+        if not flow.active:
+            return
+        self._advance_all()
+        if not flow.active:
+            return
+        del self._flows[flow]
+        self._remove(flow)
+        flow._completion_token += 1
+        partial = flow.size - flow.remaining - flow._credited
+        if partial > 0:
+            self._credit(flow, partial)
+        flow.finished_at = self.env.now
+        flow.rate = 0.0
+        self.aborted_flows += 1
+        if exc is not None:
+            flow.done.fail(exc)
+            flow.done.defused = True
+        if self._flows:
+            self._reallocate()
+
+    def requery_capacity(self) -> None:
+        """Re-rate every active flow after an external capacity change.
+
+        Called when a resource's effective capacity changed for reasons
+        the membership index cannot see — e.g. the fault injector
+        setting a :meth:`~repro.sim.resources.Resource.set_fault_factor`
+        degradation window.
+        """
+        self._advance_all()
+        if self._flows:
+            self._reallocate()
 
     @property
     def delivered(self) -> Dict[Tuple[Resource, Direction], float]:

@@ -109,7 +109,7 @@ class Resource:
     """
 
     __slots__ = ("name", "_cap_fwd", "_cap_rev", "duplex_factor",
-                 "sharing", "latency_s", "_load_sensitive")
+                 "sharing", "latency_s", "_load_sensitive", "_fault_factor")
 
     def __init__(
         self,
@@ -141,6 +141,27 @@ class Resource:
         #: NVLink bundles and switch ports carry no penalty).
         self._load_sensitive = (self.duplex_factor != 1.0
                                 or not self.sharing._trivial)
+        #: Externally imposed capacity multiplier (fault injection).
+        #: Exactly 1.0 when healthy; the capacity math skips it then, so
+        #: a fault-free run is bit-identical to a build without faults.
+        self._fault_factor = 1.0
+
+    @property
+    def fault_factor(self) -> float:
+        """Current externally imposed capacity multiplier (1.0 = healthy)."""
+        return self._fault_factor
+
+    def set_fault_factor(self, factor: float) -> None:
+        """Impose (or, with 1.0, lift) a capacity degradation.
+
+        Called by the fault injector; callers owning a
+        :class:`~repro.sim.flows.FlowNetwork` must follow up with
+        :meth:`~repro.sim.flows.FlowNetwork.requery_capacity` so active
+        flows are re-rated under the new capacity.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"fault factor must be positive, got {factor}")
+        self._fault_factor = float(factor)
 
     def raw_capacity(self, direction: Direction) -> float:
         """Configured capacity of one direction, ignoring load effects."""
@@ -155,6 +176,8 @@ class Resource:
         """Capacity of ``direction`` under the given concurrent load."""
         capacity = (self._cap_fwd if direction is Direction.FWD
                     else self._cap_rev)
+        if self._fault_factor != 1.0:
+            capacity *= self._fault_factor
         if not self._load_sensitive:
             return capacity
         if flows_other_direction > 0 and flows_this_direction > 0:

@@ -24,10 +24,13 @@ quantifies the difference.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.errors import SortError
 from repro.hw.systems import SystemSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
 
 
 def preferred_gpu_ids(spec: SystemSpec, count: int) -> Tuple[int, ...]:
@@ -164,3 +167,28 @@ def best_gpu_set(spec: SystemSpec, count: int,
     if order_for_p2p and count > 1 and not (count & (count - 1)):
         return best_gpu_order_for_p2p(spec, subset)
     return subset
+
+
+def surviving_gpu_ids(
+        machine: "Machine",
+        gpu_ids: Sequence[int]) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Split an ordered GPU set into ``(survivors, excluded)``.
+
+    A GPU is excluded when the machine's fault injector reports it hard-
+    failed, or when its active straggler slowdown is at least the
+    resilience policy's ``straggler_exclude_factor`` (a device that slow
+    would bottleneck every phase barrier; re-planning the chunks over
+    the healthy devices is faster).  Order is preserved — P2P merge
+    orders stay meaningful.  On a machine without faults everything
+    survives.
+    """
+    faults = getattr(machine, "faults", None)
+    if faults is None:
+        return tuple(gpu_ids), ()
+    threshold = machine.resilience.straggler_exclude_factor
+    failed = faults.failed_gpu_ids()
+    excluded = tuple(
+        gpu for gpu in gpu_ids
+        if gpu in failed or faults.straggler_factor(gpu) >= threshold)
+    survivors = tuple(gpu for gpu in gpu_ids if gpu not in excluded)
+    return survivors, excluded

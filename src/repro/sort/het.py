@@ -30,18 +30,21 @@ and compute volume.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import SortError
+from repro.faults.policy import ResiliencePolicy
 from repro.runtime.buffer import DeviceBuffer, HostBuffer
 from repro.runtime.context import Machine
 from repro.runtime.cpu_ops import cpu_multiway_merge
 from repro.runtime.kernels import sort_on_device
 from repro.runtime.memcpy import copy_async, span
 from repro.runtime.stream import Stream
+from repro.sort.gpu_set import surviving_gpu_ids
 from repro.sort.result import SortResult
 
 
@@ -387,7 +390,8 @@ def _grouped_gpu_merge_pipeline(machine: Machine, devices,
 def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
              gpu_ids: Optional[Sequence[int]] = None,
              config: Optional[HetConfig] = None,
-             values: Optional[np.ndarray] = None) -> SortResult:
+             values: Optional[np.ndarray] = None,
+             resilience: Optional[ResiliencePolicy] = None) -> SortResult:
     """Sort ``data`` with the heterogeneous algorithm; returns the result.
 
     Handles both in-core data (one chunk group; the 2n and 3n
@@ -397,9 +401,18 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
 
     Pass ``values`` for key-value records; sorted payloads come back in
     ``result.output_values``.
+
+    ``resilience`` overrides the machine's policy for this run.  On a
+    machine with an installed fault plan, failed or badly straggling
+    GPUs are dropped and the chunk groups re-planned over the
+    survivors (any count works — HET needs no power of two unless
+    ``gpu_merge_groups`` is on); recovery work is reported on the
+    result.
     """
     config = config or HetConfig()
     config.buffers_per_gpu()  # validate the approach early
+    if resilience is not None:
+        machine.resilience = resilience
     if isinstance(data, HostBuffer):
         host_in = data
     else:
@@ -419,6 +432,19 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
 
     ids = tuple(gpu_ids) if gpu_ids is not None else \
         machine.spec.preferred_gpu_set(machine.num_gpus)
+    excluded = ()
+    if machine.faults is not None:
+        survivors, excluded = surviving_gpu_ids(machine, ids)
+        if not survivors:
+            raise SortError(
+                f"no healthy GPUs left in {ids}: all failed or "
+                "straggling past the exclusion factor")
+        if excluded:
+            ids = survivors
+            if config.gpu_merge_groups and len(ids) & (len(ids) - 1):
+                # The on-GPU group merge needs 2^k chunks per group;
+                # shrink to the largest power-of-two prefix.
+                ids = ids[:1 << int(math.log2(len(ids)))]
     if len(set(ids)) != len(ids):
         raise SortError(f"duplicate GPU ids in {ids}")
     g = len(ids)
@@ -529,6 +555,7 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
                 if value_dtype is not None else None))
 
     start = machine.env.now
+    stats_before = machine.resilience_stats.snapshot()
 
     def run():
         env = machine.env
@@ -591,6 +618,12 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     machine.run(run())
     duration = machine.env.now - start
 
+    recovery = machine.resilience_stats.delta(stats_before)
+    fault_downtime = (machine.faults.downtime_between(start, machine.env.now)
+                      if machine.faults is not None else 0.0)
+    degraded = bool(excluded or recovery.retries or recovery.reroutes
+                    or recovery.timeouts or fault_downtime > 0.0)
+
     phases = {name: value for name, value in
               machine.trace.phase_durations().items()
               if name in ("HtoD", "Sort", "DtoH", "Merge")}
@@ -606,4 +639,10 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
         chunk_groups=groups,
         output=host_out.data,
         output_values=values_out.data if values_out is not None else None,
+        degraded=degraded,
+        retries=recovery.retries,
+        reroutes=recovery.reroutes,
+        timeouts=recovery.timeouts,
+        fault_downtime=fault_downtime,
+        excluded_gpus=excluded,
     )

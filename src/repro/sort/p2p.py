@@ -31,10 +31,12 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import SortError
+from repro.faults.policy import ResiliencePolicy
 from repro.runtime.buffer import DeviceBuffer, HostBuffer
 from repro.runtime.context import Machine
 from repro.runtime.kernels import sort_on_device
 from repro.runtime.memcpy import copy_async, span
+from repro.sort.gpu_set import surviving_gpu_ids
 from repro.sort.pivot import is_valid_pivot, select_pivot, select_pivot_paper
 from repro.sort.result import SortResult
 from repro.sort.swap import block_swap_sizes, swap_and_merge_pair
@@ -240,7 +242,8 @@ def _pad_value(dtype: np.dtype):
 def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
              gpu_ids: Optional[Sequence[int]] = None,
              config: Optional[P2PConfig] = None,
-             values: Optional[np.ndarray] = None) -> SortResult:
+             values: Optional[np.ndarray] = None,
+             resilience: Optional[ResiliencePolicy] = None) -> SortResult:
     """Sort ``data`` across GPUs with the P2P algorithm; returns the result.
 
     ``data`` may be a NumPy array (wrapped as a pinned buffer on NUMA
@@ -253,8 +256,16 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     travel with their keys through every copy, swap and merge —
     doubling or tripling the transfer volume depending on the payload
     width — and come back in ``result.output_values``.
+
+    ``resilience`` overrides the machine's policy for this run.  On a
+    machine with an installed fault plan, failed or badly straggling
+    GPUs are dropped and the chunks re-planned over the largest
+    power-of-two prefix of the survivors; recovery work (retries,
+    re-routes, downtime) is reported on the result.
     """
     config = config or P2PConfig()
+    if resilience is not None:
+        machine.resilience = resilience
     if isinstance(data, HostBuffer):
         host_in = data
     else:
@@ -275,6 +286,18 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     if ids is None:
         count = min(machine.num_gpus, 1 << int(math.log2(machine.num_gpus)))
         ids = machine.spec.preferred_gpu_set(count)
+    excluded = ()
+    if machine.faults is not None:
+        survivors, excluded = surviving_gpu_ids(machine, ids)
+        if not survivors:
+            raise SortError(
+                f"no healthy GPUs left in {ids}: all failed or "
+                "straggling past the exclusion factor")
+        if excluded:
+            # Re-plan over the largest power-of-two prefix of the
+            # survivors (the merge needs 2^k chunks; order preserved).
+            keep = 1 << int(math.log2(len(survivors)))
+            ids = tuple(survivors[:keep])
     g = len(ids)
     if g & (g - 1):
         raise SortError(f"P2P sort needs a power-of-two GPU count, got {g}")
@@ -357,6 +380,7 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
 
     stats = _Stats()
     start = machine.env.now
+    stats_before = machine.resilience_stats.snapshot()
 
     def run():
         env = machine.env
@@ -438,6 +462,12 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
         output = keys_all[keep]
         output_values = vals_all[keep]
 
+    recovery = machine.resilience_stats.delta(stats_before)
+    fault_downtime = (machine.faults.downtime_between(start, machine.env.now)
+                      if machine.faults is not None else 0.0)
+    degraded = bool(excluded or recovery.retries or recovery.reroutes
+                    or recovery.timeouts or fault_downtime > 0.0)
+
     phases = {name: value for name, value in
               machine.trace.phase_durations().items()
               if name in ("Redistribute", "HtoD", "Sort", "Merge", "DtoH")}
@@ -457,4 +487,10 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
         pivots=tuple(stats.pivots),
         output=output,
         output_values=output_values,
+        degraded=degraded,
+        retries=recovery.retries,
+        reroutes=recovery.reroutes,
+        timeouts=recovery.timeouts,
+        fault_downtime=fault_downtime,
+        excluded_gpus=excluded,
     )

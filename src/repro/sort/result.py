@@ -41,6 +41,22 @@ class SortResult:
     output: Optional[np.ndarray] = None
     #: Payload values reordered alongside the keys (key-value sorts).
     output_values: Optional[np.ndarray] = None
+    #: Whether the run was touched by faults or recovery work at all:
+    #: excluded GPUs, retried/re-routed/timed-out copies, or any fault
+    #: window overlapping the run.
+    degraded: bool = False
+    #: Copy attempts resubmitted after transient failures/timeouts.
+    retries: int = 0
+    #: Copies routed around a down link.
+    reroutes: int = 0
+    #: Per-copy watchdog expirations.
+    timeouts: int = 0
+    #: Simulated seconds of the run with at least one fault window open
+    #: (union, not sum, of overlapping windows).
+    fault_downtime: float = 0.0
+    #: GPUs dropped from the requested set (failed or straggling past
+    #: the policy's exclusion factor).
+    excluded_gpus: Tuple[int, ...] = ()
 
     @property
     def keys_per_second(self) -> float:
@@ -57,6 +73,13 @@ class SortResult:
         """One-line human-readable summary."""
         phases = ", ".join(f"{name}={seconds:.3f}s"
                            for name, seconds in self.phase_durations.items())
-        return (f"{self.algorithm} on {self.system} GPUs{self.gpu_ids}: "
+        line = (f"{self.algorithm} on {self.system} GPUs{self.gpu_ids}: "
                 f"{self.logical_keys / 1e9:.2f}B keys in "
                 f"{self.duration:.3f}s ({phases})")
+        if self.degraded:
+            line += (f" [degraded: retries={self.retries} "
+                     f"reroutes={self.reroutes} "
+                     f"downtime={self.fault_downtime:.3f}s"
+                     + (f" excluded={self.excluded_gpus}"
+                        if self.excluded_gpus else "") + "]")
+        return line

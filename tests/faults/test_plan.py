@@ -1,0 +1,73 @@
+"""Unit tests of fault plans: validation, ordering, seeded generation."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkDegradation,
+    LinkDown,
+    StragglerGpu,
+    TransientTransfer,
+)
+from repro.hw import dgx_a100
+
+
+class TestFaultPlanBasics:
+    def test_empty_plan(self):
+        plan = FaultPlan.empty()
+        assert len(plan) == 0
+        assert plan.transient_failure_prob == 0.0
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            TransientTransfer(at=3.0),
+            LinkDown(at=1.0, resource="x", duration=0.5),
+            StragglerGpu(at=2.0, gpu=0, duration=1.0, slowdown=2.0),
+        ))
+        assert [e.at for e in plan.events] == [1.0, 2.0, 3.0]
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_failure_prob=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(transient_failure_prob=-0.1)
+
+    def test_events_are_immutable(self):
+        event = LinkDegradation(at=0.0, resource="x", duration=1.0,
+                                factor=0.5)
+        with pytest.raises(AttributeError):
+            event.factor = 0.1
+
+
+class TestGenerate:
+    def test_same_seed_same_plan(self):
+        spec = dgx_a100()
+        a = FaultPlan.generate(spec, seed=7, intensity=2.0, horizon=1.5)
+        b = FaultPlan.generate(spec, seed=7, intensity=2.0, horizon=1.5)
+        assert a == b
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        spec = dgx_a100()
+        plans = {FaultPlan.generate(spec, seed=s, intensity=2.0).events
+                 for s in range(5)}
+        assert len(plans) > 1
+
+    def test_zero_intensity_is_empty(self):
+        plan = FaultPlan.generate(dgx_a100(), seed=1, intensity=0.0)
+        assert len(plan) == 0
+        assert plan.transient_failure_prob == 0.0
+
+    def test_events_land_inside_horizon(self):
+        horizon = 3.0
+        plan = FaultPlan.generate(dgx_a100(), seed=3, intensity=4.0,
+                                  horizon=horizon)
+        assert len(plan) > 0
+        for event in plan.events:
+            assert 0.0 <= event.at <= 0.8 * horizon
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(dgx_a100(), seed=1, intensity=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(dgx_a100(), seed=1, horizon=0.0)

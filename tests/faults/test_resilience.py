@@ -1,0 +1,165 @@
+"""Tests of the resilient copy path: retries, watchdog, re-routing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CopyTimeoutError, TransientTransferError
+from repro.faults import FaultPlan, ResiliencePolicy
+from repro.faults.events import LinkDown, TransientTransfer
+from repro.hw import dgx_a100
+from repro.runtime import Machine
+from repro.runtime.memcpy import copy_async, span
+
+SCALE = 1e6  # 8 KB physical -> 8 GB logical: copies take ~0.3 sim-s
+
+
+def _machine(plan=None, policy=None) -> Machine:
+    machine = Machine(dgx_a100(), scale=SCALE)
+    if plan is not None:
+        machine.install_faults(plan)
+    if policy is not None:
+        machine.resilience = policy
+    return machine
+
+
+def _htod(machine: Machine, gpu: int = 0, n: int = 1000):
+    device = machine.device(gpu)
+    host = machine.host_buffer(np.arange(n, dtype=np.int64))
+    dev = device.alloc(n, np.int64, label="t")
+
+    def run():
+        yield from copy_async(machine, span(dev), span(host))
+
+    machine.run(run())
+    return host, dev
+
+
+def _ptop(machine: Machine, src_gpu: int = 0, dst_gpu: int = 2,
+          n: int = 1000):
+    src_dev = machine.device(src_gpu).alloc(n, np.int64, label="src")
+    dst_dev = machine.device(dst_gpu).alloc(n, np.int64, label="dst")
+    src_dev.data[:] = np.arange(n, dtype=np.int64)
+
+    def run():
+        yield from copy_async(machine, span(dst_dev), span(src_dev))
+
+    machine.run(run())
+    return src_dev, dst_dev
+
+
+class TestTransientRetry:
+    def test_injected_transient_is_retried_to_completion(self):
+        plan = FaultPlan(events=(TransientTransfer(at=0.1),))
+        machine = _machine(plan)
+        host, dev = _htod(machine)
+        assert np.array_equal(dev.data, host.data)
+        assert machine.resilience_stats.retries == 1
+        assert machine.net.aborted_flows == 1
+        # The kill was recorded on the injector timeline.
+        kinds = [r.kind for r in machine.faults.timeline]
+        assert kinds == ["transient"]
+
+    def test_retry_exhaustion_raises_and_releases_engines(self):
+        plan = FaultPlan(events=(TransientTransfer(at=0.1),))
+        machine = _machine(plan, ResiliencePolicy(max_retries=0))
+        with pytest.raises(TransientTransferError):
+            _htod(machine)
+        device = machine.device(0)
+        assert device.engine_in.available == device.engine_in.capacity
+        assert machine.resilience_stats.retries == 0
+        assert len(machine.net.active_flows) == 0
+
+    def test_per_flow_probability_kills_are_seeded(self):
+        plan = FaultPlan(transient_failure_prob=0.5, seed=11)
+        policy = ResiliencePolicy(max_retries=50, backoff_base_s=1e-4)
+        retries = []
+        for _ in range(2):
+            machine = _machine(plan, policy)
+            for _ in range(3):
+                _htod(machine)
+            retries.append(machine.resilience_stats.retries)
+        assert retries[0] == retries[1]
+        assert retries[0] > 0
+
+    def test_backoff_spreads_attempts(self):
+        policy = ResiliencePolicy(backoff_base_s=0.5, max_retries=1)
+        plan = FaultPlan(events=(TransientTransfer(at=0.1),))
+        machine = _machine(plan, policy)
+        start = machine.env.now
+        _htod(machine)
+        # One failed attempt + 0.5 s backoff + one full attempt.
+        assert machine.env.now - start > 0.5
+
+
+class TestWatchdog:
+    def test_timeout_without_retry_raises(self):
+        policy = ResiliencePolicy(copy_timeout_s=0.01,
+                                  retry_on_timeout=False)
+        machine = _machine(policy=policy)
+        with pytest.raises(CopyTimeoutError):
+            _htod(machine)
+        assert machine.resilience_stats.timeouts == 1
+        assert len(machine.net.active_flows) == 0
+
+    def test_timeout_retries_then_exhausts(self):
+        policy = ResiliencePolicy(copy_timeout_s=0.01, max_retries=2,
+                                  backoff_base_s=1e-4)
+        machine = _machine(policy=policy)
+        with pytest.raises(CopyTimeoutError):
+            _htod(machine)
+        assert machine.resilience_stats.timeouts == 3
+        assert machine.resilience_stats.retries == 2
+
+    def test_generous_timeout_does_not_fire(self):
+        policy = ResiliencePolicy(copy_timeout_s=1000.0)
+        machine = _machine(policy=policy)
+        host, dev = _htod(machine)
+        assert np.array_equal(dev.data, host.data)
+        assert machine.resilience_stats.timeouts == 0
+
+
+class TestReroute:
+    def test_copy_detours_around_down_link(self):
+        clean_machine = _machine()
+        _ptop(clean_machine)
+        clean = clean_machine.env.now
+
+        plan = FaultPlan(events=(LinkDown(
+            at=0.0, resource="nvswitch_port_gpu2", duration=100.0),))
+        machine = _machine(plan)
+        src, dst = _ptop(machine)
+        assert np.array_equal(dst.data, src.data)
+        assert machine.resilience_stats.reroutes == 1
+        # The detour is host-staged PCIe: slower than NVSwitch, but it
+        # finishes long before the 100 s restoration.
+        assert clean < machine.env.now < 100.0
+
+    def test_without_reroute_copy_parks_until_restored(self):
+        down = 0.4
+        plan = FaultPlan(events=(LinkDown(
+            at=0.0, resource="nvswitch_port_gpu2", duration=down),))
+        machine = _machine(plan, ResiliencePolicy(reroute=False))
+        src, dst = _ptop(machine)
+        assert np.array_equal(dst.data, src.data)
+        assert machine.resilience_stats.reroutes == 0
+        assert machine.resilience_stats.link_wait_s == pytest.approx(down)
+        assert machine.env.now > down
+
+    def test_unaffected_route_ignores_down_link(self):
+        plan = FaultPlan(events=(LinkDown(
+            at=0.0, resource="nvswitch_port_gpu6", duration=100.0),))
+        machine = _machine(plan)
+        host, dev = _htod(machine)  # cpu0 -> gpu0 never sees the switch
+        assert np.array_equal(dev.data, host.data)
+        assert machine.resilience_stats.reroutes == 0
+        assert machine.resilience_stats.retries == 0
+
+
+class TestPolicy:
+    def test_backoff_schedule(self):
+        policy = ResiliencePolicy(backoff_base_s=0.001,
+                                  backoff_multiplier=2.0)
+        assert policy.backoff_s(1) == pytest.approx(0.001)
+        assert policy.backoff_s(3) == pytest.approx(0.004)
+        with pytest.raises(ValueError):
+            policy.backoff_s(0)

@@ -87,7 +87,7 @@ class TestTimeout:
         assert order == ["a", "b", "c"]
 
     def test_negative_delay_rejected(self, env):
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             env.timeout(-1.0)
 
     def test_timeout_carries_value(self, env):

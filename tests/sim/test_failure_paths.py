@@ -1,0 +1,113 @@
+"""Failure-path tests of the kernel, semaphores and in-flight copies.
+
+The fault-injection subsystem leans on exactly these paths: failed
+events propagating through conditions, defused failures staying silent,
+semaphore tickets withdrawn mid-acquisition, and interrupted copies
+leaving no engine slot or flow behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hw import dgx_a100
+from repro.runtime import Machine
+from repro.runtime.memcpy import copy_async, span
+from repro.runtime.sync import Semaphore
+from repro.sim.engine import Interrupt
+
+
+class TestConditionFailures:
+    def test_any_of_failure_propagates(self, env):
+        bad = env.event()
+
+        def proc():
+            yield env.any_of([env.timeout(10), bad])
+
+        p = env.process(proc())
+        bad.fail(ValueError("broken"))
+        with pytest.raises(ValueError, match="broken"):
+            env.run(p)
+
+    def test_all_of_nested_failure_propagates(self, env):
+        bad = env.event()
+
+        def proc():
+            yield env.all_of([env.timeout(1) | env.timeout(2), bad])
+
+        p = env.process(proc())
+        bad.fail(KeyError("inner"))
+        with pytest.raises(KeyError):
+            env.run(p)
+
+    def test_unhandled_failure_reraised_from_step(self, env):
+        event = env.event()
+        event.fail(RuntimeError("nobody caught this"))
+        with pytest.raises(RuntimeError, match="nobody caught this"):
+            env.run()
+
+    def test_defused_failure_is_not_reraised(self, env):
+        event = env.event()
+        event.fail(RuntimeError("defused"))
+        event.defused = True
+        env.run()  # must not raise
+
+    def test_failure_after_any_of_triggered_needs_defusing(self, env):
+        """The pattern ``abort_flow`` relies on: an event that fails
+        *after* an AnyOf containing it already triggered is not consumed
+        by the condition, so only ``defused`` keeps the kernel quiet."""
+        slow = env.event()
+
+        def proc():
+            yield env.any_of([env.timeout(1), slow])
+
+        p = env.process(proc())
+        env.run(p)  # the timeout wins; ``slow`` is still pending
+        slow.fail(ValueError("late loser"))
+        slow.defused = True
+        env.run()  # must not raise
+
+
+class TestSemaphoreCancel:
+    def test_cancel_queued_ticket_forgets_it(self, env):
+        sem = Semaphore(env, capacity=1)
+        held = sem.acquire()
+        assert held.triggered
+        queued = sem.acquire()
+        assert not queued.triggered
+        sem.cancel(queued)
+        sem.release()
+        # The cancelled waiter must not have consumed the freed slot.
+        assert sem.available == 1
+
+    def test_cancel_granted_ticket_releases_slot(self, env):
+        sem = Semaphore(env, capacity=1)
+        granted = sem.acquire()
+        assert sem.available == 0
+        sem.cancel(granted)
+        assert sem.available == 1
+
+
+class TestInterruptedCopy:
+    def test_interrupt_midflight_restores_engines_and_removes_flow(self):
+        machine = Machine(dgx_a100(), scale=1e6)
+        device = machine.device(0)
+        host = machine.host_buffer(np.zeros(1000, dtype=np.int64))
+        dev = device.alloc(1000, np.int64, label="victim")
+        env = machine.env
+
+        proc = env.process(copy_async(machine, span(dev), span(host)))
+
+        def attacker():
+            yield env.timeout(0.01)  # well inside the scaled transfer
+            assert len(machine.net.active_flows) == 1
+            proc.interrupt("chaos")
+
+        env.process(attacker())
+        with pytest.raises(Interrupt):
+            env.run()
+        # The BaseException handler aborted the flow; the finally
+        # clause released both engines (the seed leaked them).
+        assert len(machine.net.active_flows) == 0
+        assert machine.net.aborted_flows == 1
+        assert device.engine_in.available == device.engine_in.capacity
+        assert device.engine_out.available == device.engine_out.capacity
