@@ -22,12 +22,14 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all result tables as JSON")
     parser.add_argument("--quick", action="store_true",
-                        help="simcore/resilience only: run the reduced "
-                             "scenario sweep (simcore then skips its JSON "
-                             "record; resilience always writes its own)")
+                        help="simcore/kernels/resilience only: run the "
+                             "reduced scenario sweep (simcore and kernels "
+                             "then skip their JSON records; resilience "
+                             "always writes its own)")
     args = parser.parse_args(argv)
     if args.quick:
-        from repro.bench.experiments import resilience, simcore
+        from repro.bench.experiments import kernels, resilience, simcore
+        kernels.QUICK = True
         simcore.QUICK = True
         resilience.QUICK = True
     if args.list:

@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     datatypes,
     distributions,
     extensions,
+    kernels,
     large_data,
     local_copy,
     merge_saturation,
@@ -110,6 +111,9 @@ EXPERIMENTS: List[Experiment] = [
                co_running.run_co_running),
     Experiment("simcore", "Simulator-core throughput (engine + allocator)",
                simcore.run_simcore_entry),
+    Experiment("kernels", "Functional kernel layer throughput "
+               "(scatter, PARADIS, merge)",
+               kernels.run_kernels_entry),
     Experiment("resilience", "Sorting under injected faults (fault model)",
                resilience.run_resilience_entry),
 ]

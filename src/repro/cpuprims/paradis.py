@@ -16,30 +16,76 @@ level:
   speculative round runs on the shrunken windows.
 
 The two phases iterate until every element sits in its bucket; buckets
-then recurse on the next digit.  This implementation is functionally
-faithful (striping, speculation, repair, recursion, small-bucket
-insertion sort) while executing the "parallel" workers sequentially —
-the simulator charges time from the calibrated PARADIS rate, not from
-host wall-clock.
+then recurse on the next digit.
+
+Two functionally identical paths implement this contract:
+
+* the **vectorized** default — each level's bucket windows are resolved
+  in a single NumPy partition round (one stable counting scatter over
+  the level, gathered through a pooled scratch buffer).  This is the
+  one-worker speculative round of the original, whose stripes cover the
+  whole windows and therefore always place every element: one round per
+  level, no repair residue.
+* the **reference** path (``paradis_sort_reference`` /
+  ``vectorized=False``) — the element-at-a-time speculation/repair
+  loop, faithful to the striping across ``workers`` and convergent over
+  multiple rounds.  It is the property-test oracle and the "before"
+  side of the ``kernels`` benchmark.
+
+Both paths report their work through :data:`counters` (levels entered,
+speculative rounds run), which is how the tests observe that striping
+with many workers needs repair rounds while the vectorized round does
+not.  The simulator charges time from the calibrated PARADIS rate, not
+from host wall-clock, so the paths are interchangeable timing-wise.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import SortError
 from repro.gpuprims.common import (
-    binary_insertion_sort,
+    SMALL_SORT_THRESHOLD,
+    _digit_dtype,
+    _stable_digit_order,
     from_radix_keys,
+    small_sort,
     to_radix_keys,
 )
+from repro.runtime.buffer import default_pool
 
 #: Buckets at or below this size are finished with the local sort.
-_LOCAL_SORT_THRESHOLD = 64
+_LOCAL_SORT_THRESHOLD = SMALL_SORT_THRESHOLD
 
 #: Safety bound on permute/repair rounds per level; PARADIS converges in
 #: a handful of rounds, so hitting this indicates a bug.
 _MAX_ROUNDS = 64
+
+
+@dataclass
+class ParadisCounters:
+    """Observable work counters of the most recent sorts.
+
+    ``levels`` counts digit levels partitioned (buckets above the local
+    sort threshold); ``rounds`` counts speculative-permutation rounds.
+    The vectorized path runs exactly one round per level; the reference
+    path with multiple workers may need several on duplicate-heavy
+    data, which keeps the striping semantics observable.
+    """
+
+    levels: int = 0
+    rounds: int = 0
+
+    def reset(self) -> None:
+        """Zero the counters (call before a sort you want to measure)."""
+        self.levels = 0
+        self.rounds = 0
+
+
+#: Module-wide counters; reset explicitly when measuring a single sort.
+counters = ParadisCounters()
 
 
 def _digits_of(keys: np.ndarray, shift: int, mask: int) -> np.ndarray:
@@ -115,11 +161,13 @@ def _repair(keys: np.ndarray, heads: np.ndarray, tails: np.ndarray,
     return misplaced_total
 
 
-def _paradis_level(keys: np.ndarray, high_bit: int, radix_bits: int,
-                   workers: int) -> None:
+def _paradis_level_reference(keys: np.ndarray, high_bit: int,
+                             radix_bits: int, workers: int) -> None:
+    """The element-wise speculation/repair level (reference oracle)."""
     if keys.size <= _LOCAL_SORT_THRESHOLD or high_bit <= 0:
-        binary_insertion_sort(keys)
+        small_sort(keys)
         return
+    counters.levels += 1
     bits = min(radix_bits, high_bit)
     shift = high_bit - bits
     radix = 1 << bits
@@ -139,6 +187,7 @@ def _paradis_level(keys: np.ndarray, high_bit: int, radix_bits: int,
     round_workers = workers
     previous = keys.size + 1
     for _ in range(_MAX_ROUNDS):
+        counters.rounds += 1
         _speculative_permute(keys, heads, tails, shift, mask, round_workers)
         misplaced = _repair(keys, heads, tails, shift, mask)
         if misplaced == 0:
@@ -152,17 +201,55 @@ def _paradis_level(keys: np.ndarray, high_bit: int, radix_bits: int,
     for v in range(radix):
         lo, hi = int(boundaries[v]), int(boundaries[v + 1])
         if hi - lo > 1:
-            _paradis_level(keys[lo:hi], shift, radix_bits, workers)
+            _paradis_level_reference(keys[lo:hi], shift, radix_bits,
+                                     workers)
+
+
+def _paradis_level_vectorized(keys: np.ndarray, scratch: np.ndarray,
+                              high_bit: int, radix_bits: int) -> None:
+    """One-round bucket-window partition of a level, vectorized.
+
+    Equivalent to a speculative round whose single worker's stripes
+    cover the whole bucket windows: every element reaches its window in
+    one pass (so repair finds nothing to compact).  Implemented as a
+    stable counting scatter through the sort-wide ``scratch`` buffer.
+    """
+    if keys.size <= _LOCAL_SORT_THRESHOLD or high_bit <= 0:
+        small_sort(keys)
+        return
+    counters.levels += 1
+    counters.rounds += 1
+    bits = min(radix_bits, high_bit)
+    shift = high_bit - bits
+    radix = 1 << bits
+    key_type = keys.dtype.type
+    compact = ((keys >> key_type(shift))
+               & key_type(radix - 1)).astype(_digit_dtype(radix),
+                                             copy=False)
+    counts = np.bincount(compact, minlength=radix)
+    order = _stable_digit_order(compact)
+    np.take(keys, order, out=scratch)
+    keys[:] = scratch
+    boundaries = np.zeros(radix + 1, dtype=np.int64)
+    np.cumsum(counts, out=boundaries[1:])
+    for value in range(radix):
+        lo, hi = int(boundaries[value]), int(boundaries[value + 1])
+        if hi - lo > 1:
+            _paradis_level_vectorized(keys[lo:hi], scratch[lo:hi],
+                                      shift, radix_bits)
 
 
 def paradis_sort(values: np.ndarray, radix_bits: int = 8,
-                 workers: int = 4) -> np.ndarray:
+                 workers: int = 4, *,
+                 vectorized: bool = True) -> np.ndarray:
     """Return ``values`` sorted ascending with PARADIS.
 
-    ``workers`` controls the speculative-permutation striping (the
-    paper runs PARADIS with all hardware threads; functionally any
-    worker count yields the same sorted result, which the tests
-    verify).
+    ``workers`` controls the speculative-permutation striping of the
+    reference path (the paper runs PARADIS with all hardware threads;
+    functionally any worker count yields the same sorted result, which
+    the tests verify).  The vectorized default resolves each level in
+    one partition round and ignores the striping — ``workers`` is still
+    validated so the two paths stay call-compatible.
     """
     if values.ndim != 1:
         raise SortError("PARADIS expects a one-dimensional array")
@@ -173,5 +260,17 @@ def paradis_sort(values: np.ndarray, radix_bits: int = 8,
     if values.size <= 1:
         return values.copy()
     keys, dtype = to_radix_keys(values)
-    _paradis_level(keys, dtype.itemsize * 8, radix_bits, workers)
+    if vectorized:
+        with default_pool.borrow(keys.size, keys.dtype) as scratch:
+            _paradis_level_vectorized(keys, scratch, dtype.itemsize * 8,
+                                      radix_bits)
+    else:
+        _paradis_level_reference(keys, dtype.itemsize * 8, radix_bits,
+                                 workers)
     return from_radix_keys(keys, dtype)
+
+
+def paradis_sort_reference(values: np.ndarray, radix_bits: int = 8,
+                           workers: int = 4) -> np.ndarray:
+    """The element-wise speculation/repair PARADIS (oracle path)."""
+    return paradis_sort(values, radix_bits, workers, vectorized=False)

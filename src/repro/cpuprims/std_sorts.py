@@ -10,7 +10,7 @@ entirely in the calibrated rates of :class:`repro.hw.host.CpuSpec`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -19,25 +19,45 @@ from repro.cpuprims.radix_simd import radix_sort_buffered_lsb
 from repro.errors import SortError
 
 
-def library_sort(values: np.ndarray, flavour: str = "gnu_parallel") -> np.ndarray:
+def _into(sorted_values: np.ndarray,
+          out: Optional[np.ndarray]) -> np.ndarray:
+    """Deliver a sort result into ``out`` when one was provided."""
+    if out is None:
+        return sorted_values
+    out[:] = sorted_values
+    return out
+
+
+def library_sort(values: np.ndarray, flavour: str = "gnu_parallel", *,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
     """Sorted copy via a library-sort stand-in.
 
     ``gnu_parallel`` is a stable multiway mergesort; ``tbb`` and
-    ``std_par`` are unstable quicksort-family sorts.
+    ``std_par`` are unstable quicksort-family sorts.  When ``out`` is
+    the input array itself the sort happens in place with no copy — the
+    path :func:`repro.runtime.cpu_ops.cpu_sort` uses.
     """
     if flavour == "gnu_parallel":
-        return np.sort(values, kind="stable")
-    if flavour in ("tbb", "std_par"):
-        return np.sort(values, kind="quicksort")
-    raise SortError(f"unknown library sort flavour {flavour!r}")
+        kind = "stable"
+    elif flavour in ("tbb", "std_par"):
+        kind = "quicksort"
+    else:
+        raise SortError(f"unknown library sort flavour {flavour!r}")
+    if out is values:
+        out.sort(kind=kind)
+        return out
+    return _into(np.sort(values, kind=kind), out)
 
 
-_DISPATCH: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
-    "paradis": paradis_sort,
-    "simd_lsb": radix_sort_buffered_lsb,
-    "gnu_parallel": lambda values: library_sort(values, "gnu_parallel"),
-    "tbb": lambda values: library_sort(values, "tbb"),
-    "std_par": lambda values: library_sort(values, "std_par"),
+_DISPATCH: Dict[str, Callable[..., np.ndarray]] = {
+    "paradis": lambda values, *, out=None: _into(paradis_sort(values), out),
+    "simd_lsb": lambda values, *, out=None: _into(
+        radix_sort_buffered_lsb(values), out),
+    "gnu_parallel": lambda values, *, out=None: library_sort(
+        values, "gnu_parallel", out=out),
+    "tbb": lambda values, *, out=None: library_sort(values, "tbb", out=out),
+    "std_par": lambda values, *, out=None: library_sort(
+        values, "std_par", out=out),
 }
 
 
@@ -46,8 +66,13 @@ def available_cpu_primitives() -> List[str]:
     return sorted(_DISPATCH)
 
 
-def cpu_functional_sort(primitive: str) -> Callable[[np.ndarray], np.ndarray]:
-    """The functional implementation behind a CPU primitive name."""
+def cpu_functional_sort(primitive: str) -> Callable[..., np.ndarray]:
+    """The functional implementation behind a CPU primitive name.
+
+    Every registered callable accepts ``(values, *, out=None)``; with
+    ``out`` the sorted keys land in the given array (``out`` may be
+    ``values`` itself, which the library flavours sort in place).
+    """
     try:
         return _DISPATCH[primitive]
     except KeyError:

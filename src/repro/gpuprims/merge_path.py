@@ -16,11 +16,12 @@ sort built from merge-path merges.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SortError
+from repro.runtime.buffer import default_pool
 
 
 def _diagonal_intersection(a: np.ndarray, b: np.ndarray, diag: int) -> int:
@@ -82,23 +83,49 @@ def merge_positions(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray,
     return pos_a, pos_b
 
 
-def _rank_merge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Vectorized stable merge by output-rank computation."""
-    out = np.empty(a.size + b.size, dtype=a.dtype)
+def _rank_merge_into(a: np.ndarray, b: np.ndarray,
+                     out: np.ndarray) -> np.ndarray:
+    """Vectorized stable merge by output-rank computation, into ``out``.
+
+    ``out`` must not overlap either input — the scatter writes every
+    output position before all input positions have been read.
+    """
     pos_a, pos_b = merge_positions(a, b)
     out[pos_a] = a
     out[pos_b] = b
     return out
 
 
+def _check_out(out: Optional[np.ndarray], size: int,
+               *inputs: np.ndarray) -> None:
+    if out is None:
+        return
+    if out.size != size:
+        raise SortError(
+            f"merge output needs {size} elements, got {out.size}")
+    for source in inputs:
+        if out is source:
+            raise SortError("merge cannot write over an input run")
+
+
 def merge_sorted_with_values(a: np.ndarray, b: np.ndarray,
-                             va: np.ndarray, vb: np.ndarray
+                             va: np.ndarray, vb: np.ndarray, *,
+                             out_keys: Optional[np.ndarray] = None,
+                             out_values: Optional[np.ndarray] = None
                              ) -> Tuple[np.ndarray, np.ndarray]:
-    """Key-value merge: payloads travel with their keys."""
+    """Key-value merge: payloads travel with their keys.
+
+    ``out_keys`` / ``out_values`` are optional preallocated
+    destinations (must not overlap the inputs).
+    """
     if a.size != va.size or b.size != vb.size:
         raise SortError("keys and values must have equal lengths")
-    keys = np.empty(a.size + b.size, dtype=a.dtype)
-    values = np.empty(va.size + vb.size, dtype=va.dtype)
+    _check_out(out_keys, a.size + b.size, a, b)
+    _check_out(out_values, va.size + vb.size, va, vb)
+    keys = (np.empty(a.size + b.size, dtype=a.dtype)
+            if out_keys is None else out_keys)
+    values = (np.empty(va.size + vb.size, dtype=va.dtype)
+              if out_values is None else out_values)
     pos_a, pos_b = merge_positions(a, b)
     keys[pos_a] = a
     keys[pos_b] = b
@@ -107,48 +134,78 @@ def merge_sorted_with_values(a: np.ndarray, b: np.ndarray,
     return keys, values
 
 
-def merge_sorted(a: np.ndarray, b: np.ndarray,
-                 segments: int = 8) -> np.ndarray:
+def merge_sorted(a: np.ndarray, b: np.ndarray, segments: int = 8, *,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
     """Merge two sorted arrays into one sorted array.
 
     The merge is partitioned with :func:`merge_partitions` and each
     segment is merged independently — the exact decomposition a GPU
     performs, so segment boundaries are covered by tests rather than
-    hidden by a monolithic merge.
+    hidden by a monolithic merge.  Pass ``out`` (not overlapping the
+    inputs) to merge into a preallocated array; each segment then
+    scatters straight into its output slice with no intermediate.
     """
     if a.dtype != b.dtype:
         raise SortError(f"dtype mismatch: {a.dtype} vs {b.dtype}")
-    if a.size == 0:
-        return b.copy()
-    if b.size == 0:
-        return a.copy()
-    out = np.empty(a.size + b.size, dtype=a.dtype)
+    _check_out(out, a.size + b.size, a, b)
+    if a.size == 0 or b.size == 0:
+        source = b if a.size == 0 else a
+        if out is None:
+            return source.copy()
+        out[:] = source
+        return out
+    if out is None:
+        out = np.empty(a.size + b.size, dtype=a.dtype)
     offset = 0
     for a_lo, a_hi, b_lo, b_hi in merge_partitions(a, b, segments):
-        seg = _rank_merge(a[a_lo:a_hi], b[b_lo:b_hi])
-        out[offset:offset + seg.size] = seg
-        offset += seg.size
+        size = (a_hi - a_lo) + (b_hi - b_lo)
+        _rank_merge_into(a[a_lo:a_hi], b[b_lo:b_hi],
+                         out[offset:offset + size])
+        offset += size
     return out
 
 
-def merge_sort(values: np.ndarray, base: int = 32) -> np.ndarray:
+def merge_sort(values: np.ndarray, base: int = 32, *,
+               out: Optional[np.ndarray] = None) -> np.ndarray:
     """Bottom-up merge sort built from merge-path merges (MGPU model).
 
-    Runs of ``base`` elements are sorted with NumPy's insertion-level
-    sort stand-in, then repeatedly pairwise-merged.
+    Runs of ``base`` elements are sorted in place, then width-doubling
+    merge levels ping-pong between the result array and one workspace
+    borrowed from the pool — two fixed buffers, no per-level
+    allocation.  Pass ``out`` to receive the sorted keys in a
+    preallocated array (sorting into the input array itself is
+    allowed).
     """
     if values.ndim != 1:
         raise SortError("merge sort expects a one-dimensional array")
     n = values.size
     if n <= 1:
-        return values.copy()
-    runs = [np.sort(values[i:i + base], kind="stable")
-            for i in range(0, n, base)]
-    while len(runs) > 1:
-        merged = []
-        for i in range(0, len(runs) - 1, 2):
-            merged.append(merge_sorted(runs[i], runs[i + 1]))
-        if len(runs) % 2:
-            merged.append(runs[-1])
-        runs = merged
-    return runs[0]
+        if out is None:
+            return values.copy()
+        out[:] = values
+        return out
+    result = np.empty(n, dtype=values.dtype) if out is None else out
+    if result is not values:
+        result[:] = values
+    for i in range(0, n, base):
+        result[i:i + base].sort(kind="stable")
+    with default_pool.borrow(n, values.dtype) as aux:
+        src, dst = result, aux
+        width = base
+        while width < n:
+            for lo in range(0, n, 2 * width):
+                mid = min(lo + width, n)
+                hi = min(lo + 2 * width, n)
+                if mid < hi:
+                    merge_sorted(src[lo:mid], src[mid:hi],
+                                 out=dst[lo:hi])
+                else:
+                    # Odd tail run: carry it into the level's buffer.
+                    dst[lo:hi] = src[lo:hi]
+            src, dst = dst, src
+            width *= 2
+        if src is not result:
+            # Odd level count: land the result in the owned buffer so
+            # the return value never aliases the pooled workspace.
+            result[:] = src
+    return result

@@ -16,7 +16,10 @@ from repro.gpuprims.merge_path import merge_sort
 from repro.gpuprims.radix_lsb import radix_sort_lsb
 from repro.gpuprims.radix_msb import radix_sort_msb
 
-SortFn = Callable[[np.ndarray], np.ndarray]
+#: Registered sorts accept ``(values, *, out=None)`` and return the
+#: sorted keys; with ``out`` they sort into a preallocated array
+#: (``out`` may be ``values`` itself for an in-place sort).
+SortFn = Callable[..., np.ndarray]
 
 _REGISTRY: Dict[str, SortFn] = {
     "thrust": radix_sort_lsb,

@@ -1,4 +1,4 @@
-"""Host and device memory buffers.
+"""Host and device memory buffers, and the functional workspace pool.
 
 Buffers pair a NumPy array (the functional payload) with placement
 metadata the simulator needs (which NUMA node / GPU, pinned or not).
@@ -6,11 +6,20 @@ With a machine ``scale`` factor > 1, an array of ``n`` physical bytes
 *represents* ``n * scale`` logical bytes; all timing and capacity
 accounting uses logical bytes while correctness is verified on the
 physical data (see DESIGN.md, "Reproduction strategy").
+
+:class:`WorkspacePool` recycles the *host-side scratch arrays* of the
+functional kernel layer (radix double buffers, merge-tree ping-pong
+buffers, staging runs of the sorts).  It has no timing effect — pooled
+arrays model the pre-allocated auxiliary memory the paper's
+implementations hold anyway (Section 5.1: dynamic allocation is
+expensive), so reusing them only cuts host wall-clock, never simulated
+time.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -18,6 +27,87 @@ from repro.errors import RuntimeApiError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.device import Device
+
+
+class WorkspacePool:
+    """Recycler for one-dimensional NumPy scratch arrays.
+
+    ``take(n, dtype)`` returns a length-``n`` view of a cached base
+    array of at least ``n`` elements (allocating one on a miss);
+    ``give`` returns the view's base to the pool.  :meth:`borrow` wraps
+    the pair as a context manager.  Views are uninitialised on take —
+    callers must fully write before reading, exactly like ``np.empty``.
+
+    The pool is deliberately simple: per-dtype free lists kept sorted by
+    size, capped at :data:`MAX_CACHED_PER_DTYPE` bases each so repeated
+    large sorts cannot accumulate unbounded memory.  Single-threaded by
+    design, like the simulator it serves.
+    """
+
+    #: Free bases kept per dtype; the smallest are evicted beyond this.
+    MAX_CACHED_PER_DTYPE = 8
+
+    def __init__(self) -> None:
+        self._free: Dict[str, List[np.ndarray]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(self, n: int, dtype) -> np.ndarray:
+        """A writable, uninitialised length-``n`` view from the pool."""
+        if n < 0:
+            raise RuntimeApiError(f"cannot take {n} elements")
+        dtype = np.dtype(dtype)
+        bucket = self._free.get(dtype.str)
+        if bucket:
+            # Smallest sufficient base (list is sorted by size).
+            for i, base in enumerate(bucket):
+                if base.size >= n:
+                    bucket.pop(i)
+                    self.hits += 1
+                    return base[:n]
+        self.misses += 1
+        base = np.empty(max(n, 1), dtype=dtype)
+        return base[:n]
+
+    def give(self, view: np.ndarray) -> None:
+        """Return an array obtained from :meth:`take` to the pool."""
+        base = view if view.base is None else view.base
+        if not isinstance(base, np.ndarray) or base.ndim != 1:
+            raise RuntimeApiError(
+                "workspace pool only recycles views of one-dimensional "
+                "arrays")
+        bucket = self._free.setdefault(base.dtype.str, [])
+        index = 0
+        while index < len(bucket) and bucket[index].size < base.size:
+            index += 1
+        bucket.insert(index, base)
+        if len(bucket) > self.MAX_CACHED_PER_DTYPE:
+            # Drop the smallest base: large workspaces are the ones
+            # worth keeping warm.
+            bucket.pop(0)
+
+    @contextmanager
+    def borrow(self, n: int, dtype) -> Iterator[np.ndarray]:
+        """``with pool.borrow(n, dtype) as scratch: ...``"""
+        view = self.take(n, dtype)
+        try:
+            yield view
+        finally:
+            self.give(view)
+
+    def clear(self) -> None:
+        """Drop every cached base (tests and memory-pressure hooks)."""
+        self._free.clear()
+
+    @property
+    def cached_bytes(self) -> int:
+        """Total bytes currently parked in the pool."""
+        return sum(base.nbytes for bucket in self._free.values()
+                   for base in bucket)
+
+
+#: Process-wide pool shared by the functional kernels and the sorts.
+default_pool = WorkspacePool()
 
 
 class HostBuffer:

@@ -16,7 +16,10 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.cpuprims.multiway_merge import multiway_merge
+from repro.cpuprims.multiway_merge import (
+    multiway_merge,
+    multiway_merge_with_values,
+)
 from repro.cpuprims.std_sorts import cpu_functional_sort
 from repro.errors import RuntimeApiError
 from repro.runtime.buffer import HostBuffer
@@ -54,7 +57,7 @@ def cpu_sort(machine: "Machine", target: HostBuffer,
     if machine.fast_functional:
         target.data.sort()
     else:
-        target.data[:] = cpu_functional_sort(primitive)(target.data)
+        cpu_functional_sort(primitive)(target.data, out=target.data)
     machine.trace.record(phase, f"cpu{target.numa}", start, bytes=logical)
     return target
 
@@ -93,18 +96,17 @@ def cpu_multiway_merge(machine: "Machine", out: np.ndarray,
     if runs:
         if values_out is None:
             if machine.fast_functional:
-                merged = np.concatenate([np.asarray(r) for r in runs])
-                merged.sort()
-                out[:] = merged
+                # Concatenate straight into the output buffer and sort
+                # there — no intermediate array (runs never alias out).
+                offset = 0
+                for run in runs:
+                    out[offset:offset + run.size] = run
+                    offset += run.size
+                out.sort()
             else:
-                out[:] = multiway_merge(runs)
+                multiway_merge(runs, out=out)
         else:
-            from repro.cpuprims.multiway_merge import (
-                multiway_merge_with_values,
-            )
-
-            keys, values = multiway_merge_with_values(runs, value_runs)
-            out[:] = keys
-            values_out[:] = values
+            multiway_merge_with_values(runs, value_runs, out=out,
+                                       values_out=values_out)
     machine.trace.record(phase, f"cpu{numa}", start, bytes=logical)
     return out

@@ -23,6 +23,7 @@ from repro.errors import RuntimeApiError
 from repro.gpuprims.merge_path import merge_positions, merge_sorted
 from repro.gpuprims.radix_lsb import argsort_radix_lsb
 from repro.gpuprims.registry import functional_sort
+from repro.runtime.buffer import default_pool
 from repro.runtime.memcpy import Span
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -61,7 +62,7 @@ def sort_on_device(machine: "Machine", target: Span,
         if machine.fast_functional:
             view.sort()
         else:
-            view[:] = functional_sort(primitive)(view)
+            functional_sort(primitive)(view, out=view)
     else:
         if machine.fast_functional:
             order = np.argsort(view, kind="stable")
@@ -99,24 +100,29 @@ def merge_two_on_device(machine: "Machine", target: Span, split: int,
     yield machine.env.timeout(duration)
     if split not in (0, len(view)):
         a, b = view[:split], view[split:]
-        if values is None and machine.fast_functional:
-            merged = np.empty_like(view)
-            pos_a, pos_b = merge_positions(a, b)
-            merged[pos_a] = a
-            merged[pos_b] = b
-            view[:] = merged
-        elif values is None:
-            view[:] = merge_sorted(a, b)
+        if values is None:
+            # The merge scratch comes from the workspace pool — this
+            # models the pre-allocated auxiliary buffer of the real
+            # implementation rather than a per-merge allocation.
+            with default_pool.borrow(len(view), view.dtype) as merged:
+                if machine.fast_functional:
+                    pos_a, pos_b = merge_positions(a, b)
+                    merged[pos_a] = a
+                    merged[pos_b] = b
+                else:
+                    merge_sorted(a, b, out=merged)
+                view[:] = merged
         else:
-            pos_a, pos_b = merge_positions(a, b)
-            merged = np.empty_like(view)
-            merged[pos_a] = a
-            merged[pos_b] = b
             payload = values.view
-            merged_values = np.empty_like(payload)
-            merged_values[pos_a] = payload[:split]
-            merged_values[pos_b] = payload[split:]
-            view[:] = merged
-            payload[:] = merged_values
+            with default_pool.borrow(len(view), view.dtype) as merged, \
+                    default_pool.borrow(len(payload),
+                                        payload.dtype) as merged_values:
+                pos_a, pos_b = merge_positions(a, b)
+                merged[pos_a] = a
+                merged[pos_b] = b
+                merged_values[pos_a] = payload[:split]
+                merged_values[pos_b] = payload[split:]
+                view[:] = merged
+                payload[:] = merged_values
     machine.trace.record(phase, device.name, start, bytes=logical)
     return target

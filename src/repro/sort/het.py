@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.errors import SortError
 from repro.faults.policy import ResiliencePolicy
-from repro.runtime.buffer import DeviceBuffer, HostBuffer
+from repro.runtime.buffer import DeviceBuffer, HostBuffer, default_pool
 from repro.runtime.context import Machine
 from repro.runtime.cpu_ops import cpu_multiway_merge
 from repro.runtime.kernels import sort_on_device
@@ -494,14 +494,24 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     single_run = sum(len(sizes) for sizes in group_sizes) == 1
     tasks: List[_ChunkTask] = []
     group_runs: dict = {}
+    # Every staging run (per-chunk, per-group, eager-merged) is dead
+    # once the final merge lands in host_out, so they all come from the
+    # workspace pool and go back after the run.
+    borrowed: List[np.ndarray] = []
+
+    def staging_array(size: int, array_dtype) -> np.ndarray:
+        array = default_pool.take(size, array_dtype)
+        borrowed.append(array)
+        return array
+
     offset = 0
     for group_index, sizes in enumerate(group_sizes):
         merged_group = (config.gpu_merge_groups and g > 1
                         and is_uniform(sizes) and not single_run)
         if merged_group:
             total = sum(sizes)
-            group_keys = np.empty(total, dtype=dtype)
-            group_values = (np.empty(total, dtype=value_dtype)
+            group_keys = staging_array(total, dtype)
+            group_values = (staging_array(total, value_dtype)
                             if value_dtype is not None else None)
             group_runs[group_index] = (group_keys, group_values)
         for j, size in enumerate(sizes):
@@ -514,8 +524,8 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
                 value_run = (group_values[j * size:(j + 1) * size]
                              if group_values is not None else None)
             else:
-                run = np.empty(size, dtype=dtype)
-                value_run = (np.empty(size, dtype=value_dtype)
+                run = staging_array(size, dtype)
+                value_run = (staging_array(size, value_dtype)
                              if value_dtype is not None else None)
             tasks.append(_ChunkTask(
                 index=len(tasks), group=group_index,
@@ -543,8 +553,8 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
                 and groups > 1 and task.group < groups - 1):
             group_tasks = [t for t in tasks if t.group == task.group]
             total = sum(t.size for t in group_tasks)
-            merged = np.empty(total, dtype=dtype)
-            merged_values = (np.empty(total, dtype=value_dtype)
+            merged = staging_array(total, dtype)
+            merged_values = (staging_array(total, value_dtype)
                              if value_dtype is not None else None)
             eager_results[task.group] = (merged, merged_values)
             cpu_stream.submit(cpu_multiway_merge(
@@ -615,7 +625,11 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
             value_runs=final_value_runs if value_dtype is not None
             else None)
 
-    machine.run(run())
+    try:
+        machine.run(run())
+    finally:
+        for array in borrowed:
+            default_pool.give(array)
     duration = machine.env.now - start
 
     recovery = machine.resilience_stats.delta(stats_before)

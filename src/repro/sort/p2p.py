@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.errors import SortError
 from repro.faults.policy import ResiliencePolicy
-from repro.runtime.buffer import DeviceBuffer, HostBuffer
+from repro.runtime.buffer import DeviceBuffer, HostBuffer, default_pool
 from repro.runtime.context import Machine
 from repro.runtime.kernels import sort_on_device
 from repro.runtime.memcpy import copy_async, span
@@ -322,8 +322,13 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     staging = host_in
     value_staging = host_values
     pad_record = None
+    # Padded staging arrays are pure scratch — dead once the HtoD copies
+    # have run — so they come from the workspace pool instead of fresh
+    # allocations and go back after the run.
+    borrowed: List[np.ndarray] = []
     if padded != n:
-        padded_data = np.empty(padded, dtype=dtype)
+        padded_data = default_pool.take(padded, dtype)
+        borrowed.append(padded_data)
         padded_data[:n] = host_in.data
         if host_values is None:
             # Key-only padding: dtype-max sentinels sort to the tail.
@@ -337,7 +342,8 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
             pad_record = (host_in.data[pad_index],
                           host_values.data[pad_index])
             padded_data[n:] = pad_record[0]
-            padded_values = np.empty(padded, dtype=host_values.dtype)
+            padded_values = default_pool.take(padded, host_values.dtype)
+            borrowed.append(padded_values)
             padded_values[:n] = host_values.data
             padded_values[n:] = pad_record[1]
             value_staging = machine.host_buffer(
@@ -439,7 +445,11 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
             for buffer in c.all_buffers():
                 buffer.free()
 
-    machine.run(run())
+    try:
+        machine.run(run())
+    finally:
+        for array in borrowed:
+            default_pool.give(array)
     # Assemble the full output array (with numa-local placement the
     # sorted slices physically live on both nodes; this view is for the
     # caller's convenience and is not charged).

@@ -269,10 +269,12 @@ def rp_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
             buckets = _assign_buckets(keys, splitters, g,
                                        tie_fractions)
             order = stable_counting_permutation(buckets, g)
-            partitioned[slot].data[:size] = keys[order]
+            # Gather straight into the partition buffer — no fancy-index
+            # temporary between the device buffers.
+            np.take(keys, order, out=partitioned[slot].data[:size])
             if value_partitioned is not None:
-                value_partitioned[slot].data[:size] = \
-                    value_primaries[slot].data[:size][order]
+                np.take(value_primaries[slot].data[:size], order,
+                        out=value_partitioned[slot].data[:size])
             counts = np.bincount(buckets, minlength=g)
             np.cumsum(counts, out=bucket_bounds[slot][1:])
             machine.trace.record("Partition", device.name,

@@ -11,7 +11,9 @@ from repro.gpuprims.common import (
     binary_insertion_sort,
     counting_sort_pass,
     from_radix_keys,
+    small_sort,
     stable_counting_permutation,
+    stable_counting_permutation_reference,
     to_radix_keys,
 )
 
@@ -99,6 +101,40 @@ class TestCountingScatter:
         assert sorted(order) == list(range(digits.size))
         assert np.all(np.diff(digits[order]) >= 0)
 
+    def test_digit_out_of_range_raises(self):
+        for bad in ([4], [-1], [0, 2, 4], [0, -3, 1]):
+            digits = np.array(bad, dtype=np.int64)
+            with pytest.raises(SortError):
+                stable_counting_permutation(digits, radix=4)
+            with pytest.raises(SortError):
+                stable_counting_permutation_reference(digits, radix=4)
+
+    def test_boundary_digit_accepted(self):
+        digits = np.array([0, 3, 1, 3], dtype=np.int64)
+        order = stable_counting_permutation(digits, radix=4)
+        assert np.all(np.diff(digits[order]) >= 0)
+
+    def test_in_place_scatter_rejected(self):
+        keys = np.arange(8, dtype=np.uint32)
+        with pytest.raises(SortError):
+            counting_sort_pass(keys, shift=0, radix_bits=8, out=keys)
+        payload = np.arange(8, dtype=np.int64)
+        with pytest.raises(SortError):
+            counting_sort_pass(keys, shift=0, radix_bits=8,
+                               payload=payload, payload_out=payload)
+
+    def test_preallocated_out_is_used(self, rng):
+        keys = rng.integers(0, 1 << 16, size=300).astype(np.uint32)
+        out = np.empty_like(keys)
+        payload = np.arange(300, dtype=np.int64)
+        payload_out = np.empty_like(payload)
+        result, result_payload = counting_sort_pass(
+            keys, shift=0, radix_bits=8, payload=payload, out=out,
+            payload_out=payload_out)
+        assert result is out
+        assert result_payload is payload_out
+        assert np.array_equal(keys[result_payload], result)
+
 
 class TestInsertionSort:
     def test_sorts_in_place(self, rng):
@@ -112,3 +148,11 @@ class TestInsertionSort:
             keys = np.arange(n, dtype=np.uint32)
             binary_insertion_sort(keys)
             assert keys.size == n
+
+    def test_small_sort_matches_insertion_sort(self, rng):
+        for size in (0, 1, 2, 17, 64):
+            keys = rng.integers(0, 50, size=size).astype(np.uint32)
+            reference = keys.copy()
+            binary_insertion_sort(reference)
+            small_sort(keys)
+            assert np.array_equal(keys, reference)

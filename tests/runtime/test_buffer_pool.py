@@ -1,0 +1,103 @@
+"""Tests of the functional workspace pool (:mod:`repro.runtime.buffer`)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeApiError
+from repro.runtime.buffer import WorkspacePool, default_pool
+
+
+class TestWorkspacePool:
+    def test_take_returns_requested_view(self):
+        pool = WorkspacePool()
+        view = pool.take(100, np.int32)
+        assert view.size == 100
+        assert view.dtype == np.int32
+        assert pool.misses == 1
+
+    def test_give_take_reuses_base(self):
+        pool = WorkspacePool()
+        view = pool.take(100, np.int32)
+        base = view if view.base is None else view.base
+        pool.give(view)
+        again = pool.take(50, np.int32)
+        assert (again if again.base is None else again.base) is base
+        assert pool.hits == 1
+
+    def test_smallest_sufficient_base_wins(self):
+        pool = WorkspacePool()
+        small = pool.take(10, np.int64)
+        large = pool.take(1000, np.int64)
+        pool.give(small)
+        pool.give(large)
+        view = pool.take(5, np.int64)
+        assert (view.base if view.base is not None else view).size == 10
+
+    def test_dtypes_are_separate(self):
+        pool = WorkspacePool()
+        pool.give(pool.take(100, np.int32))
+        view = pool.take(100, np.float64)
+        assert view.dtype == np.float64
+        assert pool.misses == 2
+
+    def test_borrow_context_manager(self):
+        pool = WorkspacePool()
+        with pool.borrow(64, np.uint32) as scratch:
+            scratch[:] = 1
+            base = scratch if scratch.base is None else scratch.base
+        reused = pool.take(64, np.uint32)
+        assert (reused if reused.base is None else reused.base) is base
+
+    def test_borrow_returns_on_exception(self):
+        pool = WorkspacePool()
+        with pytest.raises(ValueError):
+            with pool.borrow(8, np.int32):
+                raise ValueError("boom")
+        assert pool.take(8, np.int32) is not None
+        assert pool.hits == 1
+
+    def test_cache_is_capped(self):
+        pool = WorkspacePool()
+        views = [pool.take(i + 1, np.int8)
+                 for i in range(pool.MAX_CACHED_PER_DTYPE + 3)]
+        for view in views:
+            pool.give(view)
+        assert len(pool._free[np.dtype(np.int8).str]) == \
+            pool.MAX_CACHED_PER_DTYPE
+        # The largest bases survive the eviction.
+        assert pool.cached_bytes == sum(
+            range(4, pool.MAX_CACHED_PER_DTYPE + 4))
+
+    def test_zero_length_take(self):
+        pool = WorkspacePool()
+        view = pool.take(0, np.int32)
+        assert view.size == 0
+        pool.give(view)
+
+    def test_negative_take_rejected(self):
+        pool = WorkspacePool()
+        with pytest.raises(RuntimeApiError):
+            pool.take(-1, np.int32)
+
+    def test_multidimensional_give_rejected(self):
+        pool = WorkspacePool()
+        with pytest.raises(RuntimeApiError):
+            pool.give(np.zeros((2, 2)))
+
+    def test_clear_drops_everything(self):
+        pool = WorkspacePool()
+        pool.give(pool.take(100, np.int32))
+        assert pool.cached_bytes > 0
+        pool.clear()
+        assert pool.cached_bytes == 0
+
+    def test_default_pool_is_shared(self):
+        from repro.gpuprims.radix_lsb import radix_sort_lsb
+
+        default_pool.clear()
+        values = np.arange(1000, 0, -1, dtype=np.int32)
+        radix_sort_lsb(values)
+        before = default_pool.misses
+        radix_sort_lsb(values)
+        # The second sort reuses the first sort's auxiliary buffer.
+        assert default_pool.misses == before
