@@ -4,6 +4,20 @@ Load the JSON produced by :func:`write_chrome_trace` in
 ``chrome://tracing`` or https://ui.perfetto.dev to inspect a run the
 way one would a real ``nsys`` profile: one row per GPU / CPU actor,
 one slice per phase span.
+
+With a :class:`~repro.obs.recorder.Recorder` (see
+:meth:`repro.runtime.context.Machine.enable_observability`) the export
+deepens into a full profile:
+
+* **nested slices** — each flow recorded under a traced copy span is
+  emitted on the span's own row, so a phase slice visually decomposes
+  into the transfers that made it up (spans carry their ``id`` and
+  ``parent`` in ``args`` for tooling);
+* **counter tracks** — one per link direction (allocated bandwidth in
+  GB/s) plus an active-flow-count track, rendered by Perfetto as
+  area charts under the slices;
+* **fault markers** — instant events at each fault occurrence and
+  shaded range slices for fault windows, on a dedicated ``faults`` row.
 """
 
 from __future__ import annotations
@@ -25,11 +39,21 @@ _PHASE_COLORS = {
     "Partition": "generic_work",
     "Exchange": "terrible",
     "CPUSort": "grey",
+    "P2PSort": "vsync_highlight_color",
+    "HetSort": "vsync_highlight_color",
+    "flow": "rail_load",
+    "fault": "terrible",
 }
 
 
-def to_chrome_trace(trace: Trace, label: str = "repro") -> Dict:
-    """Convert a trace to the Chrome trace-event JSON structure."""
+def to_chrome_trace(trace: Trace, label: str = "repro",
+                    recorder=None) -> Dict:
+    """Convert a trace to the Chrome trace-event JSON structure.
+
+    Pass the run's :class:`~repro.obs.recorder.Recorder` to add flow
+    slices nested under their parent spans, per-link bandwidth counter
+    tracks, and fault markers.
+    """
     actors = sorted({span.actor for span in trace.spans})
     tids = {actor: index for index, actor in enumerate(actors)}
     events: List[Dict] = []
@@ -38,21 +62,30 @@ def to_chrome_trace(trace: Trace, label: str = "repro") -> Dict:
             "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
             "args": {"name": actor},
         })
+    span_tids: Dict[int, int] = {}
     for span in trace.spans:
+        tid = tids[span.actor]
+        if span.id:
+            span_tids[span.id] = tid
         event = {
             "name": span.phase,
             "cat": "sim",
             "ph": "X",
             "pid": 0,
-            "tid": tids[span.actor],
+            "tid": tid,
             "ts": span.start * _US,
             "dur": span.duration * _US,
-            "args": {"bytes": span.bytes},
+            "args": {"bytes": span.bytes, "id": span.id,
+                     "parent": span.parent},
         }
         color = _PHASE_COLORS.get(span.phase)
+        if span.phase.startswith("Fault:"):
+            color = _PHASE_COLORS["fault"]
         if color:
             event["cname"] = color
         events.append(event)
+    if recorder is not None:
+        events.extend(_recorder_events(recorder, span_tids, len(tids)))
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -60,10 +93,101 @@ def to_chrome_trace(trace: Trace, label: str = "repro") -> Dict:
     }
 
 
+def _recorder_events(recorder, span_tids: Dict[int, int],
+                     next_tid: int) -> List[Dict]:
+    """Flow slices, counter tracks and fault markers from the recorder."""
+    from repro.obs.events import FaultClose, FaultOpen, LinkRate
+    from repro.obs.telemetry import flow_count_series
+
+    events: List[Dict] = []
+    # Flows: nested under their parent span's row when attached; the
+    # rest (un-traced transfers) collect on a shared overflow row.
+    flow_tid = next_tid
+    fault_tid = next_tid + 1
+    used_flow_row = False
+    for record in recorder.flows:
+        end = record.end if record.end is not None else recorder.last_time
+        tid = span_tids.get(record.parent_span)
+        if tid is None:
+            tid = flow_tid
+            used_flow_row = True
+        events.append({
+            "name": record.label,
+            "cat": "flow",
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": record.start * _US,
+            "dur": max(0.0, end - record.start) * _US,
+            "cname": _PHASE_COLORS["flow"],
+            "args": {"bytes": record.size, "links": list(record.links),
+                     "parent": record.parent_span,
+                     "aborted": record.aborted},
+        })
+    if used_flow_row:
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": flow_tid, "args": {"name": "flows"}})
+    # Fault markers: an instant per occurrence, a shaded range per
+    # closed window, all on one dedicated row.
+    used_fault_row = False
+    for event in recorder.events:
+        if isinstance(event, FaultOpen):
+            used_fault_row = True
+            events.append({
+                "name": f"{event.fault}@{event.target}",
+                "cat": "fault",
+                "ph": "i",
+                "s": "g",
+                "pid": 0,
+                "tid": fault_tid,
+                "ts": event.t * _US,
+                "args": {"instant": event.instant},
+            })
+        elif isinstance(event, FaultClose):
+            used_fault_row = True
+            events.append({
+                "name": f"{event.fault}@{event.target}",
+                "cat": "fault",
+                "ph": "X",
+                "pid": 0,
+                "tid": fault_tid,
+                "ts": event.opened * _US,
+                "dur": max(0.0, event.t - event.opened) * _US,
+                "cname": _PHASE_COLORS["fault"],
+                "args": {},
+            })
+    if used_fault_row:
+        events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                       "tid": fault_tid, "args": {"name": "faults"}})
+    # Counter tracks: per-link allocated bandwidth plus active flows.
+    for event in recorder.events:
+        if isinstance(event, LinkRate):
+            events.append({
+                "name": f"bw {event.link}.{event.direction}",
+                "cat": "link",
+                "ph": "C",
+                "pid": 0,
+                "ts": event.t * _US,
+                "args": {"GB/s": event.rate / 1e9},
+            })
+    for when, count in flow_count_series(recorder):
+        events.append({
+            "name": "active flows",
+            "cat": "flow",
+            "ph": "C",
+            "pid": 0,
+            "ts": when * _US,
+            "args": {"flows": count},
+        })
+    return events
+
+
 def write_chrome_trace(trace: Trace, path: str,
-                       label: Optional[str] = None) -> str:
+                       label: Optional[str] = None,
+                       recorder=None) -> str:
     """Write the Chrome trace JSON to ``path``; returns the path."""
-    payload = to_chrome_trace(trace, label=label or path)
+    payload = to_chrome_trace(trace, label=label or path,
+                              recorder=recorder)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1)
     return path

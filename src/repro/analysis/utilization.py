@@ -10,8 +10,9 @@ behind the paper's observation that GPUs execute partly uncoupled
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ReproError
 from repro.sim.trace import Trace
 
 
@@ -31,13 +32,17 @@ class ActorUtilization:
 
 
 def utilization_report(trace: Trace,
-                       window: float = None) -> List[ActorUtilization]:
+                       window: Optional[float] = None
+                       ) -> List[ActorUtilization]:
     """Per-actor busy time over ``window`` (defaults to the trace span).
 
     Busy time sums span durations; concurrent spans on one actor (e.g.
     a copy engine and a kernel) can push the fraction above 1 — that is
     overlap, not an error.
     """
+    if window is not None and window <= 0:
+        raise ReproError(
+            f"utilization window must be positive, got {window}")
     if not trace.spans:
         return []
     if window is None:

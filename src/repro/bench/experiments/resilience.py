@@ -16,13 +16,12 @@ single intensity).
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.bench.report import Table
+from repro.bench.report import Table, write_bench_record
 from repro.data import generate
 from repro.faults import FaultPlan
 from repro.hw import dgx_a100
@@ -167,9 +166,7 @@ def run_resilience(quick: bool = False,
             "billions": BILLIONS,
             "scenarios": {r.name: r.to_json() for r in results},
         }
-        with open(json_path, "w") as handle:
-            json.dump(record, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        write_bench_record(json_path, record, seed=SEED)
     return table
 
 

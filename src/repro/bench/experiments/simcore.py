@@ -22,14 +22,13 @@ resulting speedups.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.bench.report import Table
+from repro.bench.report import Table, write_bench_record
 from repro.data import generate
 from repro.hw import dgx_a100
 from repro.runtime import Machine
@@ -205,9 +204,7 @@ def run_simcore(quick: bool = False, repeats: Optional[int] = None,
             "repeats": repeats,
             "scenarios": {r.name: r.to_json() for r in results},
         }
-        with open(json_path, "w") as handle:
-            json.dump(record, handle, indent=1, sort_keys=True)
-            handle.write("\n")
+        write_bench_record(json_path, record)
     return table
 
 

@@ -1,8 +1,10 @@
-"""Plain-text reporting: tables comparing measured against the paper."""
+"""Plain-text reporting: tables comparing measured against the paper,
+plus the provenance-stamped benchmark-record writer."""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import json
+from typing import List, Optional, Sequence
 
 
 def format_gbps(value: float) -> str:
@@ -58,6 +60,28 @@ class Table:
         """Render to stdout."""
         print(self.render())
         print()
+
+
+def write_bench_record(path: str, record: dict,
+                       seed: Optional[int] = None) -> str:
+    """Write one ``BENCH_*.json`` record with an embedded provenance block.
+
+    The provenance (git SHA + dirty flag, config hash, seed, UTC
+    timestamp, host facts — see :mod:`repro.obs.provenance`) makes
+    every number traceable and lets ``repro.obs diff`` refuse
+    apples-to-oranges comparisons.  The config hash covers everything
+    except the measured ``scenarios`` (and the provenance itself).
+    """
+    from repro.obs.provenance import provenance
+
+    config = {key: value for key, value in record.items()
+              if key not in ("scenarios", "provenance")}
+    stamped = dict(record)
+    stamped["provenance"] = provenance(config, seed=seed)
+    with open(path, "w") as handle:
+        json.dump(stamped, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def comparison_table(title: str, label_header: str,

@@ -75,6 +75,9 @@ class FaultInjector:
         self.machine = machine
         self.env = machine.env
         self.plan = plan
+        #: Observability recorder (wired by the machine); ``None`` keeps
+        #: fault windows untraced beyond the machine trace.
+        self.obs = None
         #: Chronological record of every fault that actually fired.
         self.timeline: List[FaultRecord] = []
         #: Down-window bookkeeping: id(resource) -> open window count.
@@ -216,18 +219,25 @@ class FaultInjector:
         """Start a window record; traced when :meth:`_close` is called."""
         record = FaultRecord(kind=kind, target=target, start=self.env.now)
         self.timeline.append(record)
+        if self.obs is not None:
+            self.obs.fault_opened(kind, target, self.env.now)
         return record
 
     def _close(self, record: FaultRecord) -> None:
         record.end = self.env.now
         self.machine.trace.record(f"Fault:{record.kind}", record.target,
                                   record.start, end=record.end)
+        if self.obs is not None:
+            self.obs.fault_closed(record.kind, record.target, record.start,
+                                  record.end)
 
     def _instant(self, kind: str, target: str) -> None:
         now = self.env.now
         self.timeline.append(FaultRecord(kind=kind, target=target,
                                          start=now, end=now))
         self.machine.trace.record(f"Fault:{kind}", target, now, end=now)
+        if self.obs is not None:
+            self.obs.fault_opened(kind, target, now, instant=True)
 
     def _apply_factor(self, resource: Resource, factor: float) -> None:
         stack = self._factors.setdefault(id(resource), [])

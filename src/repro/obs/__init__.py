@@ -1,0 +1,57 @@
+"""Engine-level observability for the simulator.
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.events` / :mod:`repro.obs.recorder` — the structured
+  event stream the instrumented engine emits (zero cost when no
+  recorder is attached; see
+  :meth:`repro.runtime.context.Machine.enable_observability`);
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.telemetry` — aggregate
+  counters/gauges/histograms and derived time series (per-link
+  bandwidth, saturation windows, engine occupancy);
+* :mod:`repro.obs.provenance` / :mod:`repro.obs.diff` /
+  :mod:`repro.obs.cli` — run provenance for benchmark records, record
+  comparison, and the ``python -m repro.obs`` command line.
+"""
+
+from repro.obs.diff import DiffResult, diff_files, diff_records, format_diff
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.provenance import config_hash, git_revision, provenance
+from repro.obs.recorder import FlowRecord, Recorder
+from repro.obs.telemetry import (
+    LinkReport,
+    LinkSeries,
+    engine_occupancy,
+    flow_count_series,
+    link_report,
+    link_series,
+    sparkline,
+)
+
+__all__ = [
+    "Counter",
+    "DiffResult",
+    "FlowRecord",
+    "Gauge",
+    "Histogram",
+    "LinkReport",
+    "LinkSeries",
+    "MetricsRegistry",
+    "Recorder",
+    "config_hash",
+    "diff_files",
+    "diff_records",
+    "engine_occupancy",
+    "flow_count_series",
+    "format_diff",
+    "git_revision",
+    "link_report",
+    "link_series",
+    "provenance",
+    "sparkline",
+]

@@ -1,0 +1,292 @@
+"""The ``python -m repro.obs`` command line: profile a simulated run.
+
+Four subcommands over one instrumented-workload runner:
+
+``timeline``
+    Run a sort with observability on and write the full Perfetto /
+    Chrome trace JSON — nested phase→flow slices, per-link bandwidth
+    counter tracks, fault markers.
+``links``
+    Top-N hottest links (peak utilization), with time-weighted mean
+    bandwidth, saturation windows and an ASCII sparkline per link.
+``summary``
+    Phase × actor × link rollup plus engine occupancy and the key
+    counters of the run.
+``diff``
+    Compare two ``BENCH_*.json`` records and flag regressions beyond a
+    threshold; exits non-zero when any directed metric regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional, Tuple
+
+from repro.bench.report import Table
+from repro.data import DISTRIBUTIONS, generate, key_dtype
+from repro.hw import system_by_name
+from repro.obs.diff import diff_files, format_diff
+from repro.obs.telemetry import (
+    engine_occupancy,
+    link_report,
+    link_series,
+    sparkline,
+)
+from repro.runtime import Machine
+from repro.sort import het_sort, p2p_sort, rp_sort
+
+#: Physical keys simulated per run; --keys scales them logically.
+PHYSICAL_KEYS = 500_000
+#: Physical keys with --quick (CI smoke: seconds, not minutes).
+QUICK_PHYSICAL_KEYS = 50_000
+
+_ALGORITHMS = {"p2p": p2p_sort, "het": het_sort, "rp": rp_sort}
+_SYSTEMS = ("ibm-ac922", "delta-d22x", "dgx-a100")
+
+
+def _parse_gpu_ids(text: str) -> Tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"GPU ids must be comma-separated integers, got {text!r}")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--system", choices=_SYSTEMS, default="dgx-a100")
+    parser.add_argument("--algorithm", choices=sorted(_ALGORITHMS),
+                        default="p2p")
+    parser.add_argument("--keys", default="2e9",
+                        help="logical key count (default 2e9)")
+    parser.add_argument("--distribution", choices=sorted(DISTRIBUTIONS),
+                        default="uniform")
+    parser.add_argument("--gpus", type=_parse_gpu_ids, default=None,
+                        help="comma-separated GPU ids, e.g. 0,2,4,6")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--quick", action="store_true",
+                        help="small physical arrays (CI smoke; simulated "
+                             "timing is unchanged)")
+    parser.add_argument("--faults", type=float, default=0.0, metavar="I",
+                        help="install a generated fault plan of this "
+                             "intensity (0 = none)")
+    parser.add_argument("--fault-horizon", type=float, default=0.4,
+                        help="simulated-seconds span the fault windows "
+                             "land in")
+
+
+def _run_instrumented(args):
+    """Run the requested sort with observability on.
+
+    Returns ``(machine, recorder, result)``.
+    """
+    spec = system_by_name(args.system)
+    logical = float(args.keys)
+    budget = QUICK_PHYSICAL_KEYS if args.quick else PHYSICAL_KEYS
+    physical = max(1, min(budget, int(logical)))
+    scale = max(1.0, logical / physical)
+    machine = Machine(spec, scale=scale, fast_functional=True)
+    recorder = machine.enable_observability()
+    if args.faults > 0:
+        from repro.faults.plan import FaultPlan
+
+        machine.install_faults(FaultPlan.generate(
+            spec, seed=args.seed, intensity=args.faults,
+            horizon=args.fault_horizon))
+    keys = generate(physical, args.distribution, key_dtype("int"),
+                    seed=args.seed)
+    gpu_ids = args.gpus
+    if gpu_ids is None and args.algorithm == "p2p":
+        count = 1
+        while count * 2 <= spec.num_gpus:
+            count *= 2
+        gpu_ids = spec.preferred_gpu_set(count)
+    result = _ALGORITHMS[args.algorithm](machine, keys, gpu_ids=gpu_ids)
+    return machine, recorder, result
+
+
+def _describe_run(machine, result) -> str:
+    return (f"{result.algorithm} sort on {machine.spec.display_name}, "
+            f"GPUs {result.gpu_ids}: "
+            f"{result.logical_keys / 1e9:.2f}B keys in "
+            f"{result.duration:.3f} s")
+
+
+def cmd_timeline(args) -> int:
+    from repro.analysis.timeline import write_chrome_trace
+
+    machine, recorder, result = _run_instrumented(args)
+    path = write_chrome_trace(machine.trace, args.output,
+                              label=f"{result.algorithm}@{args.system}",
+                              recorder=recorder)
+    print(_describe_run(machine, result))
+    print(f"  {len(machine.trace.spans)} spans, "
+          f"{len(recorder.events)} events, {len(recorder.flows)} flows")
+    print(f"  timeline written to {path} "
+          f"(open in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_links(args) -> int:
+    machine, recorder, result = _run_instrumented(args)
+    start, end = 0.0, None
+    scope = ""
+    if args.phase:
+        window = machine.trace.phase_window(args.phase)
+        if window is None:
+            known = ", ".join(machine.trace.phases())
+            print(f"no phase {args.phase!r} in this run (phases: {known})",
+                  file=sys.stderr)
+            return 1
+        start, end = window
+        scope = f" during {args.phase} [{start:.3f}s, {end:.3f}s]"
+    print(_describe_run(machine, result))
+    print(f"hottest links{scope}:")
+    reports = link_report(recorder, start=start, end=end,
+                          saturation_fraction=args.saturation)
+    series = link_series(recorder)
+    horizon = end if end is not None else recorder.last_time
+    table = Table(["link", "dir", "mean util", "peak util", "mean GB/s",
+                   "cap GB/s", "GB moved", "sat s",
+                   "bandwidth over time"])
+    for report in reports[:args.top]:
+        entry = series[(report.link, report.direction)]
+        samples = entry.samples(buckets=args.width, start=start,
+                                end=horizon)
+        table.add_row(
+            report.link, report.direction,
+            f"{report.mean_utilization:5.1%}",
+            f"{report.peak_utilization:5.1%}",
+            f"{report.mean / 1e9:.1f}",
+            f"{report.capacity / 1e9:.1f}",
+            f"{report.bytes / 1e9:.1f}",
+            f"{report.saturated_s:.3f}",
+            sparkline(samples, width=args.width, peak=entry.capacity))
+    table.print()
+    if reports:
+        worst = reports[0]
+        line = (f"hottest: {worst.link}.{worst.direction} at "
+                f"{worst.mean_utilization:.1%} mean / "
+                f"{worst.peak_utilization:.1%} peak utilization")
+        if worst.saturated_s > 0:
+            windows = ", ".join(f"[{lo:.3f}s, {hi:.3f}s]"
+                                for lo, hi in worst.windows[:4])
+            line += (f", saturated for {worst.saturated_s:.3f} s "
+                     f"({windows})")
+        print(line)
+    return 0
+
+
+def cmd_summary(args) -> int:
+    from repro.analysis.utilization import utilization_report
+
+    machine, recorder, result = _run_instrumented(args)
+    print(_describe_run(machine, result))
+    print()
+
+    trace = machine.trace
+    phase_table = Table(["phase", "wall s", "spans", "GB"],
+                        title="phases (wall = last end - first start)")
+    for phase, duration in trace.phase_durations().items():
+        spans = trace.phase_spans(phase)
+        phase_table.add_row(phase, f"{duration:.3f}", len(spans),
+                            f"{trace.total_bytes(phase) / 1e9:.1f}")
+    phase_table.print()
+
+    phases = [p for p in trace.phases() if not p.startswith("Fault:")]
+    actor_table = Table(["actor", *phases, "busy s"],
+                        title="actor busy seconds by phase")
+    for actor_report in utilization_report(trace):
+        cells = [f"{actor_report.by_phase.get(p, 0.0):.3f}"
+                 for p in phases]
+        actor_table.add_row(actor_report.actor, *cells,
+                            f"{actor_report.busy:.3f}")
+    actor_table.print()
+
+    link_table = Table(["link", "dir", "GB moved", "mean GB/s",
+                        "peak util", "sat s"],
+                       title="links (whole run)")
+    for report in link_report(recorder)[:args.top]:
+        link_table.add_row(report.link, report.direction,
+                           f"{report.bytes / 1e9:.1f}",
+                           f"{report.mean / 1e9:.1f}",
+                           f"{report.peak_utilization:5.1%}",
+                           f"{report.saturated_s:.3f}")
+    link_table.print()
+
+    occupancy = engine_occupancy(recorder)
+    if occupancy:
+        engine_table = Table(["engine", "busy"],
+                             title="copy-engine occupancy")
+        for name, fraction in occupancy.items():
+            engine_table.add_row(name, f"{fraction:5.1%}")
+        engine_table.print()
+
+    counters = {name: metric for name, metric in recorder.metrics
+                if name in ("flows.started", "flows.retired",
+                            "flows.aborted", "kernels.launched")}
+    if counters:
+        print("counters: " + "  ".join(
+            f"{name}={int(metric.value)}"
+            for name, metric in sorted(counters.items())))
+    return 0
+
+
+def cmd_diff(args) -> int:
+    result = diff_files(args.old, args.new, threshold=args.threshold)
+    print(format_diff(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability over simulated multi-GPU sorting: "
+                    "timelines, link telemetry, rollups, bench diffs.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    timeline = commands.add_parser(
+        "timeline", help="run a sort and write the Perfetto trace JSON")
+    _add_workload_args(timeline)
+    timeline.add_argument("-o", "--output", default="timeline.json",
+                          help="output path (default timeline.json)")
+    timeline.set_defaults(handler=cmd_timeline)
+
+    links = commands.add_parser(
+        "links", help="top-N hottest links with saturation windows")
+    _add_workload_args(links)
+    links.add_argument("--top", type=int, default=8)
+    links.add_argument("--phase", default=None,
+                       help="restrict the window to one phase "
+                            "(e.g. Merge)")
+    links.add_argument("--saturation", type=float, default=0.95,
+                       help="fraction of capacity counting as saturated")
+    links.add_argument("--width", type=int, default=40,
+                       help="sparkline width in columns")
+    links.set_defaults(handler=cmd_links)
+
+    summary = commands.add_parser(
+        "summary", help="phase x actor x link rollup of one run")
+    _add_workload_args(summary)
+    summary.add_argument("--top", type=int, default=10,
+                         help="links to show")
+    summary.set_defaults(handler=cmd_summary)
+
+    diff = commands.add_parser(
+        "diff", help="compare two BENCH_*.json records")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument("--threshold", type=float, default=0.10,
+                      help="relative regression threshold (default 0.10)")
+    diff.add_argument("-v", "--verbose", action="store_true",
+                      help="also list sub-threshold drift")
+    diff.set_defaults(handler=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

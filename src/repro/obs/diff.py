@@ -1,0 +1,193 @@
+"""Benchmark record comparison: ``repro.obs diff old.json new.json``.
+
+Loads two ``BENCH_*.json`` records, matches their scenarios by name,
+and compares every shared numeric metric.  Metrics have a *direction*:
+``wall_s`` going up is a regression, ``events_per_sec`` going up is an
+improvement, and metrics with no known direction (counters like
+``events`` or ``keys``) are reported as informational drift only.
+
+A comparison **regresses** when any directed metric moves the wrong
+way by more than ``threshold`` (relative, default 10%).  The CLI maps
+that onto the exit code so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Metric-name suffixes where a *decrease* is an improvement.
+LOWER_IS_BETTER = ("wall_s", "clean_s", "faulted_s", "sim_s",
+                   "fault_downtime_s", "link_wait_s", "overhead_pct",
+                   "ref_wall_s")
+#: Metric-name suffixes where an *increase* is an improvement.
+HIGHER_IS_BETTER = ("_per_sec", "speedup", "speedup_vs_seed")
+
+
+def metric_direction(name: str) -> Optional[int]:
+    """``-1`` if lower is better, ``+1`` if higher is better, else None."""
+    for suffix in LOWER_IS_BETTER:
+        if name == suffix or name.endswith("_" + suffix):
+            return -1
+    for suffix in HIGHER_IS_BETTER:
+        if name.endswith(suffix):
+            return +1
+    return None
+
+
+@dataclass
+class MetricDelta:
+    """One metric's movement between two records."""
+
+    scenario: str
+    metric: str
+    old: float
+    new: float
+    #: Relative change, (new - old) / |old|; inf when old == 0.
+    change: float
+    #: -1 lower-better, +1 higher-better, None undirected.
+    direction: Optional[int]
+    regressed: bool
+    improved: bool
+
+    @property
+    def change_pct(self) -> float:
+        """The relative change as a percentage."""
+        return self.change * 100.0
+
+
+@dataclass
+class DiffResult:
+    """Full comparison of two benchmark records."""
+
+    benchmark: str
+    deltas: List[MetricDelta]
+    only_old: List[str]
+    only_new: List[str]
+    comparable: bool
+    threshold: float
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def improvements(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.improved]
+
+    @property
+    def ok(self) -> bool:
+        """True when no directed metric regressed past the threshold."""
+        return not self.regressions
+
+
+def load_bench(path: str) -> Dict[str, object]:
+    """Load one benchmark record, validating the minimal shape."""
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict) or "scenarios" not in record:
+        raise ReproError(
+            f"{path} is not a benchmark record (no 'scenarios' key)")
+    return record
+
+
+def _numeric_metrics(scenario: Dict[str, object]) -> Dict[str, float]:
+    out = {}
+    for name, value in scenario.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            out[name] = float(value)
+    return out
+
+
+def diff_records(old: Dict[str, object], new: Dict[str, object],
+                 threshold: float = 0.10) -> DiffResult:
+    """Compare two loaded benchmark records.
+
+    ``threshold`` is the relative movement beyond which a directed
+    metric counts as a regression (or an improvement).
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    old_scenarios = old.get("scenarios", {})
+    new_scenarios = new.get("scenarios", {})
+    old_prov = old.get("provenance")
+    new_prov = new.get("provenance")
+    comparable = True
+    if (isinstance(old_prov, dict) and isinstance(new_prov, dict)
+            and old_prov.get("config_hash") and new_prov.get("config_hash")):
+        comparable = old_prov["config_hash"] == new_prov["config_hash"]
+    deltas: List[MetricDelta] = []
+    for name in sorted(set(old_scenarios) & set(new_scenarios)):
+        before = _numeric_metrics(old_scenarios[name])
+        after = _numeric_metrics(new_scenarios[name])
+        for metric in sorted(set(before) & set(after)):
+            a, b = before[metric], after[metric]
+            if a == b:
+                continue
+            change = (b - a) / abs(a) if a != 0 else math.inf
+            direction = metric_direction(metric)
+            moved = abs(change) > threshold
+            worse = (direction == -1 and b > a) or (direction == +1 and b < a)
+            better = direction is not None and not worse
+            deltas.append(MetricDelta(
+                scenario=name, metric=metric, old=a, new=b, change=change,
+                direction=direction,
+                regressed=moved and worse,
+                improved=moved and better))
+    return DiffResult(
+        benchmark=str(new.get("benchmark", old.get("benchmark", "?"))),
+        deltas=deltas,
+        only_old=sorted(set(old_scenarios) - set(new_scenarios)),
+        only_new=sorted(set(new_scenarios) - set(old_scenarios)),
+        comparable=comparable,
+        threshold=threshold)
+
+
+def diff_files(old_path: str, new_path: str,
+               threshold: float = 0.10) -> DiffResult:
+    """Load and compare two benchmark record files."""
+    return diff_records(load_bench(old_path), load_bench(new_path),
+                        threshold=threshold)
+
+
+def format_diff(result: DiffResult, verbose: bool = False) -> str:
+    """Human-readable report; regressions first."""
+    lines = [f"benchmark: {result.benchmark}  "
+             f"(threshold {result.threshold * 100:.0f}%)"]
+    if not result.comparable:
+        lines.append("WARNING: config hashes differ — records were made "
+                     "from different configurations")
+    for label, scenarios in (("only in old", result.only_old),
+                             ("only in new", result.only_new)):
+        if scenarios:
+            lines.append(f"{label}: {', '.join(scenarios)}")
+
+    def _row(delta: MetricDelta, tag: str) -> str:
+        arrow = "+" if delta.change >= 0 else ""
+        return (f"  {tag:>10}  {delta.scenario}.{delta.metric}: "
+                f"{delta.old:.6g} -> {delta.new:.6g} "
+                f"({arrow}{delta.change_pct:.1f}%)")
+
+    for delta in result.regressions:
+        lines.append(_row(delta, "REGRESSED"))
+    for delta in result.improvements:
+        lines.append(_row(delta, "improved"))
+    if verbose:
+        for delta in result.deltas:
+            if not delta.regressed and not delta.improved:
+                lines.append(_row(delta, "drift"))
+    if result.ok:
+        lines.append(f"OK: no regressions beyond "
+                     f"{result.threshold * 100:.0f}% "
+                     f"({len(result.improvements)} improvement(s), "
+                     f"{len(result.deltas)} metric(s) moved)")
+    else:
+        lines.append(f"FAIL: {len(result.regressions)} metric(s) regressed "
+                     f"beyond {result.threshold * 100:.0f}%")
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Structured observability events.
+
+Every event is a small ``__slots__`` record with a class-level ``kind``
+tag and a simulated timestamp ``t``; :meth:`ObsEvent.to_dict` gives a
+JSON-serializable view for export.  The taxonomy mirrors what engine-
+level profilers (CUPTI, DCGM, ``nsys``) expose on real machines:
+
+========================  ==================================================
+kind                      emitted when
+========================  ==================================================
+``flow_start``            a transfer enters the flow network
+``flow_retire``           a flow delivers its last byte
+``flow_abort``            a flow is killed early (fault, timeout, interrupt)
+``link_rate``             a link direction's aggregate bandwidth share
+                          changes (one event per changed link, per
+                          allocation change)
+``engine_acquire``        a DMA copy engine grants a slot
+``engine_release``        a DMA copy engine returns a slot
+``fault_open``            a fault window opens (or an instant fault fires)
+``fault_close``           a fault window closes
+``kernel_launch``         a compute kernel (sort / merge) is launched
+``stream_op``             a serial stream accepts an operation
+``engine_sample``         decimated engine-loop sample (queue depth)
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class ObsEvent:
+    """Base class: a timestamped, typed observability record."""
+
+    __slots__ = ("t",)
+    kind = "event"
+
+    def __init__(self, t: float):
+        self.t = t
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view of the event."""
+        record: Dict[str, object] = {"kind": self.kind, "t": self.t}
+        for cls in type(self).__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if name != "t":
+                    record[name] = getattr(self, name)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.to_dict().items()
+                           if k != "kind")
+        return f"<{self.kind} {fields}>"
+
+
+class FlowStart(ObsEvent):
+    """A flow entered the network (``rate`` is its first allocation)."""
+
+    __slots__ = ("fid", "label", "size", "rate", "links", "parent_span")
+    kind = "flow_start"
+
+    def __init__(self, t: float, fid: int, label: str, size: float,
+                 rate: float, links: Tuple[str, ...],
+                 parent_span: Optional[int] = None):
+        super().__init__(t)
+        self.fid = fid
+        self.label = label
+        self.size = size
+        self.rate = rate
+        self.links = links
+        self.parent_span = parent_span
+
+
+class FlowRetire(ObsEvent):
+    """A flow delivered its last byte."""
+
+    __slots__ = ("fid", "label")
+    kind = "flow_retire"
+
+    def __init__(self, t: float, fid: int, label: str):
+        super().__init__(t)
+        self.fid = fid
+        self.label = label
+
+
+class FlowAbort(ObsEvent):
+    """A flow was removed before completion."""
+
+    __slots__ = ("fid", "label", "delivered")
+    kind = "flow_abort"
+
+    def __init__(self, t: float, fid: int, label: str, delivered: float):
+        super().__init__(t)
+        self.fid = fid
+        self.label = label
+        self.delivered = delivered
+
+
+class LinkRate(ObsEvent):
+    """One link direction's aggregate allocated bandwidth changed.
+
+    ``rate`` is the new aggregate share in bytes/s; ``capacity`` the
+    direction's raw capacity scaled by any active fault factor (the
+    saturation reference).
+    """
+
+    __slots__ = ("link", "direction", "rate", "capacity")
+    kind = "link_rate"
+
+    def __init__(self, t: float, link: str, direction: str, rate: float,
+                 capacity: float):
+        super().__init__(t)
+        self.link = link
+        self.direction = direction
+        self.rate = rate
+        self.capacity = capacity
+
+
+class EngineAcquire(ObsEvent):
+    """A DMA copy engine granted a slot."""
+
+    __slots__ = ("engine", "in_use", "waiting")
+    kind = "engine_acquire"
+
+    def __init__(self, t: float, engine: str, in_use: int, waiting: int):
+        super().__init__(t)
+        self.engine = engine
+        self.in_use = in_use
+        self.waiting = waiting
+
+
+class EngineRelease(ObsEvent):
+    """A DMA copy engine returned a slot."""
+
+    __slots__ = ("engine", "in_use", "waiting")
+    kind = "engine_release"
+
+    def __init__(self, t: float, engine: str, in_use: int, waiting: int):
+        super().__init__(t)
+        self.engine = engine
+        self.in_use = in_use
+        self.waiting = waiting
+
+
+class FaultOpen(ObsEvent):
+    """A fault window opened (instant faults carry ``instant=True``)."""
+
+    __slots__ = ("fault", "target", "instant")
+    kind = "fault_open"
+
+    def __init__(self, t: float, fault: str, target: str,
+                 instant: bool = False):
+        super().__init__(t)
+        self.fault = fault
+        self.target = target
+        self.instant = instant
+
+
+class FaultClose(ObsEvent):
+    """A fault window closed (``opened`` is the matching open time)."""
+
+    __slots__ = ("fault", "target", "opened")
+    kind = "fault_close"
+
+    def __init__(self, t: float, fault: str, target: str, opened: float):
+        super().__init__(t)
+        self.fault = fault
+        self.target = target
+        self.opened = opened
+
+
+class KernelLaunch(ObsEvent):
+    """A compute kernel was launched on a device."""
+
+    __slots__ = ("device", "phase", "bytes", "duration")
+    kind = "kernel_launch"
+
+    def __init__(self, t: float, device: str, phase: str, bytes: float,
+                 duration: float):
+        super().__init__(t)
+        self.device = device
+        self.phase = phase
+        self.bytes = bytes
+        self.duration = duration
+
+
+class StreamOp(ObsEvent):
+    """A serial stream accepted an operation (``depth`` incl. this one)."""
+
+    __slots__ = ("stream", "depth")
+    kind = "stream_op"
+
+    def __init__(self, t: float, stream: str, depth: int):
+        super().__init__(t)
+        self.stream = stream
+        self.depth = depth
+
+
+class EngineSample(ObsEvent):
+    """Decimated event-loop sample: pending event-queue depth."""
+
+    __slots__ = ("queue_depth", "events_processed")
+    kind = "engine_sample"
+
+    def __init__(self, t: float, queue_depth: int, events_processed: int):
+        super().__init__(t)
+        self.queue_depth = queue_depth
+        self.events_processed = events_processed

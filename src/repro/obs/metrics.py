@@ -1,0 +1,193 @@
+"""Counter / gauge / histogram primitives and their registry.
+
+The metric model follows the conventions of fleet telemetry systems
+(Prometheus, DCGM): monotonically increasing **counters**, last-value
+**gauges** that remember their extremes, and fixed-bucket
+**histograms**.  A :class:`MetricsRegistry` names and owns them; the
+observability recorder updates the registry as events arrive, and
+:meth:`MetricsRegistry.snapshot` renders everything as plain dicts for
+reports and JSON export.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ReproError(
+                f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value metric that tracks its minimum and maximum."""
+
+    __slots__ = ("name", "value", "min", "max", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record a new current value."""
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.updates += 1
+
+    def add(self, delta: float) -> None:
+        """Adjust the current value by ``delta``."""
+        self.set(self.value + delta)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "gauge", "value": self.value,
+                "min": self.min if self.updates else None,
+                "max": self.max if self.updates else None,
+                "updates": self.updates}
+
+
+class Histogram:
+    """Fixed-boundary bucketed distribution (upper-inclusive buckets).
+
+    ``bounds`` are the finite upper bounds; one overflow bucket catches
+    everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]):
+        if not bounds:
+            raise ReproError(f"histogram {name!r} needs bounds")
+        ordered = list(bounds)
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ReproError(
+                f"histogram {name!r} bounds must be strictly increasing")
+        self.name = name
+        self.bounds: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket boundaries.
+
+        Returns the upper bound of the bucket containing the quantile
+        (``max`` for the overflow bucket) — coarse, but monotone and
+        allocation-free, which is all a progress report needs.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target and count:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return self.max
+        return self.max
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"type": "histogram", "count": self.count,
+                "mean": self.mean,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "buckets": {("inf" if i == len(self.bounds)
+                             else repr(self.bounds[i])): c
+                            for i, c in enumerate(self.counts)}}
+
+
+class MetricsRegistry:
+    """Named home of every metric of one run."""
+
+    def __init__(self):
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or create) the counter ``name``."""
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or create) the gauge ``name``."""
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        """Get (or create) the histogram ``name``."""
+        return self._get(
+            name, Histogram,
+            lambda: Histogram(name, bounds if bounds is not None
+                              else DEFAULT_BOUNDS))
+
+    def _get(self, name: str, expected: type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, expected):
+            raise ReproError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {expected.__name__}")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics.items())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """All metrics as plain dicts, sorted by name."""
+        return {name: metric.to_dict()
+                for name, metric in sorted(self._metrics.items())}
+
+
+#: Default histogram bounds: decades from 1 us to 1000 s, sized for
+#: durations in simulated seconds; metrics in other units (bytes,
+#: counts) should pass explicit bounds.
+DEFAULT_BOUNDS = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+                  1000.0]

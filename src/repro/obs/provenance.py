@@ -1,0 +1,72 @@
+"""Run provenance for benchmark records.
+
+Every ``BENCH_*.json`` the harness writes embeds a ``provenance``
+block so a number can always be traced back to the exact code, config,
+and host that produced it: git commit (and dirty flag), a SHA-256 over
+the canonicalized benchmark configuration, the RNG seed, a UTC
+timestamp, and coarse host facts.  Two records are comparable exactly
+when their ``config_hash`` values match — ``repro.obs diff`` uses that
+to refuse apples-to-oranges comparisons unless forced.
+
+Everything degrades gracefully: outside a git checkout (tarball
+installs, CI artifact re-runs) the git fields come back ``None``
+instead of raising.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+
+def git_revision(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Current git commit SHA and dirty flag (``None``s outside a repo)."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True).stdout
+        return {"commit": sha, "dirty": bool(status.strip())}
+    except (OSError, subprocess.SubprocessError):
+        return {"commit": None, "dirty": None}
+
+
+def config_hash(config: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of ``config``.
+
+    Canonical means sorted keys and no incidental whitespace, so two
+    configs hash equal iff they are value-equal.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                           default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def host_info() -> Dict[str, object]:
+    """Coarse facts about the machine running the benchmark."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "node": platform.node(),
+    }
+
+
+def provenance(config: Dict[str, object], seed: Optional[int] = None,
+               cwd: Optional[str] = None) -> Dict[str, object]:
+    """The full provenance block for one benchmark record."""
+    block: Dict[str, object] = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "seed": seed,
+        "config_hash": config_hash(config),
+        "host": host_info(),
+    }
+    block.update(git_revision(cwd))
+    return block

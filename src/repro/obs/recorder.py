@@ -1,0 +1,263 @@
+"""The event recorder: the engine-side half of the observability layer.
+
+A :class:`Recorder` is attached to a machine (or a bare flow network /
+environment) and receives hook calls from the simulator's hot paths:
+flow transitions and per-link bandwidth-share changes from
+:class:`~repro.sim.flows.FlowNetwork`, copy-engine slot traffic from
+:class:`~repro.runtime.sync.Semaphore`, fault windows from
+:class:`~repro.faults.injector.FaultInjector`, kernel launches from
+:mod:`repro.runtime.kernels`, and decimated event-loop samples from
+:class:`~repro.sim.engine.Environment`.
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  No recorder object exists on a healthy
+   hot path — every emit site is gated on a plain ``obs is not None``
+   check against an attribute that defaults to ``None``.
+2. **Read-only.**  The recorder never mutates simulation state, so a
+   run with observability enabled is bit-identical (in simulated time)
+   to the same run without it.
+3. **Structured.**  Everything lands as typed events
+   (:mod:`repro.obs.events`) in arrival order, plus aggregated metrics
+   in a :class:`~repro.obs.metrics.MetricsRegistry` — the raw stream
+   for timelines, the registry for rollups.
+
+Per-link bandwidth is *change-driven*: after every allocation change
+the recorder aggregates each link direction's allocated rate from the
+network's membership index and emits a :class:`~repro.obs.events.LinkRate`
+event only for directions whose share actually moved — a step-function
+time series, exact between allocation changes because the fluid flow
+model is piecewise constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    EngineAcquire,
+    EngineRelease,
+    EngineSample,
+    FaultClose,
+    FaultOpen,
+    FlowAbort,
+    FlowRetire,
+    FlowStart,
+    KernelLaunch,
+    LinkRate,
+    ObsEvent,
+    StreamOp,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.resources import Direction
+
+
+class FlowRecord:
+    """Compiled lifecycle of one flow (built as its events arrive)."""
+
+    __slots__ = ("fid", "label", "size", "start", "end", "links",
+                 "parent_span", "aborted")
+
+    def __init__(self, fid: int, label: str, size: float, start: float,
+                 links: Tuple[str, ...]):
+        self.fid = fid
+        self.label = label
+        self.size = size
+        self.start = start
+        self.end: Optional[float] = None
+        self.links = links
+        self.parent_span: Optional[int] = None
+        self.aborted = False
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Lifetime in simulated seconds (``None`` while in flight)."""
+        return None if self.end is None else self.end - self.start
+
+
+class Recorder:
+    """Collects structured events and aggregate metrics from one run.
+
+    ``engine_sample_every`` decimates the event-loop probe: one
+    :class:`~repro.obs.events.EngineSample` per that many engine events.
+    """
+
+    def __init__(self, engine_sample_every: int = 256):
+        if engine_sample_every < 1:
+            raise ValueError(
+                f"engine_sample_every must be >= 1, got {engine_sample_every}")
+        self.events: List[ObsEvent] = []
+        self.metrics = MetricsRegistry()
+        #: Compiled flow lifecycles, in start order.
+        self.flows: List[FlowRecord] = []
+        self._live_flows: Dict[int, FlowRecord] = {}
+        #: Last emitted per-link rates: packed key -> (rate, capacity).
+        self._last_rates: Dict[int, Tuple[float, float]] = {}
+        #: Names for packed keys seen so far (resource may be gone later).
+        self._key_names: Dict[int, Tuple[str, str]] = {}
+        self._engine_sample_every = engine_sample_every
+        self._steps_since_sample = 0
+        self._engine_steps = 0
+        #: Latest simulated time any event arrived at.
+        self.last_time = 0.0
+
+    # -- generic helpers ---------------------------------------------------
+    def _emit(self, event: ObsEvent) -> None:
+        self.events.append(event)
+        if event.t > self.last_time:
+            self.last_time = event.t
+
+    def events_of(self, kind: str) -> List[ObsEvent]:
+        """All recorded events of one kind, in arrival order."""
+        return [e for e in self.events if e.kind == kind]
+
+    # -- flow network hooks ------------------------------------------------
+    def flow_started(self, net, flow) -> None:
+        """Hook: ``flow`` entered ``net`` and received its first rate."""
+        fid = id(flow)
+        record = FlowRecord(fid, flow.label, flow.size, flow.started_at,
+                            tuple(r.name for r in flow.resources))
+        self._live_flows[fid] = record
+        self.flows.append(record)
+        self._emit(FlowStart(net.env.now, fid, flow.label, flow.size,
+                             flow.rate, record.links))
+        self.metrics.counter("flows.started").inc()
+        self.metrics.gauge("flows.active").set(len(net._flows))
+
+    def flow_retired(self, net, flow) -> None:
+        """Hook: ``flow`` delivered its last byte."""
+        now = net.env.now
+        self._emit(FlowRetire(now, id(flow), flow.label))
+        self._finish_flow(id(flow), now, aborted=False)
+        self.metrics.counter("flows.retired").inc()
+        self.metrics.gauge("flows.active").set(len(net._flows))
+
+    def flow_aborted(self, net, flow) -> None:
+        """Hook: ``flow`` was removed before completion."""
+        now = net.env.now
+        delivered = flow.size - flow.remaining
+        self._emit(FlowAbort(now, id(flow), flow.label, delivered))
+        self._finish_flow(id(flow), now, aborted=True)
+        self.metrics.counter("flows.aborted").inc()
+        self.metrics.gauge("flows.active").set(len(net._flows))
+
+    def _finish_flow(self, fid: int, now: float, aborted: bool) -> None:
+        record = self._live_flows.pop(fid, None)
+        if record is not None:
+            record.end = now
+            record.aborted = aborted
+            self.metrics.histogram("flows.duration_s").observe(
+                now - record.start)
+
+    def attach_flow(self, flow, span_id: int) -> None:
+        """Parent the (just started) ``flow`` under trace span ``span_id``.
+
+        Called by the runtime right after it starts a flow on behalf of
+        a traced operation, so the timeline can nest the flow beneath
+        the operation's span.
+        """
+        record = self._live_flows.get(id(flow))
+        if record is not None:
+            record.parent_span = span_id
+            for event in reversed(self.events):
+                if isinstance(event, FlowStart) and event.fid == id(flow):
+                    event.parent_span = span_id
+                    break
+
+    def rates_changed(self, net) -> None:
+        """Hook: the network's allocation changed; diff the link shares.
+
+        Aggregates each ``(resource, direction)``'s allocated rate from
+        the persistent membership index and emits one
+        :class:`~repro.obs.events.LinkRate` per direction whose share
+        moved (including back to zero when a link empties).
+        """
+        now = net.env.now
+        current: Dict[int, Tuple[float, float]] = {}
+        resources = net._resources
+        for key, bucket in net._members.items():
+            rate = 0.0
+            for flow in bucket:
+                rate += flow.rate
+            resource = resources[key >> 1]
+            direction = Direction.REV if key & 1 else Direction.FWD
+            capacity = (resource.raw_capacity(direction)
+                        * resource.fault_factor)
+            current[key] = (rate, capacity)
+            self._key_names[key] = (resource.name, direction.value)
+        last = self._last_rates
+        for key, (rate, capacity) in current.items():
+            previous = last.get(key)
+            if previous is None or previous[0] != rate:
+                name, direction = self._key_names[key]
+                self._emit(LinkRate(now, name, direction, rate, capacity))
+        for key in last:
+            if key not in current and last[key][0] != 0.0:
+                name, direction = self._key_names[key]
+                self._emit(LinkRate(now, name, direction, 0.0,
+                                    last[key][1]))
+        self._last_rates = current
+
+    # -- copy-engine hooks -------------------------------------------------
+    def engine_acquired(self, engine, now: float) -> None:
+        """Hook: semaphore ``engine`` granted a slot at ``now``."""
+        self._emit(EngineAcquire(now, engine.label, engine._in_use,
+                                 len(engine._waiters)))
+        self.metrics.counter(f"engine.{engine.label}.acquires").inc()
+        self.metrics.gauge(f"engine.{engine.label}.in_use").set(
+            engine._in_use)
+
+    def engine_released(self, engine, now: float) -> None:
+        """Hook: semaphore ``engine`` returned a slot at ``now``."""
+        self._emit(EngineRelease(now, engine.label, engine._in_use,
+                                 len(engine._waiters)))
+        self.metrics.gauge(f"engine.{engine.label}.in_use").set(
+            engine._in_use)
+
+    # -- fault injector hooks ----------------------------------------------
+    def fault_opened(self, kind: str, target: str, now: float,
+                     instant: bool = False) -> None:
+        """Hook: a fault window opened (or an instant fault fired)."""
+        self._emit(FaultOpen(now, kind, target, instant=instant))
+        self.metrics.counter(f"faults.{kind}").inc()
+
+    def fault_closed(self, kind: str, target: str, opened: float,
+                     now: float) -> None:
+        """Hook: a fault window closed."""
+        self._emit(FaultClose(now, kind, target, opened))
+        self.metrics.counter("faults.window_seconds").inc(now - opened)
+
+    # -- kernel / stream hooks ---------------------------------------------
+    def kernel_launched(self, device: str, phase: str, bytes: float,
+                        duration: float, now: float) -> None:
+        """Hook: a compute kernel was launched."""
+        self._emit(KernelLaunch(now, device, phase, bytes, duration))
+        self.metrics.counter("kernels.launched").inc()
+        self.metrics.counter("kernels.bytes").inc(bytes)
+
+    def stream_submitted(self, stream: str, depth: int, now: float) -> None:
+        """Hook: a serial stream accepted an operation."""
+        self._emit(StreamOp(now, stream, depth))
+        self.metrics.counter(f"stream.{stream}.ops").inc()
+        self.metrics.gauge(f"stream.{stream}.depth").set(depth)
+
+    def stream_drained(self, stream: str, depth: int) -> None:
+        """Hook: a stream operation completed (gauge only, no event)."""
+        self.metrics.gauge(f"stream.{stream}.depth").set(depth)
+
+    # -- engine loop hook ----------------------------------------------------
+    def engine_stepped(self, now: float, queue_depth: int) -> None:
+        """Hook: the event loop retired one event (decimated sampling)."""
+        self._engine_steps += 1
+        self._steps_since_sample += 1
+        if self._steps_since_sample >= self._engine_sample_every:
+            self._steps_since_sample = 0
+            self._emit(EngineSample(now, queue_depth, self._engine_steps))
+            self.metrics.gauge("engine.queue_depth").set(queue_depth)
+        if now > self.last_time:
+            self.last_time = now
+
+    # -- export --------------------------------------------------------------
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """The full event stream as JSON-serializable dicts."""
+        return [event.to_dict() for event in self.events]

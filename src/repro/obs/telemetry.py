@@ -1,0 +1,271 @@
+"""Derived time-series telemetry over a recorded event stream.
+
+Where :mod:`repro.obs.recorder` captures *transitions*, this module
+turns them into the views an operator actually reads: per-link
+bandwidth/utilization step series, saturation windows, copy-engine
+occupancy, flow-count gauges, and ASCII sparklines for terminal
+reports.  Everything here is pure post-processing — it can run on a
+live recorder mid-simulation or after the run completed.
+
+The flow model is fluid and piecewise constant, so the step series are
+*exact*, not sampled: between two :class:`~repro.obs.events.LinkRate`
+events the link's allocated bandwidth really is the recorded value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import (
+    EngineAcquire,
+    EngineRelease,
+    LinkRate,
+)
+from repro.obs.recorder import Recorder
+
+#: Unicode eighth-block ramp for sparklines.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: List[float], width: int = 40,
+              peak: Optional[float] = None) -> str:
+    """Render ``values`` as a fixed-width ASCII sparkline.
+
+    The series is resampled to ``width`` columns (max over each bin, so
+    short saturation spikes stay visible); ``peak`` overrides the
+    normalization maximum.
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not values:
+        return " " * width
+    top = peak if peak is not None else max(values)
+    if top <= 0:
+        return _BLOCKS[0] * width
+    columns = []
+    n = len(values)
+    for col in range(width):
+        lo = col * n // width
+        hi = max(lo + 1, (col + 1) * n // width)
+        level = max(values[lo:hi]) / top
+        columns.append(_BLOCKS[min(8, int(round(level * 8)))])
+    return "".join(columns)
+
+
+@dataclass
+class LinkSeries:
+    """Step series of one link direction's allocated bandwidth."""
+
+    link: str
+    direction: str
+    #: (time, rate B/s) change points, in time order.
+    points: List[Tuple[float, float]]
+    #: Saturation reference (raw capacity x fault factor) at last change.
+    capacity: float
+
+    def rate_at(self, t: float) -> float:
+        """Allocated bandwidth at time ``t`` (0 before the first point)."""
+        rate = 0.0
+        for when, value in self.points:
+            if when > t:
+                break
+            rate = value
+        return rate
+
+    def integrate(self, start: float, end: float) -> float:
+        """Bytes carried in ``[start, end]`` (exact under the fluid model)."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        rate = 0.0
+        cursor = start
+        for when, value in self.points:
+            if when >= end:
+                break
+            if when > cursor:
+                total += rate * (when - cursor)
+                cursor = when
+            rate = value
+        total += rate * (end - cursor)
+        return total
+
+    def mean_rate(self, start: float, end: float) -> float:
+        """Time-weighted mean bandwidth over ``[start, end]``."""
+        if end <= start:
+            return 0.0
+        return self.integrate(start, end) / (end - start)
+
+    @property
+    def peak(self) -> float:
+        """Highest allocated bandwidth ever seen on this direction."""
+        return max((rate for _t, rate in self.points), default=0.0)
+
+    def peak_in(self, start: float, end: float) -> float:
+        """Highest allocated bandwidth inside ``[start, end]``."""
+        if end <= start:
+            return 0.0
+        peak = self.rate_at(start)
+        for when, value in self.points:
+            if start <= when < end and value > peak:
+                peak = value
+        return peak
+
+    def busy_windows(self, threshold: float) -> List[Tuple[float, float]]:
+        """Maximal intervals with rate >= ``threshold`` (absolute B/s)."""
+        windows: List[Tuple[float, float]] = []
+        open_at: Optional[float] = None
+        for when, value in self.points:
+            if open_at is None:
+                if value >= threshold:
+                    open_at = when
+            elif value < threshold:
+                windows.append((open_at, when))
+                open_at = None
+        if open_at is not None:
+            end = max(self.points[-1][0], open_at)
+            windows.append((open_at, end))
+        return windows
+
+    def saturation_windows(self, fraction: float = 0.95
+                           ) -> List[Tuple[float, float]]:
+        """Maximal intervals at >= ``fraction`` of the link capacity."""
+        if self.capacity <= 0:
+            return []
+        return self.busy_windows(fraction * self.capacity)
+
+    def samples(self, buckets: int = 40, start: float = 0.0,
+                end: Optional[float] = None) -> List[float]:
+        """Mean rate per bucket — the sparkline input."""
+        if end is None:
+            end = self.points[-1][0] if self.points else 0.0
+        if end <= start or buckets < 1:
+            return []
+        width = (end - start) / buckets
+        return [self.mean_rate(start + i * width, start + (i + 1) * width)
+                for i in range(buckets)]
+
+
+def link_series(recorder: Recorder) -> Dict[Tuple[str, str], LinkSeries]:
+    """Per-``(link, direction)`` bandwidth step series from the stream."""
+    series: Dict[Tuple[str, str], LinkSeries] = {}
+    for event in recorder.events:
+        if not isinstance(event, LinkRate):
+            continue
+        key = (event.link, event.direction)
+        entry = series.get(key)
+        if entry is None:
+            entry = LinkSeries(link=event.link, direction=event.direction,
+                               points=[], capacity=event.capacity)
+            series[key] = entry
+        entry.points.append((event.t, event.rate))
+        entry.capacity = event.capacity
+    return series
+
+
+@dataclass
+class LinkReport:
+    """Rollup of one link direction over a window."""
+
+    link: str
+    direction: str
+    #: Highest allocated bandwidth inside the window.
+    peak: float
+    mean: float
+    capacity: float
+    bytes: float
+    saturated_s: float
+    windows: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def peak_utilization(self) -> float:
+        """Peak allocated share of the capacity (within the window)."""
+        return self.peak / self.capacity if self.capacity > 0 else 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        """Time-weighted mean share of the capacity over the window."""
+        return self.mean / self.capacity if self.capacity > 0 else 0.0
+
+
+def link_report(recorder: Recorder, start: float = 0.0,
+                end: Optional[float] = None,
+                saturation_fraction: float = 0.95) -> List[LinkReport]:
+    """Per-link rollups sorted hottest-first.
+
+    "Hottest" is the *time-weighted mean utilization* over the window —
+    a link briefly touching 100% ranks below one pinned at 80% for the
+    whole window, which is what makes phase-scoped queries (the AC922
+    X-Bus during the exchange, say) come out right.
+
+    ``start``/``end`` bound the averaging window (e.g. one phase's
+    window); ``end`` defaults to the last event time the recorder saw.
+    Peak and saturation windows are clipped to the bounds.
+    """
+    horizon = end if end is not None else recorder.last_time
+    reports = []
+    for (link, direction), series in link_series(recorder).items():
+        windows = []
+        for lo, hi in series.saturation_windows(saturation_fraction):
+            lo, hi = max(lo, start), min(hi, horizon)
+            if hi > lo:
+                windows.append((lo, hi))
+        reports.append(LinkReport(
+            link=link, direction=direction,
+            peak=series.peak_in(start, horizon),
+            mean=(series.mean_rate(start, horizon)
+                  if horizon > start else 0.0),
+            capacity=series.capacity,
+            bytes=series.integrate(start, horizon),
+            saturated_s=sum(hi - lo for lo, hi in windows),
+            windows=windows))
+    reports.sort(key=lambda r: (-r.mean_utilization, -r.peak_utilization,
+                                -r.bytes, r.link, r.direction))
+    return reports
+
+
+def engine_occupancy(recorder: Recorder, end: Optional[float] = None
+                     ) -> Dict[str, float]:
+    """Busy fraction per copy engine (slot held / window length)."""
+    horizon = end if end is not None else recorder.last_time
+    if horizon <= 0:
+        return {}
+    busy: Dict[str, float] = {}
+    held_since: Dict[str, float] = {}
+    depth: Dict[str, int] = {}
+    for event in recorder.events:
+        if isinstance(event, EngineAcquire):
+            name = event.engine
+            if depth.get(name, 0) == 0:
+                held_since[name] = event.t
+            depth[name] = depth.get(name, 0) + 1
+        elif isinstance(event, EngineRelease):
+            name = event.engine
+            count = depth.get(name, 0)
+            if count == 1:
+                busy[name] = (busy.get(name, 0.0)
+                              + event.t - held_since.pop(name))
+            depth[name] = max(0, count - 1)
+    for name, since in held_since.items():
+        if depth.get(name, 0) > 0:
+            busy[name] = busy.get(name, 0.0) + max(0.0, horizon - since)
+    return {name: total / horizon for name, total in sorted(busy.items())}
+
+
+def flow_count_series(recorder: Recorder) -> List[Tuple[float, int]]:
+    """(time, active flow count) step series from the flow lifecycles."""
+    deltas: List[Tuple[float, int]] = []
+    for record in recorder.flows:
+        deltas.append((record.start, 1))
+        if record.end is not None:
+            deltas.append((record.end, -1))
+    deltas.sort()
+    series: List[Tuple[float, int]] = []
+    count = 0
+    for when, delta in deltas:
+        count += delta
+        if series and series[-1][0] == when:
+            series[-1] = (when, count)
+        else:
+            series.append((when, count))
+    return series

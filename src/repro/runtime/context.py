@@ -65,6 +65,10 @@ class Machine:
         #: Fault injector, installed via :meth:`install_faults`; ``None``
         #: on a healthy machine (the common case — hot paths gate on it).
         self.faults = None
+        #: Observability recorder, installed via
+        #: :meth:`enable_observability`; ``None`` (the default) keeps
+        #: every hot path free of instrumentation cost.
+        self.obs = None
         #: Retry/backoff/re-route behavior of the resilient runtime.
         self.resilience = ResiliencePolicy()
         #: Machine-wide recovery counters (sorts snapshot/delta these).
@@ -83,7 +87,39 @@ class Machine:
             raise RuntimeApiError(
                 "a fault plan is already installed on this machine")
         self.faults = FaultInjector(self, plan)
+        if self.obs is not None:
+            self.faults.obs = self.obs
         return self.faults
+
+    def enable_observability(self, recorder=None):
+        """Attach an event recorder to every instrumented component.
+
+        Wires the engine loop, the flow network, each device's DMA
+        engines, and the fault injector (present or installed later) to
+        one :class:`~repro.obs.recorder.Recorder`.  Pass ``recorder``
+        to supply a configured one; by default a fresh recorder is
+        created.  Returns the live recorder.
+
+        Recording never alters simulated timing — the recorder is
+        strictly read-only — so an observed run is bit-identical (in
+        simulated time) to a blind one.
+        """
+        from repro.obs.recorder import Recorder
+
+        if self.obs is not None:
+            raise RuntimeApiError(
+                "observability is already enabled on this machine")
+        if recorder is None:
+            recorder = Recorder()
+        self.obs = recorder
+        self.env.obs = recorder
+        self.net.obs = recorder
+        for device in self.devices:
+            device.engine_in._obs = recorder
+            device.engine_out._obs = recorder
+        if self.faults is not None:
+            self.faults.obs = recorder
+        return recorder
 
     # -- devices -----------------------------------------------------------
     @property

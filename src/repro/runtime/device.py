@@ -35,8 +35,8 @@ class Device:
         self.allocated_logical = 0.0
         self._buffers: List[DeviceBuffer] = []
         #: Inbound (writes into this GPU) and outbound DMA engines.
-        self.engine_in = Semaphore(machine.env, 1)
-        self.engine_out = Semaphore(machine.env, 1)
+        self.engine_in = Semaphore(machine.env, 1, label=f"{name}.dma_in")
+        self.engine_out = Semaphore(machine.env, 1, label=f"{name}.dma_out")
         #: Kernel-duration multiplier (fault injection: straggler GPUs).
         #: Exactly 1.0 when healthy; kernel launches skip it then, so
         #: fault-free timing is untouched.

@@ -57,6 +57,9 @@ def sort_on_device(machine: "Machine", target: Span,
                                         view.dtype.itemsize)
     if device.compute_slowdown != 1.0:
         duration *= device.compute_slowdown
+    if machine.obs is not None:
+        machine.obs.kernel_launched(device.name, phase, logical, duration,
+                                    start)
     yield machine.env.timeout(duration)
     if values is None:
         if machine.fast_functional:
@@ -97,6 +100,9 @@ def merge_two_on_device(machine: "Machine", target: Span, split: int,
     duration = device.spec.merge_seconds(logical)
     if device.compute_slowdown != 1.0:
         duration *= device.compute_slowdown
+    if machine.obs is not None:
+        machine.obs.kernel_launched(device.name, phase, logical, duration,
+                                    start)
     yield machine.env.timeout(duration)
     if split not in (0, len(view)):
         a, b = view[:split], view[split:]

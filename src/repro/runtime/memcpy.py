@@ -129,6 +129,9 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
     kind = _copy_kind(src.buffer, dst.buffer)
     logical = src.nbytes * machine.scale
     start_time = env.now
+    # Reserve the copy's span id up front so the flows it spawns can be
+    # parented beneath it on the timeline while the copy is in flight.
+    span_id = machine.trace.allocate_id() if phase is not None else None
     # Snapshot the payload when the copy is issued: the 3n pipeline's
     # in-place transfer swap overwrites the source region with the next
     # inbound chunk while this copy drains it (Section 5.3, Figure 10).
@@ -147,15 +150,19 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
         flow = machine.net.start_flow(
             route_hops, logical, rate_cap=rate,
             label=f"DtoD@{device.name}")
+        if machine.obs is not None and span_id is not None:
+            machine.obs.attach_flow(flow, span_id)
         yield flow.done
     else:
-        yield from _routed_copy(machine, dst, src, kind, logical)
+        yield from _routed_copy(machine, dst, src, kind, logical,
+                                span_id=span_id)
 
     dst.view[:] = payload
     if phase is not None:
         actor = _node_of(machine, dst.buffer if kind != "DtoH"
                          else src.buffer)
-        machine.trace.record(phase, actor, start_time, bytes=logical)
+        machine.trace.record(phase, actor, start_time, bytes=logical,
+                             id=span_id)
     return dst
 
 
@@ -197,7 +204,7 @@ def _resolve_route(machine: "Machine", src_node: str, dst_node: str):
 
 
 def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
-                 logical: float):
+                 logical: float, span_id: Optional[int] = None):
     """Process: the engine-holding, route-crossing copy with resilience.
 
     Structure: acquire the DMA engines once (held across retries, like
@@ -261,6 +268,8 @@ def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
             flow = machine.net.start_flow(
                 route.hops, logical, rate_cap=rate_cap,
                 label=f"{kind}:{src_node}->{dst_node}")
+            if machine.obs is not None and span_id is not None:
+                machine.obs.attach_flow(flow, span_id)
             if faults is not None:
                 faults.on_flow_started(flow)
             try:

@@ -24,6 +24,7 @@ class Stream:
         self.machine = machine
         self.name = name or f"stream{id(self):x}"
         self._tail: Optional[Event] = None
+        self._depth = 0
 
     def submit(self, operation: Generator) -> Process:
         """Enqueue an operation; it starts when the previous one ends.
@@ -32,6 +33,11 @@ class Stream:
         the operation's return value).
         """
         previous = self._tail
+        self._depth += 1
+        obs = self.machine.obs
+        if obs is not None:
+            obs.stream_submitted(self.name, self._depth,
+                                 self.machine.env.now)
         process = self.machine.env.process(
             self._run_after(previous, operation))
         self._tail = process
@@ -40,7 +46,13 @@ class Stream:
     def _run_after(self, previous: Optional[Event], operation: Generator):
         if previous is not None:
             yield previous
-        result = yield from operation
+        try:
+            result = yield from operation
+        finally:
+            self._depth -= 1
+            obs = self.machine.obs
+            if obs is not None:
+                obs.stream_drained(self.name, self._depth)
         return result
 
     def synchronize(self) -> Event:

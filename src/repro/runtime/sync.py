@@ -23,13 +23,17 @@ class Semaphore:
     Waiters are served in FIFO order.
     """
 
-    def __init__(self, env: Environment, capacity: int):
+    def __init__(self, env: Environment, capacity: int, label: str = ""):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.label = label or f"sem{id(self):x}"
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: Observability recorder; ``None`` (the default) keeps the
+        #: acquire/release hot path free of any instrumentation cost.
+        self._obs = None
 
     @property
     def available(self) -> int:
@@ -42,6 +46,8 @@ class Semaphore:
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed()
+            if self._obs is not None:
+                self._obs.engine_acquired(self, self.env.now)
         else:
             self._waiters.append(event)
         return event
@@ -51,9 +57,16 @@ class Semaphore:
         if self._in_use <= 0:
             raise RuntimeApiError("release() without a matching acquire()")
         if self._waiters:
+            # The slot passes straight to the oldest waiter: one
+            # release plus one acquire at the same instant.
             self._waiters.popleft().succeed()
+            if self._obs is not None:
+                self._obs.engine_released(self, self.env.now)
+                self._obs.engine_acquired(self, self.env.now)
         else:
             self._in_use -= 1
+            if self._obs is not None:
+                self._obs.engine_released(self, self.env.now)
 
     def cancel(self, ticket: Event) -> None:
         """Withdraw an :meth:`acquire` whose waiter will never resume.

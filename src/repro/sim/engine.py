@@ -300,7 +300,7 @@ class Environment:
     """Execution environment: the clock and the event queue."""
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "events_processed")
+                 "events_processed", "_obs")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -310,6 +310,20 @@ class Environment:
         #: Number of events whose callbacks have run (for sim-throughput
         #: metrics; see the ``simcore`` benchmark).
         self.events_processed = 0
+        #: Observability recorder (:mod:`repro.obs`), or ``None``.  The
+        #: loop pays one ``is None`` check per event when disabled; the
+        #: recorder only *reads* simulation state, so enabling it never
+        #: changes simulated time.
+        self._obs = None
+
+    @property
+    def obs(self):
+        """The attached observability recorder, or ``None``."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, recorder) -> None:
+        self._obs = recorder
 
     @property
     def now(self) -> float:
@@ -368,6 +382,9 @@ class Environment:
                 callback(event)
         if not event._ok and not event.defused:
             raise event._value
+        obs = self._obs
+        if obs is not None:
+            obs.engine_stepped(when, len(self._queue))
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (an event, a time, or queue exhaustion).

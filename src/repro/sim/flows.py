@@ -181,6 +181,12 @@ class FlowNetwork:
         self.completion_events = 0
         #: Flows removed before completion (faults, timeouts, interrupts).
         self.aborted_flows = 0
+        #: Observability recorder (:mod:`repro.obs`), or ``None``.  Every
+        #: hook below is gated on a plain ``is None`` check so a network
+        #: without observers pays one pointer test per transition; the
+        #: recorder only reads, so rates and completion times are
+        #: bit-identical with it attached.
+        self.obs = None
 
     # -- public API -------------------------------------------------------
     def start_flow(
@@ -217,6 +223,10 @@ class FlowNetwork:
             self._allocate_single(flow)
         else:
             self._reallocate()
+        obs = self.obs
+        if obs is not None:
+            obs.flow_started(self, flow)
+            obs.rates_changed(self)
         return flow
 
     def transfer(self, route: Sequence[Hop], size: float,
@@ -275,6 +285,10 @@ class FlowNetwork:
             flow.done.defused = True
         if self._flows:
             self._reallocate()
+        obs = self.obs
+        if obs is not None:
+            obs.flow_aborted(self, flow)
+            obs.rates_changed(self)
 
     def requery_capacity(self) -> None:
         """Re-rate every active flow after an external capacity change.
@@ -287,6 +301,8 @@ class FlowNetwork:
         self._advance_all()
         if self._flows:
             self._reallocate()
+        if self.obs is not None:
+            self.obs.rates_changed(self)
 
     @property
     def delivered(self) -> Dict[Tuple[Resource, Direction], float]:
@@ -404,6 +420,9 @@ class FlowNetwork:
             flow.finished_at = self.env.now
             flow.remaining = 0.0
             flow.done.succeed(flow)
+            obs = self.obs
+            if obs is not None:
+                obs.flow_retired(self, flow)
 
     def _on_completion(self, event: _Completion) -> None:
         """A flow's scheduled completion time arrived."""
@@ -423,10 +442,16 @@ class FlowNetwork:
                     # A surviving flow shares a resource with a finished
                     # one; its effective capacity changed.
                     self._reallocate()
+                    if self.obs is not None:
+                        self.obs.rates_changed(self)
                     return
         # Disjoint removal: every surviving flow keeps its rate and its
         # already-scheduled completion.
         self.fast_finishes += 1
+        if self.obs is not None:
+            # Even without a reallocation the finished flows' links
+            # dropped their contribution — refresh the link gauges.
+            self.obs.rates_changed(self)
 
     def _allocate_single(self, flow: Flow) -> None:
         """Fast path: rate a flow whose resources nobody else crosses.

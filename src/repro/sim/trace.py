@@ -5,25 +5,51 @@ The sorting algorithms annotate their work with named spans ("HtoD",
 (Figures 12-14, bottom) define a phase to end *when the last GPU
 completes it*; :meth:`Trace.phase_durations` implements exactly that
 reduction over the recorded spans.
+
+Spans form a hierarchy: every span carries a unique ``id`` and an
+optional ``parent`` id, so a phase span (an ``HtoD`` on one GPU, say)
+can decompose into the flow-level activity the observability layer
+records beneath it.  Parents are assigned two ways:
+
+* explicitly, by passing ``parent=`` (or a pre-allocated ``id=``) to
+  :meth:`Trace.record` — used by the runtime to tie a copy's flows to
+  its phase span;
+* implicitly, from the *parent stack*: a sort pushes its root span id
+  via :meth:`Trace.push_parent`, and every span recorded until the
+  matching :meth:`Trace.pop_parent` becomes a child of that root.
+
+Phase breakdowns are served from a per-phase index maintained on
+insert — distinct phase names, per-phase ``(first start, last end)``
+bounds and per-phase span lists — so :meth:`phases`,
+:meth:`phase_window` and :meth:`phase_durations` cost O(phases), not
+O(phases x spans), even on flow-level traces with hundreds of
+thousands of spans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.sim.engine import Environment
 
 
 @dataclass(frozen=True)
 class Span:
-    """One completed activity interval on one actor."""
+    """One completed activity interval on one actor.
+
+    ``id`` is unique within its :class:`Trace` (0 for spans recorded by
+    code that does not care about hierarchy); ``parent`` is the id of
+    the enclosing span, or ``None`` at the root.
+    """
 
     phase: str
     actor: str
     start: float
     end: float
     bytes: float = 0.0
+    id: int = 0
+    parent: Optional[int] = None
 
     @property
     def duration(self) -> float:
@@ -37,16 +63,70 @@ class Trace:
     def __init__(self, env: Environment):
         self.env = env
         self.spans: List[Span] = []
+        self._next_id = 1
+        self._parent_stack: List[int] = []
+        #: Per-phase index, maintained on insert: name -> spans.
+        self._by_phase: Dict[str, List[Span]] = {}
+        #: Per-phase (first start, last end) bounds.
+        self._bounds: Dict[str, List[float]] = {}
+
+    def allocate_id(self) -> int:
+        """Reserve a span id before the span completes.
+
+        Lets long-running operations hand their id to child activity
+        (flows, sub-spans) while still in flight; pass the id back via
+        ``record(..., id=...)`` when the span ends.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def push_parent(self, span_id: int) -> None:
+        """Make ``span_id`` the default parent of spans recorded next."""
+        self._parent_stack.append(span_id)
+
+    def pop_parent(self) -> int:
+        """Undo the innermost :meth:`push_parent`; returns its id."""
+        return self._parent_stack.pop()
+
+    @property
+    def current_parent(self) -> Optional[int]:
+        """Top of the parent stack (or ``None``)."""
+        return self._parent_stack[-1] if self._parent_stack else None
 
     def record(self, phase: str, actor: str, start: float,
-               end: Optional[float] = None, bytes: float = 0.0) -> Span:
-        """Append a completed span (``end`` defaults to *now*)."""
+               end: Optional[float] = None, bytes: float = 0.0,
+               id: Optional[int] = None,
+               parent: Optional[int] = None) -> Span:
+        """Append a completed span (``end`` defaults to *now*).
+
+        ``id`` attaches a pre-allocated id (see :meth:`allocate_id`);
+        without one a fresh id is assigned.  ``parent`` defaults to the
+        top of the parent stack.
+        """
         if end is None:
             end = self.env.now
         if end < start:
             raise ValueError(f"span ends before it starts: {start} > {end}")
-        span = Span(phase=phase, actor=actor, start=start, end=end, bytes=bytes)
+        if id is None:
+            id = self._next_id
+            self._next_id += 1
+        if parent is None:
+            parent = self.current_parent
+        span = Span(phase=phase, actor=actor, start=start, end=end,
+                    bytes=bytes, id=id, parent=parent)
         self.spans.append(span)
+        bucket = self._by_phase.get(phase)
+        if bucket is None:
+            self._by_phase[phase] = [span]
+            self._bounds[phase] = [start, end]
+        else:
+            bucket.append(span)
+            bounds = self._bounds[phase]
+            if start < bounds[0]:
+                bounds[0] = start
+            if end > bounds[1]:
+                bounds[1] = end
         return span
 
     def span(self, phase: str, actor: str, bytes: float = 0.0):
@@ -60,17 +140,18 @@ class Trace:
 
     def phases(self) -> List[str]:
         """Distinct phase names in first-appearance order."""
-        seen: Dict[str, None] = {}
-        for span in self.spans:
-            seen.setdefault(span.phase, None)
-        return list(seen)
+        return list(self._by_phase)
+
+    def phase_spans(self, phase: str) -> List[Span]:
+        """All spans of one phase, in record order."""
+        return list(self._by_phase.get(phase, ()))
 
     def phase_window(self, phase: str) -> Optional[tuple]:
         """(earliest start, latest end) over all spans of ``phase``."""
-        matching = [s for s in self.spans if s.phase == phase]
-        if not matching:
+        bounds = self._bounds.get(phase)
+        if bounds is None:
             return None
-        return (min(s.start for s in matching), max(s.end for s in matching))
+        return (bounds[0], bounds[1])
 
     def phase_durations(self) -> Dict[str, float]:
         """Per-phase wall duration: last end minus first start.
@@ -78,25 +159,31 @@ class Trace:
         This matches the paper's definition of a phase ending when the
         last GPU completes it.
         """
-        result: Dict[str, float] = {}
-        for phase in self.phases():
-            start, end = self.phase_window(phase)
-            result[phase] = end - start
-        return result
+        return {phase: bounds[1] - bounds[0]
+                for phase, bounds in self._bounds.items()}
+
+    def children_of(self, span_id: int) -> List[Span]:
+        """Spans recorded with ``parent == span_id``."""
+        return [s for s in self.spans if s.parent == span_id]
 
     def busy_time(self, actor: str, phase: Optional[str] = None) -> float:
         """Total span time of one actor (optionally one phase only)."""
-        return sum(s.duration for s in self.spans
-                   if s.actor == actor and (phase is None or s.phase == phase))
+        spans = (self.spans if phase is None
+                 else self._by_phase.get(phase, ()))
+        return sum(s.duration for s in spans if s.actor == actor)
 
     def total_bytes(self, phase: Optional[str] = None) -> float:
         """Total bytes attributed to spans (optionally one phase only)."""
-        return sum(s.bytes for s in self.spans
-                   if phase is None or s.phase == phase)
+        spans = (self.spans if phase is None
+                 else self._by_phase.get(phase, ()))
+        return sum(s.bytes for s in spans)
 
     def clear(self) -> None:
-        """Drop all recorded spans."""
+        """Drop all recorded spans (ids keep counting up)."""
         self.spans.clear()
+        self._by_phase.clear()
+        self._bounds.clear()
+        self._parent_stack.clear()
 
 
 @dataclass

@@ -566,6 +566,12 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
 
     start = machine.env.now
     stats_before = machine.resilience_stats.snapshot()
+    # Root span for the timeline hierarchy — only with observability on
+    # (see the matching note in p2p_sort).
+    root_id = None
+    if machine.obs is not None:
+        root_id = machine.trace.allocate_id()
+        machine.trace.push_parent(root_id)
 
     def run():
         env = machine.env
@@ -628,6 +634,11 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     try:
         machine.run(run())
     finally:
+        if root_id is not None:
+            machine.trace.pop_parent()
+            machine.trace.record("HetSort", "sort", start,
+                                 bytes=n * dtype.itemsize * machine.scale,
+                                 id=root_id)
         for array in borrowed:
             default_pool.give(array)
     duration = machine.env.now - start

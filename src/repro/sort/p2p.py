@@ -387,6 +387,14 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     stats = _Stats()
     start = machine.env.now
     stats_before = machine.resilience_stats.snapshot()
+    # With observability on, bracket the run in a root span: every
+    # phase span recorded inside becomes its child, so the timeline
+    # nests sort -> phase -> flows.  Off, no span is added and the
+    # trace stays bit-identical to the pre-observability engine.
+    root_id = None
+    if machine.obs is not None:
+        root_id = machine.trace.allocate_id()
+        machine.trace.push_parent(root_id)
 
     def run():
         env = machine.env
@@ -448,6 +456,11 @@ def p2p_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     try:
         machine.run(run())
     finally:
+        if root_id is not None:
+            machine.trace.pop_parent()
+            machine.trace.record("P2PSort", "sort", start,
+                                 bytes=n * itemsize * machine.scale,
+                                 id=root_id)
         for array in borrowed:
             default_pool.give(array)
     # Assemble the full output array (with numa-local placement the

@@ -58,6 +58,113 @@ class TestChromeTrace:
         assert {"HtoD", "Sort", "Merge", "DtoH"} <= phases
 
 
+class TestObservabilitySchema:
+    """Recorder-enriched export: nesting, counters, fault markers."""
+
+    @pytest.fixture
+    def recorded(self, rng):
+        from repro.hw import ibm_ac922
+        from repro.runtime import Machine
+        from repro.sort import het_sort
+
+        machine = Machine(ibm_ac922(), scale=100_000)
+        recorder = machine.enable_observability()
+        data = rng.integers(0, 1 << 30, size=4096).astype(np.int32)
+        het_sort(machine, data)
+        return machine, recorder
+
+    def test_spans_carry_hierarchy_in_args(self, recorded):
+        machine, recorder = recorded
+        payload = to_chrome_trace(machine.trace, recorder=recorder)
+        root = next(e for e in payload["traceEvents"]
+                    if e.get("name") == "HetSort")
+        assert root["args"]["parent"] is None
+        assert root["cname"] == "vsync_highlight_color"
+        children = [e for e in payload["traceEvents"]
+                    if e["ph"] == "X"
+                    and e["args"].get("parent") == root["args"]["id"]]
+        assert children
+
+    def test_flow_slices_nest_on_their_parent_spans_row(self, recorded):
+        machine, recorder = recorded
+        payload = to_chrome_trace(machine.trace, recorder=recorder)
+        events = payload["traceEvents"]
+        span_rows = {e["args"]["id"]: e["tid"] for e in events
+                     if e["ph"] == "X" and e.get("cat") == "sim"
+                     and e["args"]["id"]}
+        flows = [e for e in events if e.get("cat") == "flow"
+                 and e["ph"] == "X"]
+        assert flows
+        nested = [e for e in flows if e["args"]["parent"] is not None]
+        assert nested
+        for flow in nested:
+            assert flow["tid"] == span_rows[flow["args"]["parent"]]
+            assert flow["cname"] == "rail_load"
+            assert flow["args"]["links"]
+
+    def test_counter_tracks_per_link_and_active_flows(self, recorded):
+        machine, recorder = recorded
+        payload = to_chrome_trace(machine.trace, recorder=recorder)
+        counters = [e for e in payload["traceEvents"] if e["ph"] == "C"]
+        names = {e["name"] for e in counters}
+        assert "bw xbus_0_1.fwd" in names or "bw xbus_0_1.rev" in names
+        assert "active flows" in names
+        for counter in counters:
+            assert set(counter["args"]) <= {"GB/s", "flows"}
+
+    def test_fault_markers_land_on_the_faults_row(self, rng):
+        from repro.faults.plan import FaultPlan
+        from repro.hw import ibm_ac922
+        from repro.runtime import Machine
+        from repro.sort import het_sort
+
+        spec = ibm_ac922()
+        machine = Machine(spec, scale=100_000)
+        recorder = machine.enable_observability()
+        machine.install_faults(FaultPlan.generate(
+            spec, seed=3, intensity=1.0, horizon=0.2))
+        data = rng.integers(0, 1 << 30, size=4096).astype(np.int32)
+        het_sort(machine, data)
+        payload = to_chrome_trace(machine.trace, recorder=recorder)
+        events = payload["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants
+        assert all(e["s"] == "g" and e.get("cat") == "fault"
+                   for e in instants)
+        fault_tid = instants[0]["tid"]
+        row_names = {e["tid"]: e["args"]["name"] for e in events
+                     if e.get("name") == "thread_name"}
+        assert row_names[fault_tid] == "faults"
+        ranges = [e for e in events if e.get("cat") == "fault"
+                  and e["ph"] == "X"]
+        for window in ranges:
+            assert window["tid"] == fault_tid
+            assert window["dur"] >= 0
+
+    def test_recorded_run_round_trips_through_json(self, recorded,
+                                                   tmp_path):
+        machine, recorder = recorded
+        path = write_chrome_trace(machine.trace,
+                                  str(tmp_path / "trace.json"),
+                                  label="het@ac922", recorder=recorder)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["otherData"]["source"] == "het@ac922"
+        direct = to_chrome_trace(machine.trace, label="het@ac922",
+                                 recorder=recorder)
+        # JSON round-trip only changes tuples to lists; normalize and
+        # compare whole documents.
+        assert loaded == json.loads(json.dumps(direct))
+
+    def test_export_without_recorder_is_unchanged(self, recorded):
+        machine, recorder = recorded
+        bare = to_chrome_trace(machine.trace)
+        enriched = to_chrome_trace(machine.trace, recorder=recorder)
+        assert len(bare["traceEvents"]) < len(enriched["traceEvents"])
+        assert not any(e.get("cat") == "flow"
+                       for e in bare["traceEvents"])
+
+
 class TestValidation:
     def test_is_sorted(self):
         assert is_sorted(np.array([1, 2, 2, 3]))

@@ -31,6 +31,19 @@ class TestUtilizationReport:
         report = utilization_report(trace, window=8.0)
         assert all(u.window == 8.0 for u in report)
 
+    def test_window_is_optional(self, trace):
+        # None means "use the trace extent" — same as omitting it.
+        implicit = utilization_report(trace)
+        explicit = utilization_report(trace, window=None)
+        assert [u.window for u in explicit] == [u.window for u in implicit]
+
+    @pytest.mark.parametrize("window", [0.0, -1.0])
+    def test_non_positive_window_rejected(self, trace, window):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="window must be positive"):
+            utilization_report(trace, window=window)
+
     def test_empty_trace(self, env):
         assert utilization_report(Trace(env)) == []
 

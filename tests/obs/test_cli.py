@@ -1,0 +1,103 @@
+"""End-to-end ``python -m repro.obs`` subcommand tests (quick runs)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+_AC922_P2P = ["--quick", "--system", "ibm-ac922", "--algorithm", "p2p",
+              "--keys", "1e8", "--seed", "42"]
+
+
+class TestTimeline:
+    def test_writes_perfetto_json(self, tmp_path, capsys):
+        path = tmp_path / "timeline.json"
+        assert main(["timeline", *_AC922_P2P, "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline written to" in out
+        document = json.loads(path.read_text())
+        events = document["traceEvents"]
+        phases = {event["ph"] for event in events}
+        # Metadata rows, slices, counter tracks.
+        assert {"M", "X", "C"} <= phases
+        counter_names = {event["name"] for event in events
+                         if event["ph"] == "C"}
+        assert any(name.startswith("bw xbus_0_1") for name in counter_names)
+        assert "active flows" in counter_names
+
+    def test_faulted_run_carries_fault_markers(self, tmp_path):
+        # Default 2e9 logical keys: the run is long enough for the
+        # generated plan's windows (inside --fault-horizon) to overlap.
+        path = tmp_path / "timeline.json"
+        assert main(["timeline", "--quick", "--system", "ibm-ac922",
+                     "--algorithm", "het", "--seed", "42",
+                     "--faults", "1.0", "-o", str(path)]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        assert any(event["ph"] == "i" for event in events)
+
+
+class TestLinks:
+    def test_xbus_is_the_hottest_link_during_exchange(self, capsys):
+        # The paper's headline observation on the AC922: the X-Bus is
+        # the binding link while partitions cross the socket boundary
+        # (the Merge/exchange phase of the P2P sort).
+        assert main(["links", *_AC922_P2P, "--phase", "Merge"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest: xbus_0_1" in out
+
+    def test_whole_run_table_renders(self, capsys):
+        assert main(["links", *_AC922_P2P, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth over time" in out
+        lines = out.splitlines()
+        separator = next(i for i, line in enumerate(lines)
+                         if line.startswith("---"))
+        rows = []
+        for line in lines[separator + 1:]:
+            if not line.strip():
+                break
+            rows.append(line)
+        assert len(rows) == 3
+
+    def test_unknown_phase_fails_with_hint(self, capsys):
+        assert main(["links", *_AC922_P2P, "--phase", "Nope"]) == 1
+        err = capsys.readouterr().err
+        assert "no phase 'Nope'" in err
+        assert "Merge" in err
+
+
+class TestSummary:
+    def test_rollup_sections_present(self, capsys):
+        assert main(["summary", *_AC922_P2P]) == 0
+        out = capsys.readouterr().out
+        assert "phases (wall = last end - first start)" in out
+        assert "actor busy seconds by phase" in out
+        assert "links (whole run)" in out
+        assert "copy-engine occupancy" in out
+        assert "flows.started=" in out
+        for phase in ("HtoD", "Sort", "Merge", "DtoH"):
+            assert phase in out
+
+    def test_dgx_eight_gpu_smoke(self, capsys):
+        assert main(["summary", "--quick", "--keys", "1e8"]) == 0
+        out = capsys.readouterr().out
+        assert "p2p sort on NVIDIA DGX A100" in out
+        assert "GPUs (0, 1, 2, 3, 4, 5, 6, 7)" in out
+
+
+class TestArgs:
+    def test_gpu_list_parses(self, capsys):
+        assert main(["summary", "--quick", "--keys", "1e7",
+                     "--gpus", "0,1"]) == 0
+        assert "GPUs (0, 1)" in capsys.readouterr().out
+
+    def test_bad_gpu_list_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--gpus", "zero,one"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,139 @@
+"""Benchmark diffing: directions, thresholds, comparability, exit path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.diff import (
+    diff_files,
+    diff_records,
+    format_diff,
+    load_bench,
+    metric_direction,
+)
+
+
+class TestMetricDirection:
+    @pytest.mark.parametrize("name", [
+        "wall_s", "churn_wall_s", "clean_s", "faulted_s",
+        "fault_downtime_s", "overhead_pct", "ref_wall_s",
+    ])
+    def test_lower_is_better(self, name):
+        assert metric_direction(name) == -1
+
+    @pytest.mark.parametrize("name", [
+        "events_per_sec", "keys_per_sec", "speedup", "speedup_vs_seed",
+    ])
+    def test_higher_is_better(self, name):
+        assert metric_direction(name) == +1
+
+    @pytest.mark.parametrize("name", ["events", "keys", "gpus", "firewall_size"])
+    def test_undirected(self, name):
+        assert metric_direction(name) is None
+
+
+def _record(**scenarios):
+    return {"benchmark": "t", "scenarios": scenarios,
+            "provenance": {"config_hash": "abc"}}
+
+
+class TestDiffRecords:
+    def test_regression_past_threshold(self):
+        result = diff_records(_record(s={"wall_s": 1.0}),
+                              _record(s={"wall_s": 1.3}))
+        assert not result.ok
+        [delta] = result.regressions
+        assert delta.change == pytest.approx(0.3)
+        assert "REGRESSED" in format_diff(result)
+        assert "FAIL" in format_diff(result)
+
+    def test_sub_threshold_movement_is_not_a_regression(self):
+        result = diff_records(_record(s={"wall_s": 1.0}),
+                              _record(s={"wall_s": 1.05}))
+        assert result.ok
+        assert result.deltas and not result.regressions
+
+    def test_improvement_direction_aware(self):
+        result = diff_records(
+            _record(s={"wall_s": 1.0, "events_per_sec": 100.0}),
+            _record(s={"wall_s": 0.5, "events_per_sec": 200.0}))
+        assert result.ok
+        assert len(result.improvements) == 2
+
+    def test_throughput_drop_is_a_regression(self):
+        result = diff_records(_record(s={"events_per_sec": 100.0}),
+                              _record(s={"events_per_sec": 50.0}))
+        assert not result.ok
+
+    def test_undirected_drift_never_fails(self):
+        result = diff_records(_record(s={"events": 100.0}),
+                              _record(s={"events": 900.0}))
+        assert result.ok
+        assert result.deltas[0].direction is None
+
+    def test_unchanged_metrics_are_skipped(self):
+        result = diff_records(_record(s={"wall_s": 1.0}),
+                              _record(s={"wall_s": 1.0}))
+        assert result.deltas == []
+
+    def test_scenario_set_changes_reported(self):
+        result = diff_records(_record(gone={"wall_s": 1.0}),
+                              _record(added={"wall_s": 1.0}))
+        assert result.only_old == ["gone"]
+        assert result.only_new == ["added"]
+
+    def test_config_hash_mismatch_flags_incomparable(self):
+        old = _record(s={"wall_s": 1.0})
+        new = _record(s={"wall_s": 1.0})
+        new["provenance"] = {"config_hash": "different"}
+        result = diff_records(old, new)
+        assert not result.comparable
+        assert "config hashes differ" in format_diff(result)
+
+    def test_missing_provenance_stays_comparable(self):
+        result = diff_records({"scenarios": {}}, {"scenarios": {}})
+        assert result.comparable
+
+    def test_booleans_and_non_numeric_are_ignored(self):
+        result = diff_records(_record(s={"ok": True, "name": "a"}),
+                              _record(s={"ok": False, "name": "b"}))
+        assert result.deltas == []
+
+    def test_custom_threshold(self):
+        old, new = _record(s={"wall_s": 1.0}), _record(s={"wall_s": 1.05})
+        assert diff_records(old, new, threshold=0.01).regressions
+        assert not diff_records(old, new, threshold=0.10).regressions
+        with pytest.raises(ReproError):
+            diff_records(old, new, threshold=-0.1)
+
+
+class TestDiffFiles:
+    def _write(self, path, record):
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_round_trip(self, tmp_path):
+        old = self._write(tmp_path / "old.json", _record(s={"wall_s": 1.0}))
+        new = self._write(tmp_path / "new.json", _record(s={"wall_s": 2.0}))
+        assert not diff_files(old, new).ok
+        assert diff_files(old, old).ok
+
+    def test_load_bench_rejects_non_records(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a bench"}))
+        with pytest.raises(ReproError):
+            load_bench(str(path))
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        old = self._write(tmp_path / "old.json", _record(s={"wall_s": 1.0}))
+        new = self._write(tmp_path / "new.json", _record(s={"wall_s": 1.3}))
+        assert main(["diff", old, old]) == 0
+        assert main(["diff", old, new]) == 1
+        assert main(["diff", old, new, "--threshold", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out

@@ -1,0 +1,59 @@
+"""Event taxonomy: kinds, payloads, serialization."""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    EngineAcquire,
+    EngineRelease,
+    EngineSample,
+    FaultClose,
+    FaultOpen,
+    FlowAbort,
+    FlowRetire,
+    FlowStart,
+    KernelLaunch,
+    LinkRate,
+    StreamOp,
+)
+
+_ALL = (FlowStart, FlowRetire, FlowAbort, LinkRate, EngineAcquire,
+        EngineRelease, FaultOpen, FaultClose, KernelLaunch, StreamOp,
+        EngineSample)
+
+
+class TestTaxonomy:
+    def test_kinds_are_distinct(self):
+        kinds = [cls.kind for cls in _ALL]
+        assert len(kinds) == len(set(kinds))
+
+    def test_every_slot_lands_in_to_dict(self):
+        event = FlowStart(1.5, fid=7, label="copy", size=1e6, rate=2e9,
+                          links=("nvlink_0", "nvlink_1"))
+        record = event.to_dict()
+        assert record == {
+            "kind": "flow_start", "t": 1.5, "fid": 7, "label": "copy",
+            "size": 1e6, "rate": 2e9, "links": ("nvlink_0", "nvlink_1"),
+            "parent_span": None,
+        }
+
+    def test_parent_span_is_mutable_for_backpatching(self):
+        event = FlowStart(0.0, fid=1, label="x", size=1.0, rate=1.0,
+                          links=())
+        event.parent_span = 42
+        assert event.to_dict()["parent_span"] == 42
+
+    def test_fault_open_marks_instant(self):
+        window = FaultOpen(2.0, "link_down", "xbus_0_1")
+        instant = FaultOpen(2.0, "gpu_reset", "gpu3", instant=True)
+        assert window.to_dict()["instant"] is False
+        assert instant.to_dict()["instant"] is True
+
+    def test_fault_close_keeps_open_time(self):
+        event = FaultClose(3.0, "link_down", "xbus_0_1", opened=2.0)
+        assert event.to_dict()["opened"] == 2.0
+
+    def test_link_rate_carries_saturation_reference(self):
+        event = LinkRate(1.0, "xbus_0_1", "fwd", rate=30e9, capacity=41e9)
+        record = event.to_dict()
+        assert record["rate"] == 30e9
+        assert record["capacity"] == 41e9

@@ -1,0 +1,117 @@
+"""Counter / gauge / histogram / registry unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ReproError):
+            Counter("c").inc(-1)
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(4)
+        assert counter.to_dict() == {"type": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_tracks_extremes(self):
+        gauge = Gauge("g")
+        for value in (3.0, -1.0, 7.0):
+            gauge.set(value)
+        assert gauge.value == 7.0
+        assert gauge.min == -1.0
+        assert gauge.max == 7.0
+        assert gauge.updates == 3
+
+    def test_add_adjusts_current(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.add(-2.0)
+        assert gauge.value == 3.0
+
+    def test_untouched_gauge_reports_no_extremes(self):
+        snapshot = Gauge("g").to_dict()
+        assert snapshot["min"] is None
+        assert snapshot["max"] is None
+
+
+class TestHistogram:
+    def test_bucketing_and_mean(self):
+        histogram = Histogram("h", bounds=[1.0, 10.0])
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(55.5 / 3)
+        assert histogram.min == 0.5
+        assert histogram.max == 50.0
+
+    def test_boundary_value_lands_in_lower_bucket(self):
+        histogram = Histogram("h", bounds=[1.0, 10.0])
+        histogram.observe(1.0)
+        assert histogram.counts == [1, 0, 0]
+
+    def test_requires_strictly_increasing_bounds(self):
+        with pytest.raises(ReproError):
+            Histogram("h", bounds=[1.0, 1.0])
+        with pytest.raises(ReproError):
+            Histogram("h", bounds=[2.0, 1.0])
+        with pytest.raises(ReproError):
+            Histogram("h", bounds=[])
+
+    def test_quantile_is_monotone_and_bounded(self):
+        histogram = Histogram("h", bounds=DEFAULT_BOUNDS)
+        for value in (1e-5, 1e-3, 0.5, 0.5, 2.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q)
+                     for q in (0.0, 0.25, 0.5, 0.9, 1.0)]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[-1] <= histogram.max + 10.0
+        with pytest.raises(ReproError):
+            histogram.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h", bounds=[1.0]).quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert "a" in registry
+        assert "b" not in registry
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ReproError):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("z").set(1.0)
+        registry.counter("a").inc()
+        registry.histogram("m").observe(0.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "m", "z"]
+        assert snapshot["a"]["type"] == "counter"
+        assert snapshot["m"]["type"] == "histogram"
+        assert snapshot["z"]["type"] == "gauge"

@@ -1,0 +1,57 @@
+"""Observability cost: disabled must be free, enabled must stay cheap.
+
+The ``perf``-marked tests use *generous* ceilings so they only trip on
+gross regressions, never on machine noise — same policy as the simcore
+bench smoke.  Deselect with ``-m 'not perf'``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments.simcore import SEED_BASELINE_WALL_S, run_churn
+from repro.hw import dgx_a100
+from repro.runtime import Machine
+from repro.sort import p2p_sort
+
+#: The events-off hot path must not give back the simcore optimization:
+#: the churn-400 storm ran at ~4.2 s on the seed tree and ~3x faster
+#: after the incremental-reallocation work, so even matching the *seed*
+#: wall would mean instrumentation ate the whole optimization — far
+#: beyond its <2% budget.  The ceiling only trips on that gross case,
+#: never on machine noise.
+CHURN_OFF_CEILING_S = SEED_BASELINE_WALL_S["churn-400"]
+#: Enabled-to-disabled wall ratio ceiling for an instrumented sort.
+ENABLED_RATIO_CEILING = 3.0
+
+
+@pytest.mark.perf
+def test_events_off_churn_keeps_optimized_wall():
+    wall = min(run_churn(400).wall_s for _ in range(3))
+    assert wall < CHURN_OFF_CEILING_S, (
+        f"churn-400 with observability off took {wall:.2f}s "
+        f"(ceiling {CHURN_OFF_CEILING_S:.2f}s): the disabled-path "
+        "instrumentation is no longer free")
+
+
+@pytest.mark.perf
+def test_enabled_overhead_is_bounded():
+    def sort_wall(observed: bool) -> float:
+        machine = Machine(dgx_a100(), scale=1)
+        if observed:
+            machine.enable_observability()
+        data = np.random.default_rng(5).integers(
+            0, 1 << 24, size=65536).astype(np.int32)
+        start = time.perf_counter()
+        p2p_sort(machine, data)
+        return time.perf_counter() - start
+
+    baseline = min(sort_wall(False) for _ in range(3))
+    observed = min(sort_wall(True) for _ in range(3))
+    assert observed < baseline * ENABLED_RATIO_CEILING + 0.05, (
+        f"instrumented sort took {observed:.3f}s vs {baseline:.3f}s "
+        f"uninstrumented (ceiling {ENABLED_RATIO_CEILING}x): recording "
+        "has become too expensive to leave on")

@@ -1,0 +1,80 @@
+"""Provenance: config hashing, git facts, the stamped block."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.report import write_bench_record
+from repro.obs.provenance import (
+    config_hash,
+    git_revision,
+    host_info,
+    provenance,
+)
+
+
+class TestConfigHash:
+    def test_stable_for_equal_values(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == \
+            config_hash({"a": 1, "b": [2, 3]})
+
+    def test_key_order_does_not_matter(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_value_changes_do(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_non_json_values_degrade_via_str(self):
+        assert config_hash({"dtype": object}) == config_hash({"dtype": object})
+
+
+class TestGitRevision:
+    def test_inside_this_repo(self):
+        revision = git_revision()
+        assert isinstance(revision["commit"], str)
+        assert len(revision["commit"]) == 40
+        assert isinstance(revision["dirty"], bool)
+
+    def test_outside_a_repo_returns_nones(self, tmp_path):
+        revision = git_revision(cwd=str(tmp_path))
+        assert revision == {"commit": None, "dirty": None}
+
+
+class TestProvenanceBlock:
+    def test_block_shape(self):
+        block = provenance({"keys": 100}, seed=7)
+        assert block["seed"] == 7
+        assert block["config_hash"] == config_hash({"keys": 100})
+        assert block["timestamp"].endswith("+00:00")
+        assert set(host_info()) <= set(block["host"])
+
+    def test_write_bench_record_stamps_and_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        record = {"benchmark": "t", "keys": 10,
+                  "scenarios": {"s": {"wall_s": 1.0}}}
+        write_bench_record(str(path), record, seed=11)
+        loaded = json.loads(path.read_text())
+        block = loaded["provenance"]
+        assert block["seed"] == 11
+        # The hash covers the config only — not the measurements.
+        assert block["config_hash"] == \
+            config_hash({"benchmark": "t", "keys": 10})
+        assert loaded["scenarios"] == record["scenarios"]
+
+    def test_original_record_is_not_mutated(self, tmp_path):
+        record = {"benchmark": "t", "scenarios": {}}
+        write_bench_record(str(tmp_path / "b.json"), record)
+        assert "provenance" not in record
+
+    def test_restamp_keeps_config_hash(self, tmp_path):
+        # Re-running a bench must not fold the previous provenance into
+        # the new config hash, or hashes would drift run over run.
+        record = {"benchmark": "t", "keys": 10,
+                  "scenarios": {"s": {"wall_s": 1.0}}}
+        path = tmp_path / "b.json"
+        write_bench_record(str(path), record)
+        first = json.loads(path.read_text())
+        write_bench_record(str(path), first)
+        second = json.loads(path.read_text())
+        assert second["provenance"]["config_hash"] == \
+            first["provenance"]["config_hash"]

@@ -1,0 +1,185 @@
+"""Derived telemetry: sparklines, link series math, occupancy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import EngineAcquire, EngineRelease, LinkRate
+from repro.obs.recorder import FlowRecord, Recorder
+from repro.obs.telemetry import (
+    LinkSeries,
+    engine_occupancy,
+    flow_count_series,
+    link_report,
+    link_series,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_fixed_width(self):
+        assert len(sparkline([1.0, 2.0, 3.0], width=10)) == 10
+
+    def test_empty_series_is_blank(self):
+        assert sparkline([], width=5) == "     "
+
+    def test_zero_peak_renders_floor(self):
+        assert sparkline([0.0, 0.0], width=4) == "    "
+
+    def test_monotone_series_ramps_up(self):
+        line = sparkline([float(i) for i in range(1, 9)], width=8)
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_spikes_survive_downsampling(self):
+        # Max-per-bin resampling: one full-rate sample among zeros must
+        # still produce a full block somewhere.
+        values = [0.0] * 100
+        values[37] = 1.0
+        assert "█" in sparkline(values, width=10)
+
+    def test_peak_overrides_normalization(self):
+        assert sparkline([0.5], width=1, peak=1.0) == "▄"
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+def _series(points, capacity=10.0):
+    return LinkSeries(link="l", direction="fwd", points=points,
+                      capacity=capacity)
+
+
+class TestLinkSeries:
+    def test_rate_at_is_a_step_function(self):
+        series = _series([(1.0, 4.0), (3.0, 0.0)])
+        assert series.rate_at(0.5) == 0.0
+        assert series.rate_at(1.0) == 4.0
+        assert series.rate_at(2.9) == 4.0
+        assert series.rate_at(3.0) == 0.0
+
+    def test_integrate_is_exact(self):
+        series = _series([(1.0, 4.0), (3.0, 2.0), (5.0, 0.0)])
+        # 2s at 4 B/s + 2s at 2 B/s = 12 bytes.
+        assert series.integrate(0.0, 6.0) == pytest.approx(12.0)
+        # Partial windows clip on both sides: [2, 4] = 1s@4 + 1s@2.
+        assert series.integrate(2.0, 4.0) == pytest.approx(6.0)
+        assert series.integrate(4.0, 4.0) == 0.0
+
+    def test_mean_rate(self):
+        series = _series([(0.0, 4.0), (2.0, 0.0)])
+        assert series.mean_rate(0.0, 4.0) == pytest.approx(2.0)
+
+    def test_peak_global_vs_windowed(self):
+        series = _series([(0.0, 8.0), (1.0, 2.0), (5.0, 0.0)])
+        assert series.peak == 8.0
+        assert series.peak_in(2.0, 6.0) == 2.0
+        # A window opening mid-step sees the rate carried into it.
+        assert series.peak_in(0.5, 0.9) == 8.0
+
+    def test_busy_and_saturation_windows(self):
+        series = _series([(0.0, 9.6), (2.0, 5.0), (3.0, 9.5), (4.0, 0.0)])
+        assert series.busy_windows(9.5) == [(0.0, 2.0), (3.0, 4.0)]
+        assert series.saturation_windows(0.95) == [(0.0, 2.0), (3.0, 4.0)]
+
+    def test_still_open_window_closes_at_last_point(self):
+        series = _series([(0.0, 9.6)])
+        assert series.busy_windows(9.5) == [(0.0, 0.0)]
+
+    def test_zero_capacity_never_saturates(self):
+        series = _series([(0.0, 5.0)], capacity=0.0)
+        assert series.saturation_windows() == []
+
+    def test_samples_feed_the_sparkline(self):
+        series = _series([(0.0, 4.0), (2.0, 0.0)])
+        assert series.samples(buckets=4, start=0.0, end=4.0) == \
+            pytest.approx([4.0, 4.0, 0.0, 0.0])
+        assert series.samples(buckets=0) == []
+
+
+class TestLinkReport:
+    def _recorder(self):
+        recorder = Recorder()
+        # Link a: pinned at 80% the whole run.  Link b: brief 100% spike.
+        for t, link, rate in ((0.0, "a", 8.0), (0.0, "b", 0.0),
+                              (4.0, "b", 10.0), (4.5, "b", 0.0),
+                              (10.0, "a", 0.0)):
+            recorder._emit(LinkRate(t, link, "fwd", rate, capacity=10.0))
+        return recorder
+
+    def test_mean_utilization_ranks_hotter_than_peak(self):
+        reports = link_report(self._recorder())
+        assert [r.link for r in reports] == ["a", "b"]
+        assert reports[0].mean_utilization == pytest.approx(0.8)
+        assert reports[1].peak_utilization == pytest.approx(1.0)
+
+    def test_window_scoping_flips_the_ranking(self):
+        reports = link_report(self._recorder(), start=4.0, end=4.5)
+        assert reports[0].link == "b"
+        assert reports[0].peak == 10.0
+
+    def test_saturation_windows_clip_to_bounds(self):
+        reports = link_report(self._recorder(), start=4.25, end=10.0)
+        spiked = next(r for r in reports if r.link == "b")
+        assert spiked.windows == [(4.25, 4.5)]
+        assert spiked.saturated_s == pytest.approx(0.25)
+
+    def test_bytes_match_integration(self):
+        reports = link_report(self._recorder())
+        pinned = next(r for r in reports if r.link == "a")
+        assert pinned.bytes == pytest.approx(80.0)
+
+    def test_link_series_tracks_capacity_changes(self):
+        recorder = Recorder()
+        recorder._emit(LinkRate(0.0, "a", "fwd", 5.0, capacity=10.0))
+        recorder._emit(LinkRate(1.0, "a", "fwd", 2.0, capacity=5.0))
+        series = link_series(recorder)[("a", "fwd")]
+        assert series.capacity == 5.0
+        assert series.points == [(0.0, 5.0), (1.0, 2.0)]
+
+
+class _FakeSemaphore:
+    def __init__(self, label, in_use, waiting=0):
+        self.label = label
+        self._in_use = in_use
+        self._waiters = [None] * waiting
+
+
+class TestEngineOccupancy:
+    def test_busy_fraction(self):
+        recorder = Recorder()
+        recorder.engine_acquired(_FakeSemaphore("dma", 1), 1.0)
+        recorder.engine_released(_FakeSemaphore("dma", 0), 3.0)
+        recorder.last_time = 4.0
+        assert engine_occupancy(recorder) == {"dma": pytest.approx(0.5)}
+
+    def test_overlapping_holds_merge(self):
+        recorder = Recorder()
+        recorder.engine_acquired(_FakeSemaphore("dma", 1), 0.0)
+        recorder.engine_acquired(_FakeSemaphore("dma", 2), 1.0)
+        recorder.engine_released(_FakeSemaphore("dma", 1), 2.0)
+        recorder.engine_released(_FakeSemaphore("dma", 0), 4.0)
+        recorder.last_time = 4.0
+        assert engine_occupancy(recorder) == {"dma": pytest.approx(1.0)}
+
+    def test_still_held_extends_to_horizon(self):
+        recorder = Recorder()
+        recorder.engine_acquired(_FakeSemaphore("dma", 1), 1.0)
+        recorder.last_time = 5.0
+        assert engine_occupancy(recorder) == {"dma": pytest.approx(0.8)}
+
+    def test_empty_recorder(self):
+        assert engine_occupancy(Recorder()) == {}
+
+
+class TestFlowCountSeries:
+    def test_step_series_from_lifecycles(self):
+        recorder = Recorder()
+        a = FlowRecord(1, "a", 10.0, 0.0, ())
+        a.end = 2.0
+        b = FlowRecord(2, "b", 10.0, 1.0, ())
+        b.end = 3.0
+        in_flight = FlowRecord(3, "c", 10.0, 1.0, ())
+        recorder.flows.extend([a, b, in_flight])
+        assert flow_count_series(recorder) == [
+            (0.0, 1), (1.0, 3), (2.0, 2), (3.0, 1)]

@@ -31,6 +31,57 @@ class TestRecording:
         trace.record("A", "x", 0.0, end=1.0)
         trace.clear()
         assert trace.spans == []
+        assert trace.phases() == []
+        assert trace.phase_window("A") is None
+
+    def test_clear_keeps_ids_unique(self, trace):
+        first = trace.record("A", "x", 0.0, end=1.0)
+        trace.clear()
+        second = trace.record("A", "x", 0.0, end=1.0)
+        assert second.id > first.id
+
+
+class TestHierarchy:
+    def test_fresh_ids_are_unique(self, trace):
+        a = trace.record("A", "x", 0.0, end=1.0)
+        b = trace.record("B", "x", 1.0, end=2.0)
+        assert a.id != 0 and b.id != 0
+        assert a.id != b.id
+
+    def test_allocate_id_reserves_before_completion(self, trace):
+        reserved = trace.allocate_id()
+        later = trace.record("B", "x", 0.0, end=1.0)
+        span = trace.record("A", "x", 0.0, end=2.0, id=reserved)
+        assert span.id == reserved
+        assert later.id != reserved
+
+    def test_parent_stack_nests_spans(self, trace):
+        root = trace.allocate_id()
+        trace.push_parent(root)
+        assert trace.current_parent == root
+        child = trace.record("HtoD", "gpu0", 0.0, end=1.0)
+        assert trace.pop_parent() == root
+        orphan = trace.record("DtoH", "gpu0", 1.0, end=2.0)
+        assert child.parent == root
+        assert orphan.parent is None
+        assert trace.current_parent is None
+
+    def test_explicit_parent_wins_over_stack(self, trace):
+        other = trace.allocate_id()
+        trace.push_parent(trace.allocate_id())
+        span = trace.record("A", "x", 0.0, end=1.0, parent=other)
+        trace.pop_parent()
+        assert span.parent == other
+
+    def test_children_of(self, trace):
+        root = trace.allocate_id()
+        trace.push_parent(root)
+        trace.record("HtoD", "gpu0", 0.0, end=1.0)
+        trace.record("Sort", "gpu0", 1.0, end=2.0)
+        trace.pop_parent()
+        trace.record("Other", "gpu1", 0.0, end=1.0)
+        children = trace.children_of(root)
+        assert [span.phase for span in children] == ["HtoD", "Sort"]
 
 
 class TestReductions:
