@@ -84,6 +84,58 @@ class ScenarioResult:
         }
 
 
+@dataclass
+class RecoveryScenarioResult:
+    """Outcome of one supervised-recovery scenario.
+
+    Baseline is a *supervised* clean run, so the overhead column shows
+    the combined cost of checkpointing plus the actual recovery, not
+    checkpointing alone.
+    """
+
+    name: str
+    algorithm: str
+    kind: str              # "replan" | "speculate" | "deadline"
+    clean_s: float
+    faulted_s: float
+    degraded: bool
+    replans: int
+    checkpoints: int
+    checkpoints_restored: int
+    speculations: int
+    speculative_wins: int
+    deadline_exceeded: bool
+    completed_phases: int
+    excluded_gpus: Tuple[int, ...]
+    sorted_ok: bool
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.clean_s <= 0:
+            return 0.0
+        return 100.0 * (self.faulted_s - self.clean_s) / self.clean_s
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "kind": self.kind,
+            "supervised": True,
+            "clean_s": self.clean_s,
+            "faulted_s": self.faulted_s,
+            "overhead_pct": self.overhead_pct,
+            "degraded": self.degraded,
+            "replans": self.replans,
+            "checkpoints": self.checkpoints,
+            "checkpoints_restored": self.checkpoints_restored,
+            "speculations": self.speculations,
+            "speculative_wins": self.speculative_wins,
+            "deadline_exceeded": self.deadline_exceeded,
+            "completed_phases": self.completed_phases,
+            "excluded_gpus": list(self.excluded_gpus),
+            "sorted_ok": self.sorted_ok,
+        }
+
+
 def _sort(algorithm: str, machine: Machine, data: np.ndarray):
     from repro.sort import het_sort, p2p_sort  # deferred: the sort stack
 
@@ -126,14 +178,78 @@ def run_scenario(algorithm: str, intensity: float,
     )
 
 
+def run_recovery_scenario(algorithm: str, kind: str,
+                          seed: int = SEED) -> RecoveryScenarioResult:
+    """One supervised-clean + one supervised-faulted run.
+
+    ``kind`` picks the recovery path exercised: ``replan`` hard-fails a
+    GPU mid-run, ``speculate`` makes one GPU a 30x straggler shortly
+    after the sort starts — late enough that the start-of-sort
+    exclusion check cannot pre-empt it, early enough that the window
+    still covers the local-sort kernel launches, so the supervisor has
+    to race a backup — and ``deadline`` gives the sort half its clean
+    duration and expects a typed partial result.
+    """
+    from repro.faults.events import GpuFail, StragglerGpu
+    from repro.recovery import SortSupervisor, SupervisorConfig
+
+    scale = BILLIONS * 1e9 / PHYSICAL_KEYS
+    data = generate(PHYSICAL_KEYS, "uniform", np.int32, seed=42)
+
+    clean_machine = Machine(dgx_a100(), scale=scale, fast_functional=True)
+    clean = SortSupervisor(clean_machine).sort(data, algorithm=algorithm)
+
+    config = SupervisorConfig()
+    events = ()
+    if kind == "replan":
+        events = (GpuFail(at=0.4 * clean.duration, gpu=3),)
+    elif kind == "speculate":
+        events = (StragglerGpu(at=0.15 * clean.duration, gpu=3,
+                               duration=100.0, slowdown=30.0),)
+    elif kind == "deadline":
+        config = SupervisorConfig(deadline_s=0.5 * clean.duration)
+    else:
+        raise ValueError(f"unknown recovery scenario kind {kind!r}")
+
+    machine = Machine(dgx_a100(), scale=scale, fast_functional=True)
+    if events:
+        machine.install_faults(FaultPlan(events=events, seed=seed))
+    result = SortSupervisor(machine, config).sort(data,
+                                                  algorithm=algorithm)
+
+    sorted_ok = (result.output is not None
+                 and bool(np.all(np.diff(result.output) >= 0)))
+    return RecoveryScenarioResult(
+        name=f"sup-{algorithm}-{kind}",
+        algorithm=algorithm,
+        kind=kind,
+        clean_s=clean.duration,
+        faulted_s=result.duration,
+        degraded=result.degraded,
+        replans=result.replans,
+        checkpoints=result.checkpoints,
+        checkpoints_restored=result.checkpoints_restored,
+        speculations=result.speculations,
+        speculative_wins=result.speculative_wins,
+        deadline_exceeded=result.deadline_exceeded,
+        completed_phases=len(result.completed_phases),
+        excluded_gpus=result.excluded_gpus,
+        sorted_ok=sorted_ok,
+    )
+
+
 def run_resilience(quick: bool = False,
                    json_path: Optional[str] = "BENCH_resilience.json"
-                   ) -> Table:
-    """Run the resilience suite and build its table.
+                   ) -> List[Table]:
+    """Run the resilience suite and build its tables.
 
-    ``quick`` sweeps a single fault intensity per algorithm; the full
-    suite sweeps three.  Both write ``json_path`` — the JSON record is
-    the experiment's artifact, not a by-product.
+    Two parts: plain sorts surviving fault plans of increasing
+    intensity, and supervised sorts recovering from targeted failures
+    (replan, speculation, deadline).  ``quick`` sweeps one intensity
+    per algorithm and runs only the replan recovery scenarios.  Both
+    modes write ``json_path`` — the JSON record is the experiment's
+    artifact, not a by-product; the recovery scenarios add new
+    ``sup-*`` keys to its ``scenarios`` mapping.
     """
     intensities = [1.0] if quick else [0.5, 1.0, 2.0]
     results: List[ScenarioResult] = []
@@ -141,6 +257,15 @@ def run_resilience(quick: bool = False,
         for index, intensity in enumerate(intensities):
             results.append(run_scenario(algorithm, intensity,
                                         seed=SEED + index))
+
+    if quick:
+        recovery_specs = [("p2p", "replan"), ("het", "replan")]
+    else:
+        recovery_specs = [("p2p", "replan"), ("het", "replan"),
+                          ("p2p", "speculate"), ("p2p", "deadline")]
+    recovery: List[RecoveryScenarioResult] = []
+    for algorithm, kind in recovery_specs:
+        recovery.append(run_recovery_scenario(algorithm, kind, seed=SEED))
 
     table = Table(
         ["scenario", "faults", "clean [s]", "faulted [s]", "overhead",
@@ -157,23 +282,44 @@ def run_resilience(quick: bool = False,
             "yes" if result.degraded else "no",
             "yes" if result.sorted_ok else "NO")
 
+    recovery_table = Table(
+        ["scenario", "clean [s]", "faulted [s]", "overhead", "replans",
+         "ckpts", "restored", "spec", "spec wins", "phases", "outcome"],
+        title="Supervised recovery (clean baseline is a supervised run)")
+    for rec in recovery:
+        if rec.deadline_exceeded:
+            outcome = "deadline (typed partial)"
+        elif rec.sorted_ok:
+            outcome = "sorted"
+        else:
+            outcome = "NOT SORTED"
+        recovery_table.add_row(
+            rec.name, f"{rec.clean_s:.3f}", f"{rec.faulted_s:.3f}",
+            f"{rec.overhead_pct:+.1f}%", rec.replans,
+            rec.checkpoints, rec.checkpoints_restored,
+            rec.speculations, rec.speculative_wins,
+            rec.completed_phases, outcome)
+
     if json_path:
+        scenarios: Dict[str, object] = {r.name: r.to_json()
+                                        for r in results}
+        scenarios.update({r.name: r.to_json() for r in recovery})
         record = {
             "benchmark": "resilience",
             "seed": SEED,
             "quick": quick,
             "physical_keys": PHYSICAL_KEYS,
             "billions": BILLIONS,
-            "scenarios": {r.name: r.to_json() for r in results},
+            "scenarios": scenarios,
         }
         write_bench_record(json_path, record, seed=SEED)
-    return table
+    return [table, recovery_table]
 
 
 #: Set by the command line's ``--quick`` flag before the registry runs.
 QUICK = False
 
 
-def run_resilience_entry() -> Table:
+def run_resilience_entry() -> List[Table]:
     """Registry entry point; honours the command line's ``--quick``."""
     return run_resilience(quick=QUICK)

@@ -45,3 +45,22 @@ class CopyTimeoutError(TransferError):
 
 class DeviceFaultError(ReproError):
     """A GPU failed hard (injected device fault); not retryable."""
+
+
+class DeadlineExceededError(SortError):
+    """A supervised sort ran past its deadline budget.
+
+    Raised internally when the :class:`~repro.recovery.SortSupervisor`
+    cancels a phase mid-flight; the supervisor converts it into a typed
+    partial :class:`~repro.sort.result.SortResult` rather than letting
+    it escape to the caller.
+    """
+
+
+class RecoveryError(SortError):
+    """A supervised sort could not be re-planned onto the survivors.
+
+    Covers exhausted replan budgets and unrestorable checkpoints; the
+    all-GPUs-failed case raises a plain :class:`SortError` (same as the
+    unsupervised sorts) so callers can treat both uniformly.
+    """

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import DeviceFaultError, TopologyError, TransientTransferError
+from repro.errors import DeviceFaultError, TransientTransferError
 from repro.faults.events import (
     CopyEngineStall,
     GpuFail,
@@ -39,7 +39,7 @@ from repro.faults.events import (
     TransientTransfer,
 )
 from repro.faults.plan import FaultPlan
-from repro.sim.engine import Event
+from repro.sim.engine import Event, SimulationError
 from repro.sim.flows import Flow
 from repro.sim.resources import Resource
 
@@ -89,15 +89,26 @@ class FaultInjector:
         #: GPUs hard-failed so far (runtime view; the plan is the truth
         #: for :meth:`failed_gpu_ids`, this powers the kill sweep).
         self._failed: Set[int] = set()
+        #: gpu id -> event fired the instant the GPU hard-fails (created
+        #: lazily by :meth:`fail_event`; kernels race against it).
+        self._fail_events: Dict[int, Event] = {}
         self._by_name = self._resource_catalog()
         self._rng = np.random.default_rng(plan.seed)
         # Resolve every symbolic target eagerly so a typo in a plan
         # fails at install time, not halfway through a chaos run.
+        # Unknown names and out-of-range GPU ids are plan bugs, not
+        # topology or runtime-API misuse, so both raise SimulationError
+        # (negative ids would otherwise silently hit Python's negative
+        # indexing and fault the *wrong* GPU).
         for event in plan.events:
             if isinstance(event, (LinkDegradation, LinkDown)):
                 self._resource(event.resource)
             elif isinstance(event, (CopyEngineStall, StragglerGpu, GpuFail)):
-                machine.device(event.gpu)
+                if not 0 <= event.gpu < machine.num_gpus:
+                    raise SimulationError(
+                        f"fault plan references unknown GPU {event.gpu} "
+                        f"on {machine.spec.name} "
+                        f"({machine.num_gpus} GPUs) in {event!r}")
         for event in plan.events:
             self.env.process(self._drive(event))
 
@@ -116,9 +127,10 @@ class FaultInjector:
         try:
             return self._by_name[name]
         except KeyError:
-            raise TopologyError(
+            raise SimulationError(
                 f"fault plan names unknown resource {name!r} on "
-                f"{self.machine.spec.name}") from None
+                f"{self.machine.spec.name} (known: "
+                f"{', '.join(sorted(self._by_name))})") from None
 
     # -- queries used by the resilient runtime and the sorts ---------------
     @property
@@ -143,6 +155,53 @@ class FaultInjector:
         now = self.env.now
         return {event.gpu for event in self.plan.events
                 if isinstance(event, GpuFail) and event.at <= now}
+
+    def is_failed(self, gpu: int) -> bool:
+        """Whether ``gpu`` has hard-failed by now (runtime view)."""
+        return gpu in self._failed
+
+    def fail_event(self, gpu: int) -> Event:
+        """Event fired the instant ``gpu`` hard-fails.
+
+        Stays pending forever for GPUs that never fail; already-dead
+        GPUs get an already-succeeded event.
+        """
+        event = self._fail_events.get(gpu)
+        if event is None:
+            event = self._fail_events[gpu] = self.env.event()
+            if gpu in self._failed:
+                event.succeed()
+        return event
+
+    def check_device(self, device) -> None:
+        """Raise :class:`~repro.errors.DeviceFaultError` if dead.
+
+        Called by the runtime before touching a device (new copies,
+        allocations, kernel launches) so work issued *after* a GPU
+        fails errors out instead of silently completing on a corpse.
+        """
+        if device.id in self._failed:
+            raise DeviceFaultError(
+                f"{device.name} has hard-failed; no new work can be "
+                "issued to it")
+
+    def run_on_device(self, device, duration):
+        """Process: a kernel's timed section, racing the device's death.
+
+        Replaces the plain ``timeout(duration)`` of kernel launches when
+        a fault plan is installed: if the device hard-fails before the
+        kernel retires, the launch fails with
+        :class:`~repro.errors.DeviceFaultError` (its functional effect
+        never applies — the data on the dead GPU is gone).
+        """
+        self.check_device(device)
+        timeout = self.env.timeout(duration)
+        died = self.fail_event(device.id)
+        yield self.env.any_of([timeout, died])
+        if device.id in self._failed and not timeout.triggered:
+            raise DeviceFaultError(
+                f"{device.name} failed {self.env.now:.6f}s into a "
+                "running kernel")
 
     def straggler_factor(self, gpu: int) -> float:
         """Largest straggler slowdown active on ``gpu`` right now."""
@@ -329,6 +388,9 @@ class FaultInjector:
     def _run_gpu_fail(self, event: GpuFail) -> None:
         device = self.machine.device(event.gpu)
         self._failed.add(event.gpu)
+        fail_event = self._fail_events.get(event.gpu)
+        if fail_event is not None and not fail_event.triggered:
+            fail_event.succeed()
         # Permanent: the timeline window stays open, the trace gets an
         # instantaneous marker at the moment of death.
         self._open("gpu_fail", device.name)

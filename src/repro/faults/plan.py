@@ -17,15 +17,64 @@ from typing import TYPE_CHECKING, Optional, Tuple
 import numpy as np
 
 from repro.faults.events import (
+    CopyEngineStall,
     FaultEvent,
+    GpuFail,
     LinkDegradation,
     LinkDown,
     StragglerGpu,
     TransientTransfer,
 )
+from repro.sim.engine import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.systems import SystemSpec
+
+
+def _validate_event(event: FaultEvent) -> None:
+    """Reject malformed events with a :class:`SimulationError` up front.
+
+    A negative duration (or a window that would end before it starts)
+    would otherwise only explode deep inside the injector's driver
+    process as a ``negative delay`` at fire time — or, worse, silently
+    inject nothing; GPU ids are checked for sign here and for range at
+    install time (plans are machine-independent data).  Symbolic
+    resource names stay lazily validated against the topology at
+    install, so hand-written plans remain plain data.
+    """
+    if not isinstance(event.at, (int, float)) or event.at < 0:
+        raise SimulationError(
+            f"fault event start time must be >= 0, got {event.at!r} "
+            f"in {event!r}")
+    duration = getattr(event, "duration", None)
+    if duration is not None and duration <= 0:
+        raise SimulationError(
+            f"fault window must have a positive duration (the window "
+            f"[{event.at}, {event.at + duration}] ends before or at its "
+            f"start) in {event!r}")
+    if isinstance(event, (CopyEngineStall, StragglerGpu, GpuFail)):
+        if not isinstance(event.gpu, int) or event.gpu < 0:
+            raise SimulationError(
+                f"fault event references invalid GPU id {event.gpu!r} "
+                f"(ids are non-negative integers) in {event!r}")
+    if isinstance(event, LinkDegradation) and not 0.0 < event.factor <= 1.0:
+        raise SimulationError(
+            f"degradation factor must be in (0, 1], got {event.factor!r} "
+            f"in {event!r}")
+    if isinstance(event, StragglerGpu) and event.slowdown < 1.0:
+        raise SimulationError(
+            f"straggler slowdown must be >= 1, got {event.slowdown!r} "
+            f"in {event!r}")
+    if isinstance(event, (LinkDegradation, LinkDown)):
+        if not event.resource or not isinstance(event.resource, str):
+            raise SimulationError(
+                f"fault event needs a non-empty resource name, got "
+                f"{event.resource!r} in {event!r}")
+    if (isinstance(event, CopyEngineStall)
+            and event.direction not in ("in", "out", "both")):
+        raise SimulationError(
+            f"engine stall direction must be 'in', 'out' or 'both', "
+            f"got {event.direction!r} in {event!r}")
 
 
 @dataclass(frozen=True)
@@ -47,6 +96,8 @@ class FaultPlan:
             raise ValueError(
                 f"transient_failure_prob must be in [0, 1), got "
                 f"{self.transient_failure_prob}")
+        for event in self.events:
+            _validate_event(event)
         object.__setattr__(self, "events",
                            tuple(sorted(self.events, key=lambda e: e.at)))
 

@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 from repro.bench.report import Table
 from repro.data import DISTRIBUTIONS, generate, key_dtype
+from repro.errors import ReproError
 from repro.hw import system_by_name
 from repro.obs.diff import diff_files, format_diff
 from repro.obs.telemetry import (
@@ -74,6 +75,17 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-horizon", type=float, default=0.4,
                         help="simulated-seconds span the fault windows "
                              "land in")
+    parser.add_argument("--supervised", action="store_true",
+                        help="run under the self-healing SortSupervisor "
+                             "(checkpoints, replanning, speculation)")
+    parser.add_argument("--kill-gpu", type=int, default=None,
+                        metavar="GPU",
+                        help="hard-fail this GPU mid-run (pair with "
+                             "--supervised to trace a replanned run)")
+    parser.add_argument("--kill-at", type=float, default=0.5,
+                        metavar="T",
+                        help="simulated time of the --kill-gpu failure "
+                             "(default 0.5)")
 
 
 def _run_instrumented(args):
@@ -88,12 +100,26 @@ def _run_instrumented(args):
     scale = max(1.0, logical / physical)
     machine = Machine(spec, scale=scale, fast_functional=True)
     recorder = machine.enable_observability()
-    if args.faults > 0:
+    fault_events = []
+    if getattr(args, "kill_gpu", None) is not None:
+        from repro.faults.events import GpuFail
+
+        fault_events.append(GpuFail(at=args.kill_at, gpu=args.kill_gpu))
+    if args.faults > 0 or fault_events:
         from repro.faults.plan import FaultPlan
 
-        machine.install_faults(FaultPlan.generate(
-            spec, seed=args.seed, intensity=args.faults,
-            horizon=args.fault_horizon))
+        if args.faults > 0:
+            base = FaultPlan.generate(
+                spec, seed=args.seed, intensity=args.faults,
+                horizon=args.fault_horizon)
+            fault_events.extend(base.events)
+            plan = FaultPlan(events=tuple(fault_events),
+                             transient_failure_prob=
+                             base.transient_failure_prob,
+                             seed=args.seed)
+        else:
+            plan = FaultPlan(events=tuple(fault_events))
+        machine.install_faults(plan)
     keys = generate(physical, args.distribution, key_dtype("int"),
                     seed=args.seed)
     gpu_ids = args.gpus
@@ -102,7 +128,14 @@ def _run_instrumented(args):
         while count * 2 <= spec.num_gpus:
             count *= 2
         gpu_ids = spec.preferred_gpu_set(count)
-    result = _ALGORITHMS[args.algorithm](machine, keys, gpu_ids=gpu_ids)
+    if getattr(args, "supervised", False):
+        from repro.recovery import SortSupervisor
+
+        result = SortSupervisor(machine).sort(
+            keys, algorithm=args.algorithm, gpu_ids=gpu_ids)
+    else:
+        result = _ALGORITHMS[args.algorithm](machine, keys,
+                                             gpu_ids=gpu_ids)
     return machine, recorder, result
 
 
@@ -234,7 +267,13 @@ def cmd_summary(args) -> int:
 
 
 def cmd_diff(args) -> int:
-    result = diff_files(args.old, args.new, threshold=args.threshold)
+    try:
+        result = diff_files(args.old, args.new, threshold=args.threshold)
+    except ReproError as exc:
+        # Malformed inputs (missing file, bad JSON, legacy schema-less
+        # record) exit 2 — distinct from exit 1, a real regression.
+        print(f"diff error: {exc}", file=sys.stderr)
+        return 2
     print(format_diff(result, verbose=args.verbose))
     return 0 if result.ok else 1
 

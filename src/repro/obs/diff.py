@@ -70,6 +70,14 @@ class DiffResult:
     only_new: List[str]
     comparable: bool
     threshold: float
+    #: Per-scenario diagnostics for entries that could not be compared
+    #: (e.g. a scenario value that is not a metrics mapping).  These are
+    #: reported, not fatal: the rest of the record still diffs.
+    problems: List[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.problems is None:
+            self.problems = []
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -86,12 +94,37 @@ class DiffResult:
 
 
 def load_bench(path: str) -> Dict[str, object]:
-    """Load one benchmark record, validating the minimal shape."""
-    with open(path, "r", encoding="utf-8") as handle:
-        record = json.load(handle)
-    if not isinstance(record, dict) or "scenarios" not in record:
+    """Load one benchmark record, validating the minimal shape.
+
+    Every malformed input — missing file, invalid JSON, a legacy
+    schema-less record without a ``scenarios`` mapping — raises
+    :class:`~repro.errors.ReproError` with a diagnostic naming what was
+    actually found, so the CLI can report it and exit cleanly instead
+    of surfacing a raw ``KeyError`` or traceback.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read benchmark record {path}: "
+                         f"{exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(record, dict):
         raise ReproError(
-            f"{path} is not a benchmark record (no 'scenarios' key)")
+            f"{path} is not a benchmark record: expected a JSON object, "
+            f"got {type(record).__name__}")
+    if "scenarios" not in record:
+        keys = ", ".join(sorted(map(str, record))) or "(empty)"
+        raise ReproError(
+            f"{path} is not a benchmark record (no 'scenarios' key; "
+            f"top-level keys: {keys}).  Legacy schema-less BENCH files "
+            f"need re-generating with the current bench harness.")
+    if not isinstance(record["scenarios"], dict):
+        raise ReproError(
+            f"{path}: 'scenarios' must be an object mapping scenario "
+            f"names to metrics, got "
+            f"{type(record['scenarios']).__name__}")
     return record
 
 
@@ -123,7 +156,20 @@ def diff_records(old: Dict[str, object], new: Dict[str, object],
             and old_prov.get("config_hash") and new_prov.get("config_hash")):
         comparable = old_prov["config_hash"] == new_prov["config_hash"]
     deltas: List[MetricDelta] = []
+    problems: List[str] = []
     for name in sorted(set(old_scenarios) & set(new_scenarios)):
+        bad = False
+        for side, scenarios in (("old", old_scenarios),
+                                ("new", new_scenarios)):
+            entry = scenarios[name]
+            if not isinstance(entry, dict):
+                problems.append(
+                    f"scenario '{name}' in the {side} record is "
+                    f"{type(entry).__name__}, not a metrics mapping — "
+                    f"skipped")
+                bad = True
+        if bad:
+            continue
         before = _numeric_metrics(old_scenarios[name])
         after = _numeric_metrics(new_scenarios[name])
         for metric in sorted(set(before) & set(after)):
@@ -146,7 +192,8 @@ def diff_records(old: Dict[str, object], new: Dict[str, object],
         only_old=sorted(set(old_scenarios) - set(new_scenarios)),
         only_new=sorted(set(new_scenarios) - set(old_scenarios)),
         comparable=comparable,
-        threshold=threshold)
+        threshold=threshold,
+        problems=problems)
 
 
 def diff_files(old_path: str, new_path: str,
@@ -163,6 +210,8 @@ def format_diff(result: DiffResult, verbose: bool = False) -> str:
     if not result.comparable:
         lines.append("WARNING: config hashes differ — records were made "
                      "from different configurations")
+    for problem in result.problems:
+        lines.append(f"WARNING: {problem}")
     for label, scenarios in (("only in old", result.only_old),
                              ("only in new", result.only_new)):
         if scenarios:

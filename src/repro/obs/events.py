@@ -206,3 +206,60 @@ class EngineSample(ObsEvent):
         super().__init__(t)
         self.queue_depth = queue_depth
         self.events_processed = events_processed
+
+
+class Replan(ObsEvent):
+    """A supervised sort re-planned after a mid-phase failure.
+
+    ``phase`` is where the failure landed, ``reason`` the triggering
+    exception rendered to a string, ``dead_gpus`` the GPUs dropped by
+    this replan and ``survivors`` the working set going forward.
+    """
+
+    __slots__ = ("phase", "reason", "dead_gpus", "survivors")
+    kind = "replan"
+
+    def __init__(self, t: float, phase: str, reason: str,
+                 dead_gpus: Tuple[int, ...], survivors: Tuple[int, ...]):
+        super().__init__(t)
+        self.phase = phase
+        self.reason = reason
+        self.dead_gpus = dead_gpus
+        self.survivors = survivors
+
+
+class Checkpoint(ObsEvent):
+    """A supervised sort wrote (or restored) a phase checkpoint.
+
+    ``staged_chunks`` counts the chunk payloads durably host-staged by
+    this checkpoint; ``restored`` marks the recovery-side use of one.
+    """
+
+    __slots__ = ("phase", "staged_chunks", "restored")
+    kind = "checkpoint"
+
+    def __init__(self, t: float, phase: str, staged_chunks: int,
+                 restored: bool = False):
+        super().__init__(t)
+        self.phase = phase
+        self.staged_chunks = staged_chunks
+        self.restored = restored
+
+
+class Speculation(ObsEvent):
+    """A speculative backup execution was launched or resolved.
+
+    ``outcome`` is ``"launched"``, ``"won"`` (backup beat the straggler,
+    which was cancelled) or ``"lost"`` (the original finished first).
+    """
+
+    __slots__ = ("phase", "straggler", "helper", "outcome")
+    kind = "speculation"
+
+    def __init__(self, t: float, phase: str, straggler: str, helper: str,
+                 outcome: str):
+        super().__init__(t)
+        self.phase = phase
+        self.straggler = straggler
+        self.helper = helper
+        self.outcome = outcome

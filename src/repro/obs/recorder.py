@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.events import (
+    Checkpoint,
     EngineAcquire,
     EngineRelease,
     EngineSample,
@@ -46,6 +47,8 @@ from repro.obs.events import (
     KernelLaunch,
     LinkRate,
     ObsEvent,
+    Replan,
+    Speculation,
     StreamOp,
 )
 from repro.obs.metrics import MetricsRegistry
@@ -226,6 +229,29 @@ class Recorder:
         """Hook: a fault window closed."""
         self._emit(FaultClose(now, kind, target, opened))
         self.metrics.counter("faults.window_seconds").inc(now - opened)
+
+    # -- recovery hooks ------------------------------------------------------
+    def replanned(self, phase: str, reason: str, dead_gpus, survivors,
+                  now: float) -> None:
+        """Hook: a supervised sort re-planned after a mid-phase failure."""
+        self._emit(Replan(now, phase, reason, tuple(dead_gpus),
+                          tuple(survivors)))
+        self.metrics.counter("recovery.replans").inc()
+
+    def checkpointed(self, phase: str, staged_chunks: int, now: float,
+                     restored: bool = False) -> None:
+        """Hook: a phase checkpoint was written (or restored)."""
+        self._emit(Checkpoint(now, phase, staged_chunks, restored=restored))
+        if restored:
+            self.metrics.counter("recovery.checkpoints_restored").inc()
+        else:
+            self.metrics.counter("recovery.checkpoints").inc()
+
+    def speculated(self, phase: str, straggler: str, helper: str,
+                   outcome: str, now: float) -> None:
+        """Hook: a speculative backup was launched or resolved."""
+        self._emit(Speculation(now, phase, straggler, helper, outcome))
+        self.metrics.counter(f"recovery.speculation.{outcome}").inc()
 
     # -- kernel / stream hooks ---------------------------------------------
     def kernel_launched(self, device: str, phase: str, bytes: float,

@@ -1,0 +1,297 @@
+"""The self-healing sort supervisor.
+
+:class:`SortSupervisor` runs a multi-GPU sort as a sequence of
+checkpointed phases (see :mod:`repro.recovery`).  Each phase executes
+under a :class:`~repro.recovery.tasks.TaskGroup` in its own
+``machine.run`` call, so between phases the supervisor is back on the
+host side of the simulation and can react to what happened:
+
+* **success** — write the phase's :class:`PhaseCheckpoint` (optionally
+  staging chunk payloads to host memory first) and move on;
+* **device/transfer failure** — *replan*: drop the dead GPUs, rebuild
+  the remaining phase queue over the survivors from the last restorable
+  checkpoint, and resume;
+* **deadline** — cancel outstanding flows and kernels cleanly and
+  return a typed partial :class:`~repro.sort.result.SortResult` with
+  ``deadline_exceeded=True``.
+
+The per-algorithm phase logic lives in
+:mod:`repro.recovery.p2p_run` and :mod:`repro.recovery.het_run`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import (
+    DeadlineExceededError,
+    DeviceFaultError,
+    RecoveryError,
+    SortError,
+    TransferError,
+)
+from repro.recovery.checkpoint import PhaseCheckpoint, RecoveryStats
+from repro.recovery.tasks import TaskGroup
+from repro.runtime.buffer import HostBuffer
+from repro.runtime.context import Machine
+from repro.sort.gpu_set import surviving_gpu_ids
+from repro.sort.result import SortResult
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunables of the self-healing supervisor."""
+
+    #: Single-GPU sort primitive for every on-device sort.
+    primitive: str = "thrust"
+    #: Stage each GPU's sorted run to host memory after the local sort
+    #: (a restorable checkpoint; costs one extra DtoH per chunk).
+    checkpoint_sorted_chunks: bool = True
+    #: Stage the merged chunks after the exchange phase; any later
+    #: failure then resolves entirely from host memory.
+    checkpoint_merged_chunks: bool = True
+    #: Replans allowed before the run fails with
+    #: :class:`~repro.errors.RecoveryError`.
+    max_replans: int = 8
+    #: Wall-clock budget in simulated seconds; ``None`` disables it.
+    deadline_s: Optional[float] = None
+    #: Launch speculative backups for straggling local sorts.
+    speculation: bool = True
+    #: A task is a straggler once the phase has run past this multiple
+    #: of the median completed-task duration.
+    speculation_multiple: float = 2.0
+    #: Fraction of a phase's tasks that must finish before the median
+    #: is trusted (quorum for arming speculation).
+    speculation_quorum: float = 0.5
+    #: When the survivors cannot hold the redistributed chunks, fall
+    #: back to a host-side multiway merge of the staged runs instead of
+    #: failing the run.
+    cpu_merge_fallback: bool = True
+
+
+class SortSupervisor:
+    """Runs checkpointed, re-plannable sorts on one machine."""
+
+    def __init__(self, machine: Machine,
+                 config: Optional[SupervisorConfig] = None):
+        self.machine = machine
+        self.config = config or SupervisorConfig()
+        self.rec = RecoveryStats()
+        self.checkpoints: List[PhaseCheckpoint] = []
+        self.excluded: tuple = ()
+
+    # -- bookkeeping hooks the drivers call --------------------------------
+    def note_checkpoint(self, ck: PhaseCheckpoint) -> None:
+        self.checkpoints.append(ck)
+        self.rec.checkpoints += 1
+        if self.machine.obs is not None:
+            staged = len(ck.payloads) if ck.payloads is not None else 0
+            self.machine.obs.checkpointed(ck.phase, staged, ck.at)
+
+    def note_restored(self, phase: str, staged: int) -> None:
+        self.rec.checkpoints_restored += 1
+        if self.machine.obs is not None:
+            self.machine.obs.checkpointed(phase, staged,
+                                          self.machine.env.now,
+                                          restored=True)
+
+    def last_restorable(self) -> Optional[PhaseCheckpoint]:
+        for ck in reversed(self.checkpoints):
+            if ck.restorable:
+                return ck
+        return None
+
+    # -- the supervised run ------------------------------------------------
+    def sort(self, data: Union[np.ndarray, HostBuffer],
+             algorithm: str = "p2p",
+             gpu_ids: Optional[Sequence[int]] = None,
+             **driver_kwargs) -> SortResult:
+        """Run a supervised sort; returns a :class:`SortResult`.
+
+        ``algorithm`` is ``"p2p"`` or ``"het"``.  Keys only — the
+        supervised paths do not carry value payloads (use the plain
+        sorts for key-value records).  Extra keyword arguments go to
+        the algorithm driver (``p2p_config=`` / ``het_config=``).
+        """
+        machine = self.machine
+        if algorithm == "p2p":
+            from repro.recovery.p2p_run import P2PRun as driver_cls
+        elif algorithm == "het":
+            from repro.recovery.het_run import HetRun as driver_cls
+        else:
+            raise SortError(f"unknown supervised algorithm {algorithm!r} "
+                            "(expected 'p2p' or 'het')")
+
+        if isinstance(data, HostBuffer):
+            host_in = data
+        else:
+            host_in = machine.host_buffer(np.asarray(data))
+        if len(host_in.data) == 0:
+            raise SortError("cannot sort an empty array")
+
+        ids = self._initial_ids(algorithm, gpu_ids)
+        driver = driver_cls(self, host_in, ids, **driver_kwargs)
+
+        env = machine.env
+        start = env.now
+        stats_before = machine.resilience_stats.snapshot()
+        deadline = (env.timeout(self.config.deadline_s)
+                    if self.config.deadline_s is not None else None)
+        root_id = None
+        if machine.obs is not None:
+            root_id = machine.trace.allocate_id()
+            machine.trace.push_parent(root_id)
+
+        deadline_hit = False
+        try:
+            while driver.queue:
+                name = driver.queue[0]
+                try:
+                    self._run_phase(name, driver.body(name), deadline)
+                    ck_body = driver.checkpoint_body(name)
+                    if ck_body is not None:
+                        self._run_phase(f"{name}:checkpoint", ck_body,
+                                        deadline)
+                    driver.after_phase(name)
+                    self.rec.completed(name)
+                    driver.queue.pop(0)
+                except DeadlineExceededError:
+                    deadline_hit = True
+                    break
+                except (DeviceFaultError, TransferError) as exc:
+                    self._replan(driver, name, exc)
+        finally:
+            driver.cleanup()
+            if root_id is not None:
+                machine.trace.pop_parent()
+                machine.trace.record(
+                    "SupervisedSort", "supervisor", start,
+                    bytes=host_in.data.nbytes * machine.scale, id=root_id)
+
+        duration = env.now - start
+        output = None if deadline_hit else driver.finalize()
+        recovery = machine.resilience_stats.delta(stats_before)
+        fault_downtime = (machine.faults.downtime_between(start, env.now)
+                          if machine.faults is not None else 0.0)
+        degraded = bool(self.excluded or self.rec.replans
+                        or self.rec.speculative_wins or recovery.retries
+                        or recovery.reroutes or recovery.timeouts
+                        or fault_downtime > 0.0)
+        phase_names = ("Redistribute", "HtoD", "Sort", "Merge", "DtoH",
+                       "Checkpoint", "Restore", "Speculate")
+        phases = {phase: value for phase, value in
+                  machine.trace.phase_durations().items()
+                  if phase in phase_names}
+        return SortResult(
+            algorithm=f"supervised-{algorithm}",
+            system=machine.spec.name,
+            gpu_ids=driver.ids,
+            physical_keys=len(host_in.data),
+            logical_keys=len(host_in.data) * machine.scale,
+            dtype=str(host_in.dtype),
+            duration=duration,
+            phase_durations=phases,
+            output=output,
+            degraded=degraded,
+            retries=recovery.retries,
+            reroutes=recovery.reroutes,
+            timeouts=recovery.timeouts,
+            fault_downtime=fault_downtime,
+            excluded_gpus=self.excluded,
+            replans=self.rec.replans,
+            checkpoints=self.rec.checkpoints,
+            checkpoints_restored=self.rec.checkpoints_restored,
+            speculations=self.rec.speculations,
+            speculative_wins=self.rec.speculative_wins,
+            deadline_exceeded=deadline_hit,
+            completed_phases=self.rec.completed_phases,
+            **driver.result_fields(),
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _initial_ids(self, algorithm: str,
+                     gpu_ids: Optional[Sequence[int]]) -> tuple:
+        machine = self.machine
+        ids = tuple(gpu_ids) if gpu_ids is not None else None
+        if ids is None:
+            if algorithm == "p2p":
+                count = min(machine.num_gpus,
+                            1 << int(math.log2(machine.num_gpus)))
+                ids = machine.spec.preferred_gpu_set(count)
+            else:
+                ids = machine.spec.preferred_gpu_set(machine.num_gpus)
+        if len(set(ids)) != len(ids):
+            raise SortError(f"duplicate GPU ids in {ids}")
+        if machine.faults is not None:
+            survivors, excluded = surviving_gpu_ids(machine, ids)
+            if not survivors:
+                raise SortError(
+                    f"no healthy GPUs left in {ids}: all failed or "
+                    "straggling past the exclusion factor")
+            self.excluded = excluded
+            ids = survivors
+        if algorithm == "p2p":
+            keep = 1 << int(math.log2(len(ids)))
+            ids = tuple(ids[:keep])
+        return tuple(ids)
+
+    def _run_phase(self, name: str, body, deadline) -> None:
+        """One phase = one ``machine.run`` of a task-group runner.
+
+        The runner raises at most one exception (the phase's recorded
+        failure or the deadline); the quiesce in the except path is a
+        backstop that tears down any task the runner could not reap
+        before the supervisor reacts to the error.
+        """
+        env = self.machine.env
+        group = TaskGroup(env, name=name)
+        runner = env.process(group.run(body(group), deadline=deadline))
+        try:
+            self.machine.run(runner)
+        except BaseException:
+            self._quiesce(group, runner)
+            raise
+
+    def _quiesce(self, group: TaskGroup, runner) -> None:
+        """Force-drain a failed phase so no task outlives it."""
+        env = self.machine.env
+        for _attempt in range(100):
+            group.cancelled = True
+            leftovers = group.alive()
+            if runner.is_alive:
+                leftovers.append(runner)
+            if not leftovers:
+                return
+            for proc in leftovers:
+                group.interrupt_task(proc)
+            try:
+                env.run(until=env.all_of(leftovers))
+            except BaseException:  # noqa: BLE001 - keep draining
+                continue
+
+    def _replan(self, driver, phase: str, exc: BaseException) -> None:
+        machine = self.machine
+        self.rec.replans += 1
+        if self.rec.replans > self.config.max_replans:
+            raise RecoveryError(
+                f"giving up after {self.config.max_replans} replans "
+                f"(last failure in {phase}: {exc})") from exc
+        survivors, excluded_now = surviving_gpu_ids(machine, driver.ids)
+        if not survivors:
+            raise SortError(
+                f"no healthy GPUs left in {driver.ids}: all failed or "
+                "straggling past the exclusion factor") from exc
+        dead = tuple(gpu for gpu in driver.ids if gpu not in survivors)
+        for gpu in excluded_now:
+            if gpu not in self.excluded:
+                self.excluded = self.excluded + (gpu,)
+        now = machine.env.now
+        machine.trace.record("Replan", "supervisor", now)
+        if machine.obs is not None:
+            machine.obs.replanned(phase, type(exc).__name__, dead,
+                                  survivors, now)
+        driver.replan(phase, survivors, exc)

@@ -68,6 +68,9 @@ class Device:
         the cudaMalloc cost (the sorting algorithms pre-allocate, so the
         paper excludes this time — Section 6).
         """
+        faults = self.machine.faults
+        if faults is not None:
+            faults.check_device(self)
         itemsize = np.dtype(dtype).itemsize
         logical = n * itemsize * self.machine.scale
         if logical > self.free_logical * (1 + 1e-9):

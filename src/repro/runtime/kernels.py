@@ -60,7 +60,14 @@ def sort_on_device(machine: "Machine", target: Span,
     if machine.obs is not None:
         machine.obs.kernel_launched(device.name, phase, logical, duration,
                                     start)
-    yield machine.env.timeout(duration)
+    if machine.faults is None:
+        yield machine.env.timeout(duration)
+    else:
+        # Race the launch against the device's (potential) hard failure
+        # so a GPU dying mid-kernel aborts the launch instead of letting
+        # it retire on a corpse.  Healthy machines keep the bare timeout
+        # above — bit-identical to the pre-fault engine.
+        yield from machine.faults.run_on_device(device, duration)
     if values is None:
         if machine.fast_functional:
             view.sort()
@@ -103,7 +110,10 @@ def merge_two_on_device(machine: "Machine", target: Span, split: int,
     if machine.obs is not None:
         machine.obs.kernel_launched(device.name, phase, logical, duration,
                                     start)
-    yield machine.env.timeout(duration)
+    if machine.faults is None:
+        yield machine.env.timeout(duration)
+    else:
+        yield from machine.faults.run_on_device(device, duration)
     if split not in (0, len(view)):
         a, b = view[:split], view[split:]
         if values is None:

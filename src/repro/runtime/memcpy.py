@@ -137,6 +137,14 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
     # inbound chunk while this copy drains it (Section 5.3, Figure 10).
     payload = src.view.copy()
 
+    if machine.faults is not None:
+        # New copies touching a hard-failed GPU raise immediately: the
+        # device's memory is gone, so neither reading from nor writing
+        # to it can be retried into success.
+        for buffer in (src.buffer, dst.buffer):
+            if isinstance(buffer, DeviceBuffer):
+                machine.faults.check_device(buffer.device)
+
     if kind == "DtoD":
         device = src.buffer.device
         yield env.timeout(device.spec.launch_overhead_s)
@@ -243,6 +251,13 @@ def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
 
         attempt = 0
         while True:
+            if faults is not None:
+                # A device can die between retry attempts (backoff) —
+                # re-check before resubmitting so the copy fails with
+                # the non-retryable DeviceFaultError, not another flow.
+                for buffer in (src.buffer, dst.buffer):
+                    if isinstance(buffer, DeviceBuffer):
+                        faults.check_device(buffer.device)
             route = yield from _resolve_route(machine, src_node, dst_node)
             rate_cap = None
             if kind == "PtoP" and route.host_traversing:

@@ -148,6 +148,29 @@ def _plan_chunks(n: int, g: int, chunk_capacity: int) -> List[List[int]]:
     return sizes
 
 
+def chunk_capacity_for(machine: Machine, devices, config: HetConfig,
+                       dtype, value_dtype, n: int) -> int:
+    """Physical chunk capacity (elements) the HET pipelines use.
+
+    The memory budget governs the out-of-core streaming chunk size
+    (Figure 15a reserves 33 of the A100's 40 GB); in-core data gets one
+    chunk of ``n/g`` keys per GPU when the device can hold it with the
+    approach's buffer count.  Shared by :func:`het_sort` and the
+    supervised HET driver so both plan identical chunks.
+    """
+    capacity = min(d.capacity_logical for d in devices)
+    buffers = config.buffers_per_gpu()
+    record_bytes = dtype.itemsize + (value_dtype.itemsize
+                                     if value_dtype else 0)
+    per_record_logical = record_bytes * machine.scale
+    chunk_capacity = int(capacity * config.memory_budget
+                         / buffers / per_record_logical)
+    per_gpu_need = -(-n // len(devices))
+    if per_gpu_need * buffers * per_record_logical <= capacity:
+        chunk_capacity = max(chunk_capacity, per_gpu_need)
+    return chunk_capacity
+
+
 def _transfer_in(machine, pair: _PairedBuffers, task: _ChunkTask,
                  staging: HostBuffer, value_staging: Optional[HostBuffer]):
     """Processes copying one chunk (keys + payloads) onto the device."""
@@ -451,21 +474,8 @@ def het_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     dtype = host_in.dtype
 
     devices = [machine.device(i) for i in ids]
-    capacity = min(d.capacity_logical for d in devices)
-    buffers = config.buffers_per_gpu()
-    record_bytes = dtype.itemsize + (value_dtype.itemsize
-                                     if value_dtype else 0)
-    per_record_logical = record_bytes * machine.scale
-    chunk_capacity = int(capacity * config.memory_budget
-                         / buffers / per_record_logical)
-    # In-core data uses one chunk of n/g keys per GPU, limited only by
-    # the device's full capacity (the paper's in-core comparisons
-    # pre-allocate exactly the primary + auxiliary buffer); the memory
-    # budget governs the out-of-core streaming chunk size (Figure 15a
-    # reserves 33 of the A100's 40 GB).
-    per_gpu_need = -(-n // g)
-    if per_gpu_need * buffers * per_record_logical <= capacity:
-        chunk_capacity = max(chunk_capacity, per_gpu_need)
+    chunk_capacity = chunk_capacity_for(machine, devices, config, dtype,
+                                        value_dtype, n)
     group_sizes = _plan_chunks(n, g, chunk_capacity)
     groups = len(group_sizes)
 

@@ -143,11 +143,19 @@ def _pivot_for(config: P2PConfig, left: _ConcatView, right: _ConcatView) -> int:
     return pivot
 
 
+def _no_check() -> None:
+    """Default ``check``: unsupervised runs have no failure to stop on."""
+
+
 def _serialized_swap(machine: Machine, left: _Chunk, right: _Chunk,
-                     pivot: int):
+                     pivot: int, spawn=None, check=None):
     """In-place-style swap for the ablation: staged, serialized copies."""
     from repro.runtime.kernels import merge_two_on_device
 
+    if spawn is None:
+        spawn = machine.env.process
+    if check is None:
+        check = _no_check
     n = left.size
     keep_left = n - pivot
     if pivot == 0:
@@ -171,33 +179,46 @@ def _serialized_swap(machine: Machine, left: _Chunk, right: _Chunk,
     if pivot < n:
         env = machine.env
         merges = [
-            env.process(merge_two_on_device(
+            spawn(merge_two_on_device(
                 machine, span(left.primary, 0, n), keep_left, phase="Merge",
                 values=span(left.value_primary, 0, n)
                 if left.has_values else None)),
-            env.process(merge_two_on_device(
+            spawn(merge_two_on_device(
                 machine, span(right.primary, 0, n), pivot, phase="Merge",
                 values=span(right.value_primary, 0, n)
                 if right.has_values else None)),
         ]
         yield env.all_of(merges)
+        check()
     return bytes_moved
 
 
 def _merge_chunks(machine: Machine, chunks: List[_Chunk],
-                  config: P2PConfig, stats: _Stats):
-    """Algorithm 2: recursive merge of ``len(chunks)`` sorted chunks."""
+                  config: P2PConfig, stats: _Stats, spawn=None, check=None):
+    """Algorithm 2: recursive merge of ``len(chunks)`` sorted chunks.
+
+    ``spawn``/``check`` thread the supervision seam down the recursion
+    and into the swaps (see :func:`repro.sort.swap.swap_and_merge_pair`);
+    unset, the merge runs exactly as before supervision existed.
+    """
     g = len(chunks)
     if g < 2:
         return
     env = machine.env
+    if spawn is None:
+        spawn = env.process
+    if check is None:
+        check = _no_check
     half = g // 2
     left_chunks, right_chunks = chunks[:half], chunks[half:]
 
     if g > 2:
-        pre = [env.process(_merge_chunks(machine, left_chunks, config, stats)),
-               env.process(_merge_chunks(machine, right_chunks, config, stats))]
+        pre = [spawn(_merge_chunks(machine, left_chunks, config, stats,
+                                   spawn, check)),
+               spawn(_merge_chunks(machine, right_chunks, config, stats,
+                                   spawn, check))]
         yield env.all_of(pre)
+        check()
 
     left = _ConcatView(left_chunks)
     right = _ConcatView(right_chunks)
@@ -205,6 +226,7 @@ def _merge_chunks(machine: Machine, chunks: List[_Chunk],
     # of total time; we charge two probes per bisection step).
     probes = 2 * max(1, math.ceil(math.log2(len(left) + 1)))
     yield env.timeout(probes * config.pivot_probe_latency_s)
+    check()
     pivot = _pivot_for(config, left, right)
     stats.pivots.append(pivot)
 
@@ -219,18 +241,26 @@ def _merge_chunks(machine: Machine, chunks: List[_Chunk],
             pair_right = chunks[half + m]
             if config.out_of_place_swap:
                 op = swap_and_merge_pair(machine, pair_left, pair_right,
-                                         size, multihop=config.multihop)
+                                         size, multihop=config.multihop,
+                                         spawn=spawn, check=check)
             else:
-                op = _serialized_swap(machine, pair_left, pair_right, size)
-            swaps.append(env.process(op))
+                op = _serialized_swap(machine, pair_left, pair_right, size,
+                                      spawn=spawn, check=check)
+            swaps.append(spawn(op))
         if swaps:
             done = yield env.all_of(swaps)
-            stats.p2p_bytes += sum(done.values())
+            check()
+            # Shielded swap tasks resolve to ``None`` when they failed
+            # mid-flight; their bytes never fully moved.
+            stats.p2p_bytes += sum(v for v in done.values() if v)
 
     if g > 2:
-        post = [env.process(_merge_chunks(machine, left_chunks, config, stats)),
-                env.process(_merge_chunks(machine, right_chunks, config, stats))]
+        post = [spawn(_merge_chunks(machine, left_chunks, config, stats,
+                                    spawn, check)),
+                spawn(_merge_chunks(machine, right_chunks, config, stats,
+                                    spawn, check))]
         yield env.all_of(post)
+        check()
 
 
 def _pad_value(dtype: np.dtype):

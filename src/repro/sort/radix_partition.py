@@ -38,6 +38,7 @@ from repro.runtime.buffer import HostBuffer
 from repro.runtime.context import Machine
 from repro.runtime.kernels import sort_on_device
 from repro.runtime.memcpy import copy_async, span
+from repro.sort.gpu_set import surviving_gpu_ids
 from repro.sort.result import SortResult
 from repro.units import US
 
@@ -163,6 +164,14 @@ def rp_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
 
     ids = tuple(gpu_ids) if gpu_ids is not None else \
         machine.spec.preferred_gpu_set(machine.num_gpus)
+    excluded = ()
+    if machine.faults is not None:
+        survivors, excluded = surviving_gpu_ids(machine, ids)
+        if not survivors:
+            raise SortError(
+                f"no healthy GPUs left in {ids}: all failed or "
+                "straggling past the exclusion factor")
+        ids = survivors
     if len(set(ids)) != len(ids):
         raise SortError(f"duplicate GPU ids in {ids}")
     g = len(ids)
@@ -385,8 +394,15 @@ def rp_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
             for buffer in value_receives:
                 buffer.free()
 
+    stats_before = machine.resilience_stats.snapshot()
     machine.run(run())
     duration = machine.env.now - start
+
+    recovery = machine.resilience_stats.delta(stats_before)
+    fault_downtime = (machine.faults.downtime_between(start, machine.env.now)
+                      if machine.faults is not None else 0.0)
+    degraded = bool(excluded or recovery.retries or recovery.reroutes
+                    or recovery.timeouts or fault_downtime > 0.0)
 
     phases = {name: value for name, value in
               machine.trace.phase_durations().items()
@@ -404,4 +420,10 @@ def rp_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
         merge_stages=1,
         output=host_out.data,
         output_values=values_out.data if values_out is not None else None,
+        degraded=degraded,
+        retries=recovery.retries,
+        reroutes=recovery.reroutes,
+        timeouts=recovery.timeouts,
+        fault_downtime=fault_downtime,
+        excluded_gpus=excluded,
     )

@@ -57,6 +57,28 @@ class SortResult:
     #: GPUs dropped from the requested set (failed or straggling past
     #: the policy's exclusion factor).
     excluded_gpus: Tuple[int, ...] = ()
+    #: Supervised sorts only: times the supervisor re-planned the run
+    #: after a mid-phase device/transfer failure.
+    replans: int = 0
+    #: Supervised sorts only: phase checkpoints written during the run.
+    checkpoints: int = 0
+    #: Supervised sorts only: checkpoints restored while re-planning
+    #: (host-staged chunk copies reused instead of re-fetching).
+    checkpoints_restored: int = 0
+    #: Supervised sorts only: speculative backup executions launched
+    #: for straggling phase tasks.
+    speculations: int = 0
+    #: Supervised sorts only: speculative backups that beat the
+    #: original straggler (the loser was cancelled).
+    speculative_wins: int = 0
+    #: Supervised sorts only: ``True`` when the sort's deadline budget
+    #: expired and the run was cancelled mid-phase.  The result is then
+    #: *partial*: ``output`` is ``None`` and ``completed_phases`` lists
+    #: how far the run got.
+    deadline_exceeded: bool = False
+    #: Supervised sorts only: names of the phases that fully completed
+    #: (checkpointed), in execution order.
+    completed_phases: Tuple[str, ...] = ()
 
     @property
     def keys_per_second(self) -> float:
@@ -81,5 +103,13 @@ class SortResult:
                      f"reroutes={self.reroutes} "
                      f"downtime={self.fault_downtime:.3f}s"
                      + (f" excluded={self.excluded_gpus}"
-                        if self.excluded_gpus else "") + "]")
+                        if self.excluded_gpus else "")
+                     + (f" replans={self.replans}"
+                        if self.replans else "")
+                     + (f" speculative_wins={self.speculative_wins}"
+                        if self.speculative_wins else "") + "]")
+        if self.deadline_exceeded:
+            line += (f" [DEADLINE EXCEEDED after "
+                     f"{'/'.join(self.completed_phases) or 'no'} "
+                     "completed phase(s); partial result]")
         return line

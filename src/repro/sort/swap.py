@@ -54,10 +54,15 @@ def _p2p_copy(machine: "Machine", dst, src, multihop: bool, phase: str):
     return result
 
 
+def _no_check() -> None:
+    """Default ``check``: unsupervised runs have no failure to stop on."""
+
+
 def swap_and_merge_pair(machine: "Machine", left: "_Chunk",
                         right: "_Chunk", pivot: int,
                         merge_phase: str = "Merge",
-                        multihop: bool = False):
+                        multihop: bool = False,
+                        spawn=None, check=None):
     """Process: execute the pivot swap between two chunks, then merge.
 
     ``left`` and ``right`` are chunk holders exposing ``primary`` and
@@ -66,9 +71,21 @@ def swap_and_merge_pair(machine: "Machine", left: "_Chunk",
     pivots (``p == n``) skip the local merges (whole chunks change
     sides already sorted, like C1/C2 in the paper's Figure 9).
 
+    ``spawn``/``check`` are the supervision seam: a supervised run
+    spawns the concurrent copies and merges through its task group's
+    shield (so a failing child never crashes the event loop) and calls
+    ``check`` after each barrier to stop on a recorded failure before
+    touching the chunks again.  Left unset, children are plain
+    processes and ``check`` does nothing — bit-identical to the
+    unsupervised path.
+
     Returns the logical byte volume moved over P2P links.
     """
     env = machine.env
+    if spawn is None:
+        spawn = env.process
+    if check is None:
+        check = _no_check
     n = left.size
     if right.size != n:
         raise SortError(
@@ -83,43 +100,44 @@ def swap_and_merge_pair(machine: "Machine", left: "_Chunk",
     done = [
         # P2P: left's tail block becomes the head of right's new chunk,
         # right's head block becomes the tail of left's new chunk.
-        env.process(_p2p_copy(
+        spawn(_p2p_copy(
             machine, span(right.aux, 0, pivot),
             span(left.primary, keep_left, n), multihop, merge_phase)),
-        env.process(_p2p_copy(
+        spawn(_p2p_copy(
             machine, span(left.aux, keep_left, n),
             span(right.primary, 0, pivot), multihop, merge_phase)),
     ]
     if keep_left:
         # Device-local copies of the kept blocks into the aux buffers,
         # concurrent with the P2P streams (disjoint target ranges).
-        done.append(env.process(copy_async(
+        done.append(spawn(copy_async(
             machine, span(left.aux, 0, keep_left),
             span(left.primary, 0, keep_left), phase=merge_phase)))
-        done.append(env.process(copy_async(
+        done.append(spawn(copy_async(
             machine, span(right.aux, pivot, n),
             span(right.primary, pivot, n), phase=merge_phase)))
     p2p_bytes = 2.0 * pivot * left.primary.dtype.itemsize * machine.scale
     if left.has_values:
         # Payloads travel with their key blocks, doubling the traffic.
-        done.append(env.process(_p2p_copy(
+        done.append(spawn(_p2p_copy(
             machine, span(right.value_aux, 0, pivot),
             span(left.value_primary, keep_left, n), multihop,
             merge_phase)))
-        done.append(env.process(_p2p_copy(
+        done.append(spawn(_p2p_copy(
             machine, span(left.value_aux, keep_left, n),
             span(right.value_primary, 0, pivot), multihop, merge_phase)))
         if keep_left:
-            done.append(env.process(copy_async(
+            done.append(spawn(copy_async(
                 machine, span(left.value_aux, 0, keep_left),
                 span(left.value_primary, 0, keep_left),
                 phase=merge_phase)))
-            done.append(env.process(copy_async(
+            done.append(spawn(copy_async(
                 machine, span(right.value_aux, pivot, n),
                 span(right.value_primary, pivot, n), phase=merge_phase)))
         p2p_bytes += (2.0 * pivot * left.value_primary.dtype.itemsize
                       * machine.scale)
     yield env.all_of(done)
+    check()
 
     # The assembled chunks live in the aux buffers: swap the roles.
     left.flip_buffers()
@@ -127,18 +145,19 @@ def swap_and_merge_pair(machine: "Machine", left: "_Chunk",
 
     if pivot < n:
         merges = [
-            env.process(merge_two_on_device(
+            spawn(merge_two_on_device(
                 machine, span(left.primary, 0, n), keep_left,
                 phase=merge_phase,
                 values=span(left.value_primary, 0, n)
                 if left.has_values else None)),
-            env.process(merge_two_on_device(
+            spawn(merge_two_on_device(
                 machine, span(right.primary, 0, n), pivot,
                 phase=merge_phase,
                 values=span(right.value_primary, 0, n)
                 if right.has_values else None)),
         ]
         yield env.all_of(merges)
+        check()
     return p2p_bytes
 
 

@@ -8,14 +8,16 @@ and the exact restoration after it.
 import numpy as np
 import pytest
 
-from repro.errors import RuntimeApiError, TopologyError
+from repro.errors import RuntimeApiError
 from repro.faults import FaultPlan
 from repro.faults.events import (
     CopyEngineStall,
+    GpuFail,
     LinkDegradation,
     LinkDown,
     StragglerGpu,
 )
+from repro.sim.engine import SimulationError
 from repro.faults.injector import FaultRecord
 from repro.hw import dgx_a100
 from repro.runtime import Machine
@@ -65,14 +67,18 @@ class TestInstall:
     def test_unknown_resource_rejected_at_install(self):
         plan = FaultPlan(events=(
             LinkDown(at=0.0, resource="no_such_link", duration=1.0),))
-        with pytest.raises(TopologyError, match="no_such_link"):
+        with pytest.raises(SimulationError, match="no_such_link"):
             _machine(plan)
 
     def test_unknown_gpu_rejected_at_install(self):
         plan = FaultPlan(events=(
             StragglerGpu(at=0.0, gpu=99, duration=1.0, slowdown=2.0),))
-        with pytest.raises(Exception):
+        with pytest.raises(SimulationError, match="99"):
             _machine(plan)
+
+    def test_negative_gpu_rejected_at_plan_construction(self):
+        with pytest.raises(SimulationError, match="-1"):
+            FaultPlan(events=(GpuFail(at=0.0, gpu=-1),))
 
     def test_double_install_rejected(self):
         machine = _machine(FaultPlan.empty())
@@ -116,11 +122,9 @@ class TestEngineStall:
         assert faulted >= clean + stall - 1e-9
 
     def test_invalid_direction_rejected(self):
-        plan = FaultPlan(events=(CopyEngineStall(
-            at=0.0, gpu=0, duration=0.1, direction="sideways"),))
-        machine = _machine(plan)
-        with pytest.raises(ValueError, match="sideways"):
-            machine.env.run()
+        with pytest.raises(SimulationError, match="sideways"):
+            FaultPlan(events=(CopyEngineStall(
+                at=0.0, gpu=0, duration=0.1, direction="sideways"),))
 
 
 class TestStraggler:

@@ -137,3 +137,64 @@ class TestDiffFiles:
         assert main(["diff", old, new, "--threshold", "0.5"]) == 0
         out = capsys.readouterr().out
         assert "REGRESSED" in out
+
+
+class TestMalformedInputs:
+    """Hardening: missing / legacy / corrupt BENCH files exit 2 with a
+    per-file diagnostic instead of a raw traceback."""
+
+    def _write(self, path, text):
+        path.write_text(text)
+        return str(path)
+
+    def test_missing_file_is_a_typed_error(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_bench(str(tmp_path / "nope.json"))
+
+    def test_invalid_json_is_a_typed_error(self, tmp_path):
+        path = self._write(tmp_path / "bad.json", "{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_bench(path)
+
+    def test_non_object_record_is_a_typed_error(self, tmp_path):
+        path = self._write(tmp_path / "list.json", "[1, 2, 3]")
+        with pytest.raises(ReproError, match="expected a JSON object"):
+            load_bench(path)
+
+    def test_legacy_record_diagnostic_names_the_keys(self, tmp_path):
+        path = self._write(tmp_path / "legacy.json",
+                           json.dumps({"results": [], "meta": {}}))
+        with pytest.raises(ReproError,
+                           match="top-level keys: meta, results"):
+            load_bench(path)
+
+    def test_non_mapping_scenarios_is_a_typed_error(self, tmp_path):
+        path = self._write(tmp_path / "odd.json",
+                           json.dumps({"scenarios": [1, 2]}))
+        with pytest.raises(ReproError, match="must be an object"):
+            load_bench(path)
+
+    def test_non_dict_scenario_entry_is_skipped_with_diagnostic(self):
+        old = _record(s={"wall_s": 1.0})
+        new = _record(s={"wall_s": 1.0})
+        old["scenarios"]["weird"] = [1, 2]
+        new["scenarios"]["weird"] = {"wall_s": 2.0}
+        result = diff_records(old, new)
+        assert result.ok
+        assert any("weird" in problem for problem in result.problems)
+        assert any("weird" in line
+                   for line in format_diff(result).splitlines()
+                   if line.startswith("WARNING"))
+
+    def test_cli_exits_2_on_malformed_input(self, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        good = self._write(tmp_path / "good.json",
+                           json.dumps(_record(s={"wall_s": 1.0})))
+        legacy = self._write(tmp_path / "legacy.json",
+                             json.dumps({"results": []}))
+        assert main(["diff", str(tmp_path / "nope.json"), good]) == 2
+        assert main(["diff", legacy, good]) == 2
+        assert main(["diff", good, legacy]) == 2
+        err = capsys.readouterr().err
+        assert "diff error" in err
