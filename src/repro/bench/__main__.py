@@ -26,12 +26,27 @@ def main(argv=None) -> int:
                              "reduced scenario sweep (simcore and kernels "
                              "then skip their JSON records; resilience "
                              "always writes its own)")
+    parser.add_argument("--record", metavar="PATH", default=None,
+                        help="simcore only: write the benchmark record to "
+                             "PATH even under --quick (the CI perf smoke "
+                             "diffs it against the committed record)")
+    parser.add_argument("--profile", action="store_true",
+                        help="simcore only: attach the engine profiler and "
+                             "emit a per-phase cost breakdown (fill rounds, "
+                             "calendar rebuilds, heap ops, dispatch) into "
+                             "the BENCH record")
     args = parser.parse_args(argv)
     if args.quick:
         from repro.bench.experiments import kernels, resilience, simcore
         kernels.QUICK = True
         simcore.QUICK = True
         resilience.QUICK = True
+    if args.profile:
+        from repro.bench.experiments import simcore
+        simcore.PROFILE = True
+    if args.record:
+        from repro.bench.experiments import simcore
+        simcore.RECORD_PATH = args.record
     if args.list:
         for experiment in EXPERIMENTS:
             print(f"{experiment.id:22s} {experiment.title}")

@@ -32,7 +32,7 @@ from repro.bench.report import Table, write_bench_record
 from repro.data import generate
 from repro.hw import dgx_a100
 from repro.runtime import Machine
-from repro.sim.engine import Environment
+from repro.sim.engine import Environment, SimProfile
 from repro.sim.flows import FlowNetwork
 from repro.sim.resources import Direction, Resource
 
@@ -45,6 +45,8 @@ SEED_BASELINE_WALL_S: Dict[str, float] = {
     "churn-800": 27.089,
     "het-8gpu-256b": 0.0655,
     "het-8gpu-2048b": 0.4067,
+    # churn-1600 has no seed baseline: the scenario was added with the
+    # vectorized core (the seed tree would take minutes on it).
 }
 
 #: Physical keys per simulated HET run (the scale factor supplies the
@@ -65,6 +67,7 @@ class ScenarioResult:
     fast_starts: int
     fast_finishes: int
     completion_events: int
+    profile: Optional[Dict[str, object]] = None
 
     @property
     def events_per_sec(self) -> float:
@@ -77,11 +80,17 @@ class ScenarioResult:
         return (self.full_reallocations / self.wall_s
                 if self.wall_s > 0 else 0.0)
 
+    @property
+    def run_spread_s(self) -> float:
+        """Wall-clock spread (max - min) across the repeats."""
+        return max(self.runs) - min(self.runs) if self.runs else 0.0
+
     def to_json(self) -> Dict[str, object]:
         """JSON-serializable record, including derived rates."""
         record: Dict[str, object] = {
             "wall_s": self.wall_s,
             "runs": self.runs,
+            "run_spread_s": self.run_spread_s,
             "sim_s": self.sim_s,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
@@ -95,6 +104,8 @@ class ScenarioResult:
         if baseline is not None:
             record["seed_baseline_wall_s"] = baseline
             record["speedup_vs_seed"] = baseline / self.wall_s
+        if self.profile is not None:
+            record["profile"] = self.profile
         return record
 
 
@@ -118,15 +129,18 @@ def run_churn(n_flows: int) -> ScenarioResult:
             yield env.timeout(0.01)
 
     env.process(arrivals())
+    if PROFILE:
+        env.profile = SimProfile()
     t0 = time.perf_counter()
     env.run()
     wall = time.perf_counter() - t0
     return ScenarioResult(
         name=f"churn-{n_flows}", wall_s=wall, runs=[wall], sim_s=env.now,
-        events=env.events_processed,
+        events=env.events_retired,
         full_reallocations=net.full_reallocations,
         fast_starts=net.fast_starts, fast_finishes=net.fast_finishes,
-        completion_events=net.completion_events)
+        completion_events=net.completion_events,
+        profile=env.profile.to_json() if env.profile else None)
 
 
 def run_het(billions: float) -> ScenarioResult:
@@ -136,16 +150,19 @@ def run_het(billions: float) -> ScenarioResult:
     scale = billions * 1e9 / HET_PHYSICAL_KEYS
     machine = Machine(dgx_a100(), scale=scale, fast_functional=True)
     data = generate(HET_PHYSICAL_KEYS, "uniform", np.int32, seed=42)
+    if PROFILE:
+        machine.env.profile = SimProfile()
     t0 = time.perf_counter()
     het_sort(machine, data)
     wall = time.perf_counter() - t0
     env, net = machine.env, machine.net
     return ScenarioResult(
         name=f"het-8gpu-{billions:g}b", wall_s=wall, runs=[wall],
-        sim_s=env.now, events=env.events_processed,
+        sim_s=env.now, events=env.events_retired,
         full_reallocations=net.full_reallocations,
         fast_starts=net.fast_starts, fast_finishes=net.fast_finishes,
-        completion_events=net.completion_events)
+        completion_events=net.completion_events,
+        profile=env.profile.to_json() if env.profile else None)
 
 
 def _best_of(repeats: int, runner, *args) -> ScenarioResult:
@@ -172,10 +189,11 @@ def run_simcore(quick: bool = False, repeats: Optional[int] = None,
             # Don't clobber the committed full-suite record from a smoke.
             json_path = None
     else:
-        plan = [(run_churn, 400), (run_churn, 800),
+        plan = [(run_churn, 400), (run_churn, 800), (run_churn, 1600),
                 (run_het, 256.0), (run_het, 2048.0)]
 
     results = [_best_of(repeats, runner, arg) for runner, arg in plan]
+    churn_scaling = _churn_scaling(results)
 
     table = Table(
         ["scenario", "wall [s]", "sim [s]", "events", "events/s",
@@ -202,16 +220,57 @@ def run_simcore(quick: bool = False, repeats: Optional[int] = None,
                 "pre-optimization tree (full-rescan allocator, watcher "
                 "processes), best of 3"),
             "repeats": repeats,
+            "profile": PROFILE,
             "scenarios": {r.name: r.to_json() for r in results},
         }
+        if churn_scaling is not None:
+            record["churn_scaling"] = churn_scaling
         write_bench_record(json_path, record)
     return table
+
+
+def _churn_scaling(results: List[ScenarioResult]) -> Optional[Dict[str, object]]:
+    """Events/sec scaling slope across the churn sizes.
+
+    Fits ``log(events/sec) ~ slope * log(n_flows)`` over every churn
+    scenario present.  Slope 0 is perfect scaling (throughput flat as
+    flow count doubles); negative slopes quantify the superlinear
+    slowdown the churn family exists to track.
+    """
+    churn = [(int(r.name.split("-")[1]), r.events_per_sec)
+             for r in results if r.name.startswith("churn-")]
+    if len(churn) < 2:
+        return None
+    churn.sort()
+    sizes = np.array([n for n, _ in churn], dtype=float)
+    rates = np.array([eps for _, eps in churn], dtype=float)
+    slope = float(np.polyfit(np.log(sizes), np.log(rates), 1)[0])
+    return {
+        "sizes": [int(n) for n in sizes],
+        "events_per_sec": [float(r) for r in rates],
+        "slope": slope,
+    }
 
 
 #: Set by the command line's ``--quick`` flag before the registry runs.
 QUICK = False
 
+#: Set by the command line's ``--record`` flag: write the benchmark
+#: record to this path even under ``--quick``.  The CI perf smoke uses
+#: it to produce a record it can ``repro.obs diff`` against the
+#: committed ``BENCH_simcore.json`` without clobbering it.
+RECORD_PATH: Optional[str] = None
+
+#: Set by the command line's ``--profile`` flag: attach a
+#: :class:`~repro.sim.engine.SimProfile` to every scenario environment
+#: and emit the per-phase cost breakdown into the BENCH record.  The
+#: instrumentation adds wall-clock overhead, so profiled records carry
+#: ``"profile": true`` (a different config hash) and are not
+#: regression-compared against unprofiled ones.
+PROFILE = False
+
 
 def run_simcore_entry() -> Table:
-    """Registry entry point; honours the command line's ``--quick``."""
-    return run_simcore(quick=QUICK)
+    """Registry entry point; honours ``--quick`` and ``--record``."""
+    return run_simcore(quick=QUICK,
+                       json_path=RECORD_PATH or "BENCH_simcore.json")

@@ -4,6 +4,7 @@ plus the provenance-stamped benchmark-record writer."""
 from __future__ import annotations
 
 import json
+import sys
 from typing import List, Optional, Sequence
 
 
@@ -78,6 +79,13 @@ def write_bench_record(path: str, record: dict,
               if key not in ("scenarios", "provenance")}
     stamped = dict(record)
     stamped["provenance"] = provenance(config, seed=seed)
+    if stamped["provenance"].get("dirty"):
+        # A record from a dirty tree cannot be traced back to a commit;
+        # it must not be checked in (tests/bench/test_bench_provenance.py
+        # fails CI if one is).  Regenerate from a clean tree instead.
+        print(f"WARNING: {path} was produced from a dirty working tree; "
+              "do not commit it (provenance.dirty = true)",
+              file=sys.stderr)
     with open(path, "w") as handle:
         json.dump(stamped, handle, indent=1, sort_keys=True)
         handle.write("\n")

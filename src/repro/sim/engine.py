@@ -21,7 +21,10 @@ breaks ties).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+import numpy as np
 
 
 class SimulationError(RuntimeError):
@@ -296,11 +299,204 @@ class AnyOf(_Condition):
         return len(self.events) == 0 or self._count >= 1
 
 
+class SimProfile:
+    """Per-phase wall-clock cost breakdown of a simulation run.
+
+    Attached via :attr:`Environment.profile` (``simcore --profile``),
+    the engine and the flow network charge their hot sections here so a
+    throughput regression can be attributed to a phase — water-fill
+    rounds, event-calendar maintenance, heap operations or callback
+    dispatch — instead of showing up as an opaque slowdown.  Timing is
+    only ever *read* from the simulation, so enabling it never changes
+    simulated results; it does add real wall-clock overhead (two
+    ``perf_counter`` calls per measured section).
+    """
+
+    __slots__ = ("fill_s", "fills", "fill_rounds", "advance_s",
+                 "schedule_s", "rebuilds", "heap_s", "calendar_s",
+                 "dispatched")
+
+    def __init__(self) -> None:
+        #: Seconds inside the max-min water-fill solver, and its call
+        #: and round counts.
+        self.fill_s = 0.0
+        self.fills = 0
+        self.fill_rounds = 0
+        #: Seconds advancing flow progress (the vectorized sweep).
+        self.advance_s = 0.0
+        #: Seconds staging + rebuilding the completion calendar.
+        self.schedule_s = 0.0
+        self.rebuilds = 0
+        #: Seconds popping + dispatching object-heap events.
+        self.heap_s = 0.0
+        #: Seconds popping + dispatching calendar completions.
+        self.calendar_s = 0.0
+        self.dispatched = 0
+
+    def to_json(self) -> dict:
+        """JSON-serializable breakdown (seconds and counts)."""
+        return {
+            "fill_s": self.fill_s,
+            "fills": self.fills,
+            "fill_rounds": self.fill_rounds,
+            "advance_s": self.advance_s,
+            "schedule_s": self.schedule_s,
+            "rebuilds": self.rebuilds,
+            "heap_s": self.heap_s,
+            "calendar_s": self.calendar_s,
+            "events_dispatched": self.dispatched,
+        }
+
+
+class ArrayCalendar:
+    """Array-of-struct event calendar for flow completions.
+
+    Completion events are the engine's fast path: a full reallocation
+    reschedules *every* active flow, so representing each completion as
+    a Python heap entry (the previous ``_Completion`` event objects)
+    made reallocation cost O(F) object constructions plus O(F log F)
+    heap pushes — and every superseded entry was later popped again as
+    a no-op.  This calendar stores completions as parallel NumPy arrays
+    of ``(time, seq, flow slot, token)`` instead:
+
+    * a full reallocation *stages* the new completion set in O(1) —
+      slot, sequence-id and token arrays are recorded, and every
+      previously staged or materialized entry is discarded in bulk
+      (counted in :attr:`invalidated`: the engine retired them without
+      dispatching);
+    * the stage is *rebuilt* lazily at the next ``peek``/``step`` —
+      completion times are computed vectorized and sorted once, which
+      batches any number of same-timestamp reallocations into a single
+      O(F log F) pass;
+    * single disjoint-flow completions (the fast-start path) go to a
+      small side heap, merged at the head.
+
+    Sequence ids are reserved from the environment's global counter at
+    staging time, exactly as the per-object events consumed them, so
+    the (time, seq) order of every surviving event — and therefore the
+    simulated result — is bit-identical to the per-object engine.
+
+    Plain ``Timeout``/``Event`` objects stay on the binary heap: they
+    are scheduled one at a time (where C ``heapq`` is already optimal)
+    and carry arbitrary callback lists.  The array calendar wins where
+    events are bulk-(re)scheduled and homogeneous.
+    """
+
+    __slots__ = ("env", "times", "eids", "slots", "tokens", "ptr",
+                 "_extra", "_staged", "dirty", "invalidated",
+                 "dispatch", "times_of", "valid_of")
+
+    def __init__(self, env: "Environment", dispatch: Callable,
+                 times_of: Callable, valid_of: Callable):
+        self.env = env
+        #: Materialized entries, sorted by (time, eid); consumed from
+        #: ``ptr`` forward.
+        self.times = np.empty(0)
+        self.eids = np.empty(0, dtype=np.int64)
+        self.slots = np.empty(0, dtype=np.int64)
+        self.tokens = np.empty(0, dtype=np.int64)
+        self.ptr = 0
+        #: Singly pushed entries: (time, eid, slot, token) tuples.
+        self._extra: List[tuple] = []
+        #: Staged-but-unmaterialized bulk reschedule, or ``None``.
+        self._staged: Optional[tuple] = None
+        self.dirty = False
+        #: Entries retired without dispatch (superseded in bulk by a
+        #: later reallocation, or staged for a flow that finished in
+        #: the same instant).  ``Environment.events_retired`` adds this
+        #: to the dispatched count so throughput metrics stay
+        #: comparable with the per-object engine, which popped each of
+        #: these as an explicit no-op event.
+        self.invalidated = 0
+        #: ``dispatch(slot, token)`` — deliver one due completion.
+        self.dispatch = dispatch
+        #: ``times_of(slots) -> ndarray`` — completion times of the
+        #: staged flows, computed at rebuild.
+        self.times_of = times_of
+        #: ``valid_of(slots, tokens) -> bool ndarray`` — which staged
+        #: entries are still current at rebuild.
+        self.valid_of = valid_of
+
+    def __len__(self) -> int:
+        staged = len(self._staged[0]) if self.dirty and self._staged else 0
+        return (len(self.times) - self.ptr) + len(self._extra) + staged
+
+    def stage(self, slots: np.ndarray, eids: np.ndarray,
+              tokens: np.ndarray) -> None:
+        """Replace the whole bulk completion set (O(1) until rebuilt)."""
+        if self._staged is not None:
+            self.invalidated += len(self._staged[0])
+        self.invalidated += len(self.times) - self.ptr
+        self.times = np.empty(0)
+        self.ptr = 0
+        self._staged = (slots, eids, tokens)
+        self.dirty = True
+
+    def push(self, time: float, eid: int, slot: int, token: int) -> None:
+        """Schedule one completion (the disjoint fast-start path)."""
+        heapq.heappush(self._extra, (time, eid, slot, token))
+
+    def _rebuild(self) -> None:
+        slots, eids, tokens = self._staged
+        self._staged = None
+        self.dirty = False
+        mask = self.valid_of(slots, tokens)
+        self.invalidated += int(len(mask) - mask.sum())
+        slots = slots[mask]
+        times = self.times_of(slots)
+        order = np.argsort(times, kind="stable")
+        self.times = times[order]
+        self.eids = eids[mask][order]
+        self.slots = slots[order]
+        self.tokens = tokens[mask][order]
+        self.ptr = 0
+
+    def head(self) -> Optional[tuple]:
+        """(time, eid) of the earliest entry, or ``None`` when empty."""
+        if self.dirty:
+            prof = self.env._profile
+            if prof is None:
+                self._rebuild()
+            else:
+                t0 = perf_counter()
+                self._rebuild()
+                prof.schedule_s += perf_counter() - t0
+                prof.rebuilds += 1
+        array_key = None
+        if self.ptr < len(self.times):
+            array_key = (self.times[self.ptr], int(self.eids[self.ptr]))
+        if self._extra:
+            extra = self._extra[0]
+            extra_key = (extra[0], extra[1])
+            if array_key is None or extra_key < array_key:
+                return extra_key
+        return array_key
+
+    def pop(self) -> tuple:
+        """Remove and return the earliest entry (time, slot, token).
+
+        Callers must have checked :meth:`head` first; the head call
+        also rebuilds a dirty stage.
+        """
+        if self.ptr < len(self.times):
+            array_key = (self.times[self.ptr], int(self.eids[self.ptr]))
+        else:
+            array_key = None
+        if self._extra and (array_key is None
+                            or (self._extra[0][0], self._extra[0][1])
+                            < array_key):
+            time, _eid, slot, token = heapq.heappop(self._extra)
+            return time, slot, token
+        i = self.ptr
+        self.ptr = i + 1
+        return float(self.times[i]), int(self.slots[i]), int(self.tokens[i])
+
+
 class Environment:
     """Execution environment: the clock and the event queue."""
 
     __slots__ = ("_now", "_queue", "_eid", "_active_process",
-                 "events_processed", "_obs")
+                 "events_processed", "_obs", "_calendar", "_profile")
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
@@ -315,6 +511,11 @@ class Environment:
         #: recorder only *reads* simulation state, so enabling it never
         #: changes simulated time.
         self._obs = None
+        #: Array-backed completion calendar (registered by the flow
+        #: network), or ``None``.
+        self._calendar: Optional[ArrayCalendar] = None
+        #: Cost-breakdown collector (``simcore --profile``), or ``None``.
+        self._profile: Optional[SimProfile] = None
 
     @property
     def obs(self):
@@ -324,6 +525,49 @@ class Environment:
     @obs.setter
     def obs(self, recorder) -> None:
         self._obs = recorder
+
+    @property
+    def profile(self) -> Optional[SimProfile]:
+        """The attached cost-breakdown collector, or ``None``."""
+        return self._profile
+
+    @profile.setter
+    def profile(self, collector: Optional[SimProfile]) -> None:
+        self._profile = collector
+
+    @property
+    def events_retired(self) -> int:
+        """Events dispatched plus calendar entries bulk-invalidated.
+
+        The per-object engine popped every superseded completion as an
+        explicit no-op, so its ``events_processed`` counted them; the
+        array calendar discards them without a pop.  Throughput metrics
+        compare like with like by using this total.
+        """
+        cal = self._calendar
+        return self.events_processed + (cal.invalidated if cal is not None
+                                        else 0)
+
+    def register_calendar(self, dispatch: Callable, times_of: Callable,
+                          valid_of: Callable) -> ArrayCalendar:
+        """Attach the array completion calendar (one per environment)."""
+        if self._calendar is not None:
+            raise SimulationError(
+                "environment already has an array calendar; one flow "
+                "network per environment")
+        self._calendar = ArrayCalendar(self, dispatch, times_of, valid_of)
+        return self._calendar
+
+    def _reserve_eids(self, count: int) -> int:
+        """Reserve ``count`` sequence ids, returning the first.
+
+        Bulk reschedules consume one id per flow — the same ids the
+        per-object events would have consumed — so surviving calendar
+        entries keep a bit-identical (time, seq) order.
+        """
+        first = self._eid + 1
+        self._eid += count
+        return first
 
     @property
     def now(self) -> float:
@@ -363,15 +607,44 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        when = self._queue[0][0] if self._queue else float("inf")
+        cal = self._calendar
+        if cal is not None:
+            key = cal.head()
+            if key is not None and key[0] < when:
+                return key[0]
+        return when
 
     def step(self) -> None:
         """Process the next scheduled event."""
-        if not self._queue:
+        queue = self._queue
+        cal = self._calendar
+        if cal is not None:
+            cal_key = cal.head()
+            if cal_key is not None and (
+                    not queue or cal_key < (queue[0][0], queue[0][1])):
+                prof = self._profile
+                if prof is not None:
+                    t0 = perf_counter()
+                when, slot, token = cal.pop()
+                self._now = when
+                self.events_processed += 1
+                cal.dispatch(slot, token)
+                if prof is not None:
+                    prof.calendar_s += perf_counter() - t0
+                    prof.dispatched += 1
+                obs = self._obs
+                if obs is not None:
+                    obs.engine_stepped(when, len(queue) + len(cal))
+                return
+        if not queue:
             raise SimulationError("no scheduled events")
-        when, _, event = heapq.heappop(self._queue)
+        when, _, event = heapq.heappop(queue)
         self._now = when
         self.events_processed += 1
+        prof = self._profile
+        if prof is not None:
+            t0 = perf_counter()
         callbacks, event.callbacks = event.callbacks, None
         if len(callbacks) == 1:
             # The overwhelmingly common case: one waiter (a process
@@ -380,11 +653,22 @@ class Environment:
         else:
             for callback in callbacks:
                 callback(event)
+        if prof is not None:
+            prof.heap_s += perf_counter() - t0
+            prof.dispatched += 1
         if not event._ok and not event.defused:
             raise event._value
         obs = self._obs
         if obs is not None:
-            obs.engine_stepped(when, len(self._queue))
+            depth = len(queue) if cal is None else len(queue) + len(cal)
+            obs.engine_stepped(when, depth)
+
+    def _exhausted(self) -> bool:
+        """No object events and no live calendar entries remain."""
+        if self._queue:
+            return False
+        cal = self._calendar
+        return cal is None or cal.head() is None
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (an event, a time, or queue exhaustion).
@@ -392,13 +676,17 @@ class Environment:
         Returns the value of the ``until`` event, if one was given.
         """
         if until is None:
-            while self._queue:
+            if self._calendar is None:
+                while self._queue:
+                    self.step()
+                return None
+            while not self._exhausted():
                 self.step()
             return None
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
-                if not self._queue:
+                if self._exhausted():
                     raise SimulationError(
                         "event queue ran dry before the awaited event fired")
                 self.step()
@@ -408,7 +696,7 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} lies in the past (now={self._now})")
-        while self._queue and self.peek() <= deadline:
+        while self.peek() <= deadline:
             self.step()
         self._now = deadline
         return None

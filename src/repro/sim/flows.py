@@ -15,38 +15,63 @@ The network is a *fluid* model: between allocation changes each flow
 progresses linearly at its rate, so completion times can be scheduled
 exactly and re-scheduled whenever the allocation changes.
 
-The implementation is incremental, sized for simulations with thousands
-of flow arrivals:
+The implementation is data-oriented, sized for simulations with many
+thousands of flow arrivals (see :mod:`repro.sim.solver`):
 
-* each flow's deduplicated hops are resolved once at construction;
-* a persistent per-``(resource, direction)`` membership index is
-  maintained on flow add/remove instead of being re-derived from every
-  route on every allocation change;
-* a flow whose resources are untouched by any other active flow takes a
-  fast path — its rate is the plain bottleneck minimum and nobody else
-  is re-allocated (disjoint routes keep their rates);
-* completions are heap-scheduled events invalidated by token, not
-  watcher processes — a reallocation costs one event per flow, no
-  generator churn.
+* per-flow hot state (remaining bytes, rate, cap, completion token)
+  lives in the parallel NumPy arrays of a :class:`~repro.sim.solver.FlowTable`;
+  the :class:`Flow` objects expose it through properties;
+* the max-min fill runs vectorized over those arrays
+  (:func:`~repro.sim.solver.water_fill_arrays`), bit-identical to the
+  retained dict reference;
+* progress sweeps advance every flow with one vectorized subtraction —
+  all active flows share a single last-advanced timestamp;
+* completions live in the engine's :class:`~repro.sim.engine.ArrayCalendar`:
+  a full reallocation *stages* the whole completion set in O(1) and the
+  calendar sorts it once, lazily, so a burst of same-instant starts or
+  finishes costs one rebuild instead of N heap storms.  Stale entries
+  are invalidated by token, exactly like the previous per-object
+  completion events.
 
-Membership keys pack ``(id(resource), direction)`` into one integer
-(``id << 1 | direction bit``) so the hot dictionaries never hash enum
-members or tuples.
+A Python-dict membership index (packed ``(id(resource) << 1 | direction
+bit)`` key -> arrival-ordered flow dict) is still maintained: the
+observability recorder, the diagnostics in error paths and the retained
+reference solver all read it, and keeping it costs O(route) per
+transition.
+
+A :class:`~repro.sim.engine.SimulationError` raised mid-fill (zero
+effective capacity) leaves the network's indices consistent but its
+rates stale; like the previous implementation, callers that catch it
+should not keep simulating the affected flows.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.sim.engine import Environment, Event, SimulationError
 from repro.sim.resources import Direction, Resource
+from repro.sim.solver import (FlowTable, KeyTable, water_fill_arrays,
+                              water_fill_reference)
 
 Hop = Tuple[Resource, Direction]
 
 #: Relative tolerance when deciding a flow has finished.
 _EPSILON_BYTES = 1e-6
+
+#: Active-flow count at or below which a reallocation dispatches to the
+#: dict-walking reference solver instead of the vectorized one.  Each
+#: fill round costs the vectorized solver a flat ~40-60us of NumPy
+#: dispatch but the reference only ~2us per flow, so small fills are
+#: faster in plain Python; both produce bit-identical rates (pinned by
+#: tests/sim/test_solver_properties.py), so the switch is invisible.
+_SMALL_FILL_N = 64
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
 
 
 class Flow:
@@ -55,13 +80,16 @@ class Flow:
     The flow's :attr:`done` event succeeds (with the flow) when the last
     byte has been delivered.  ``rate_cap`` optionally limits the flow to
     a source/sink-specific rate, e.g. a GPU copy engine's bandwidth.
+
+    While the flow is active its ``remaining`` and ``rate`` live in the
+    network's flow table (slot ``_slot``); on finish or abort the final
+    values are written back here and the slot is released.
     """
 
-    __slots__ = ("network", "route", "size", "remaining", "rate_cap",
-                 "label", "rate", "started_at", "finished_at", "done",
+    __slots__ = ("network", "route", "size", "rate_cap", "label",
+                 "started_at", "finished_at", "done",
                  "hops", "hop_keys", "resources",
-                 "_completion_token", "_last_update", "_finish_threshold",
-                 "_credited")
+                 "_finish_threshold", "_credited", "_slot", "_rem", "_rate")
 
     def __init__(
         self,
@@ -78,18 +106,18 @@ class Flow:
         self.network = network
         self.route: Tuple[Hop, ...] = tuple(route)
         self.size = float(size)
-        self.remaining = float(size)
         self.rate_cap = rate_cap
         self.label = label
-        self.rate = 0.0
         self.started_at = network.env.now
         self.finished_at: Optional[float] = None
         self.done: Event = network.env.event()
-        self._completion_token = 0
-        self._last_update = self.started_at
         self._finish_threshold = _EPSILON_BYTES * max(self.size, 1.0)
         #: Bytes already credited to the network's delivered counters.
         self._credited = 0.0
+        #: Flow-table slot while active; ``None`` once detached.
+        self._slot: Optional[int] = None
+        self._rem = self.size
+        self._rate = 0.0
         # Deduplicated hops, resolved once: `hops` keeps the first
         # occurrence of every (resource, direction); `hop_keys` are the
         # packed integer membership keys; `resources` each distinct
@@ -114,41 +142,35 @@ class Flow:
         self.resources: Tuple[Resource, ...] = tuple(resources)
 
     @property
+    def remaining(self) -> float:
+        """Bytes not yet delivered (as of the last progress sweep)."""
+        slot = self._slot
+        if slot is None:
+            return self._rem
+        return float(self.network._ft.remaining[slot])
+
+    @property
+    def rate(self) -> float:
+        """Currently allocated rate in bytes/second."""
+        slot = self._slot
+        if slot is None:
+            return self._rate
+        return float(self.network._ft.rate[slot])
+
+    @property
     def active(self) -> bool:
         """Whether the flow still has bytes to deliver."""
         return self.finished_at is None
 
+    def _detach(self, remaining: float, rate: float) -> None:
+        """Freeze final values on the object and release the table slot."""
+        self._rem = remaining
+        self._rate = rate
+        self._slot = None
+
     def __repr__(self) -> str:
         return (f"<Flow {self.label or id(self)} size={self.size:.3g} "
                 f"remaining={self.remaining:.3g} rate={self.rate:.3g}>")
-
-
-class _Completion(Event):
-    """Heap-scheduled completion of one flow at its current rate.
-
-    Like a :class:`~repro.sim.engine.Timeout`, the event is triggered at
-    creation and fires after ``delay``; unlike the old per-flow watcher
-    *processes*, it is a single heap entry with a single callback.  A
-    reallocation bumps the flow's ``_completion_token``, turning any
-    previously scheduled completion into a no-op when it fires.
-    """
-
-    __slots__ = ("flow", "token")
-
-    def __init__(self, network: "FlowNetwork", flow: Flow, delay: float):
-        # Inlined Event.__init__ + Environment._schedule: a reallocation
-        # creates one of these per flow, so construction cost is the
-        # dominant term of the allocator's own overhead.
-        env = network.env
-        self.env = env
-        self.callbacks = [network._completion_cb]
-        self._value = flow
-        self._ok = True
-        self.defused = False
-        self.flow = flow
-        self.token = flow._completion_token
-        env._eid += 1
-        heapq.heappush(env._queue, (env._now + delay, env._eid, self))
 
 
 class FlowNetwork:
@@ -166,14 +188,24 @@ class FlowNetwork:
         #: Per-resource active-flow reference counts (both directions).
         self._refs: Dict[int, int] = {}
         self._delivered: Dict[Tuple[Resource, Direction], float] = {}
-        #: Simulated time of the last full advancement sweep.
+        #: Array-of-struct flow and membership-key state (the hot path).
+        self._ft = FlowTable()
+        self._kt = KeyTable()
+        #: Array completion calendar, registered with the engine.
+        self._cal = env.register_calendar(
+            self._on_completion_slot, self._times_of, self._valid_of)
+        #: Monotone completion-token counter.  Tokens are globally
+        #: unique per (re)schedule, so a stale calendar entry can never
+        #: collide with a later assignment — not even across table
+        #: compactions that renumber slots.
+        self._next_token = 1
+        #: Simulated time of the last full advancement sweep.  Every
+        #: active flow is advanced at every sweep, so one timestamp
+        #: serves them all (the invariant the vectorized sweep needs).
         self._advanced_at = -math.inf
         #: Whether a flow may already sit below its finish threshold
         #: (forces the next sweep even with no time elapsed).
         self._may_have_finished = False
-        #: Pre-bound completion callback, shared by every scheduled
-        #: completion event (avoids a bound-method allocation apiece).
-        self._completion_cb = self._on_completion
         #: Allocation statistics (for the ``simcore`` benchmark).
         self.full_reallocations = 0
         self.fast_starts = 0
@@ -204,6 +236,7 @@ class FlowNetwork:
         flow = Flow(self, route, size, rate_cap=rate_cap, label=label)
         if flow.size <= 0.0:
             flow.finished_at = self.env.now
+            flow._rem = 0.0
             flow.done.succeed(flow)
             return flow
         if not flow.route and flow.rate_cap is None:
@@ -215,7 +248,7 @@ class FlowNetwork:
         disjoint = not finished and not any(
             refs.get(id(resource), 0) for resource in flow.resources)
         self._insert(flow)
-        if flow.remaining <= flow._finish_threshold:
+        if flow.size <= flow._finish_threshold:
             # Sub-epsilon (but non-zero) flow: make sure the next sweep
             # picks it up even if no simulated time passes first.
             self._may_have_finished = True
@@ -273,12 +306,15 @@ class FlowNetwork:
             return
         del self._flows[flow]
         self._remove(flow)
-        flow._completion_token += 1
-        partial = flow.size - flow.remaining - flow._credited
+        ft = self._ft
+        slot = flow._slot
+        remaining = float(ft.remaining[slot])
+        partial = flow.size - remaining - flow._credited
         if partial > 0:
             self._credit(flow, partial)
         flow.finished_at = self.env.now
-        flow.rate = 0.0
+        ft.objs[slot] = None
+        flow._detach(remaining, 0.0)
         self.aborted_flows += 1
         if exc is not None:
             flow.done.fail(exc)
@@ -313,11 +349,15 @@ class FlowNetwork:
         returned counters are exact as of the current simulated time.
         """
         now = self.env.now
+        ft = self._ft
+        elapsed = now - self._advanced_at
         for flow in self._flows:
-            elapsed = now - flow._last_update
-            progress = flow.size - flow.remaining - flow._credited
-            if elapsed > 0 and flow.rate > 0:
-                progress += min(flow.rate * elapsed, flow.remaining)
+            slot = flow._slot
+            rate = float(ft.rate[slot])
+            rem = float(ft.remaining[slot])
+            progress = flow.size - rem - flow._credited
+            if elapsed > 0 and rate > 0:
+                progress += min(rate * elapsed, rem)
             if progress > 0:
                 self._credit(flow, progress)
         return self._delivered
@@ -358,6 +398,11 @@ class FlowNetwork:
             if count == 0:
                 resources[rid] = resource
             refs[rid] = count + 1
+        kt = self._kt
+        key_slots = [kt.add_member(key, resource)
+                     for (resource, _d), key in zip(flow.hops,
+                                                    flow.hop_keys)]
+        flow._slot = self._ft.insert(flow, key_slots)
 
     def _remove(self, flow: Flow) -> None:
         members = self._members
@@ -375,36 +420,54 @@ class FlowNetwork:
             else:
                 del refs[rid]
                 del self._resources[rid]
+        kt = self._kt
+        for key in flow.hop_keys:
+            kt.remove_member(key)
+        self._ft.deactivate(flow._slot)
+
+    # -- calendar callbacks ----------------------------------------------
+    def _times_of(self, slots: np.ndarray) -> np.ndarray:
+        ft = self._ft
+        return self.env._now + ft.remaining[slots] / ft.rate[slots]
+
+    def _valid_of(self, slots: np.ndarray, tokens: np.ndarray) -> np.ndarray:
+        ft = self._ft
+        return ft.active[slots] & (ft.token[slots] == tokens)
 
     # -- internals --------------------------------------------------------
     def _advance_all(self) -> List[Flow]:
-        """Account progress of every flow since its last update.
+        """Account progress of every flow since the last sweep.
 
         Returns the flows that reached (epsilon-)completion and were
         finished in the process.
 
         Delivered-bytes accounting is *not* done here — progress is
         credited lazily (on finish, or when :attr:`delivered` is read),
-        so the per-event sweep is a handful of float operations per
-        flow.  Sweeps repeated at one simulated instant short-circuit.
+        so the sweep is one vectorized subtraction.  Sweeps repeated at
+        one simulated instant short-circuit.
         """
         now = self.env.now
         if now == self._advanced_at and not self._may_have_finished:
             return []
+        prof = self.env._profile
+        if prof is not None:
+            t0 = perf_counter()
+        ft = self._ft
+        act = ft.active_slots()
         finished: List[Flow] = []
-        for flow in self._flows:
-            elapsed = now - flow._last_update
-            if elapsed > 0 and flow.rate > 0:
-                moved = flow.rate * elapsed
-                moved = min(moved, flow.remaining)
-                flow.remaining -= moved
-                flow._last_update = now
-            elif elapsed > 0:
-                flow._last_update = now
-            if flow.remaining <= flow._finish_threshold:
-                finished.append(flow)
+        if len(act):
+            elapsed = now - self._advanced_at
+            if elapsed > 0:
+                remaining = ft.remaining
+                moved = np.minimum(ft.rate[act] * elapsed, remaining[act])
+                remaining[act] -= moved
+            below = ft.remaining[act] <= ft.threshold[act]
+            if below.any():
+                finished = [ft.objs[int(s)] for s in act[below]]
         self._advanced_at = now
         self._may_have_finished = False
+        if prof is not None:
+            prof.advance_s += perf_counter() - t0
         for flow in finished:
             self._finish(flow)
         return finished
@@ -414,21 +477,31 @@ class FlowNetwork:
             del self._flows[flow]
             self._remove(flow)
         if flow.finished_at is None:
-            finale = flow.size - flow.remaining - flow._credited
+            ft = self._ft
+            slot = flow._slot
+            if slot is not None:
+                finale = (flow.size - float(ft.remaining[slot])
+                          - flow._credited)
+                rate = float(ft.rate[slot])
+                ft.objs[slot] = None
+                flow._detach(0.0, rate)
+            else:
+                finale = flow.size - flow._rem - flow._credited
+                flow._rem = 0.0
             if finale > 0:
                 self._credit(flow, finale)
             flow.finished_at = self.env.now
-            flow.remaining = 0.0
             flow.done.succeed(flow)
             obs = self.obs
             if obs is not None:
                 obs.flow_retired(self, flow)
 
-    def _on_completion(self, event: _Completion) -> None:
-        """A flow's scheduled completion time arrived."""
-        flow = event.flow
-        if event.token != flow._completion_token or not flow.active:
+    def _on_completion_slot(self, slot: int, token: int) -> None:
+        """A scheduled completion fired (dispatched by the calendar)."""
+        ft = self._ft
+        if not ft.active[slot] or ft.token[slot] != token:
             return  # superseded by a later reallocation
+        flow = ft.objs[slot]
         self.completion_events += 1
         finished = self._advance_all()
         if flow.active:
@@ -473,113 +546,61 @@ class FlowNetwork:
         if rate <= 0 or math.isinf(rate):
             raise SimulationError(
                 f"flow {flow.label!r} was allocated zero bandwidth")
-        flow.rate = rate
+        ft = self._ft
+        slot = flow._slot
+        ft.rate[slot] = rate
         self.fast_starts += 1
-        flow._completion_token += 1
-        _Completion(self, flow, flow.remaining / rate)
+        token = self._next_token
+        self._next_token = token + 1
+        ft.token[slot] = token
+        eid = self.env._reserve_eids(1)
+        delay = float(ft.remaining[slot]) / rate
+        self._cal.push(self.env._now + delay, eid, slot, token)
 
     def _reallocate(self) -> None:
-        """Recompute max-min fair rates and reschedule all completions."""
+        """Recompute max-min fair rates and restage all completions."""
         self.full_reallocations += 1
-        if self._flows:
-            self._water_fill()
-        now = self.env.now
-        for flow in self._flows:
-            flow._last_update = now
-            flow._completion_token += 1
-            if flow.rate <= 0:
-                raise SimulationError(
-                    f"flow {flow.label!r} was allocated zero bandwidth")
-            _Completion(self, flow, flow.remaining / flow.rate)
-
-    def _water_fill(self) -> None:
-        """Progressive filling over all constrained resource directions.
-
-        Uses the persistent membership index: effective capacities come
-        from the per-direction member counts, and the per-bottleneck
-        "open" (not yet frozen) flow counts are maintained incrementally
-        as flows freeze.
-        """
-        members = self._members
-        resources = self._resources
-
-        # Effective capacity of each (resource, direction) under this load.
-        remaining_cap: Dict[int, float] = {}
-        open_count: Dict[int, int] = {}
-        for key, flows_here in members.items():
-            n_this = len(flows_here)
-            other_bucket = members.get(key ^ 1)
-            n_other = len(other_bucket) if other_bucket else 0
-            direction = Direction.REV if key & 1 else Direction.FWD
-            remaining_cap[key] = resources[key >> 1].effective_capacity(
-                direction, n_this, n_other)
-            open_count[key] = n_this
-
-        frozen: Dict[Flow, float] = {}
-        unfrozen: Dict[Flow, None] = dict(self._flows)
-
-        while unfrozen:
-            # Per-flow rate caps act as single-flow pseudo-resources.
-            best_share = math.inf
-            best_key = -1
-            for key, count in open_count.items():
-                if count <= 0:
-                    continue
-                share = remaining_cap[key] / count
-                if share < best_share:
-                    best_share = share
-                    best_key = key
-
-            capped = [f for f in unfrozen
-                      if f.rate_cap is not None and f.rate_cap < best_share]
-            if capped:
-                # Freeze the most restrictive rate-capped flows first.
-                tightest = min(f.rate_cap for f in capped)
-                for flow in capped:
-                    if flow.rate_cap == tightest:
-                        frozen[flow] = tightest
-                        del unfrozen[flow]
-                        self._charge(flow, tightest, remaining_cap,
-                                     open_count)
-                continue
-
-            if best_key < 0:
-                # No constrained resource left: only rate caps bound them.
-                for flow in unfrozen:
-                    if flow.rate_cap is None:
-                        raise SimulationError(
-                            f"flow {flow.label!r} is unconstrained")
-                    frozen[flow] = flow.rate_cap
-                unfrozen.clear()
-                break
-
-            if best_share <= 0.0:
-                resource = resources[best_key >> 1]
-                direction = "rev" if best_key & 1 else "fwd"
-                squeezed = [f.label or repr(f) for f in members[best_key]
-                            if f not in frozen]
-                raise SimulationError(
-                    f"resource {resource.name!r} ({direction}) has zero "
-                    f"effective capacity left for flow(s) "
-                    f"{', '.join(squeezed)}; its bandwidth is fully "
-                    "consumed by rate-capped or multi-hop flows")
-
-            for flow in members[best_key]:
-                if flow not in frozen:
-                    frozen[flow] = best_share
-                    del unfrozen[flow]
-                    self._charge(flow, best_share, remaining_cap, open_count)
-            # A bottleneck with zero open flows left must not be re-picked;
-            # its open count is now zero, so the share search skips it.
-
-        for flow, rate in frozen.items():
-            flow.rate = rate
-
-    @staticmethod
-    def _charge(flow: Flow, rate: float,
-                remaining_cap: Dict[int, float],
-                open_count: Dict[int, int]) -> None:
-        """Subtract a frozen flow's rate from every hop it crosses."""
-        for key in flow.hop_keys:
-            remaining_cap[key] = max(0.0, remaining_cap[key] - rate)
-            open_count[key] -= 1
+        ft, kt = self._ft, self._kt
+        # Compact sparsely populated tables.  Stale calendar entries may
+        # survive a renumbering, but globally unique tokens make them
+        # inert no-ops wherever they land.
+        lut = kt.compact() if kt.top >= 64 and kt.live * 2 < kt.top else None
+        if ft.top >= 128 and ft.live * 2 < ft.top:
+            ft.compact()
+        if lut is not None:
+            ft.remap_keys(lut)
+        # Fault factors can change out-of-band (the injector); re-read
+        # them so the cached capacities match what the reference would
+        # compute live.  O(alive keys), which is small.
+        kt.refresh_faults()
+        act = ft.active_slots()
+        n = len(act)
+        if n == 0:
+            self._cal.stage(act, _EMPTY_I64, _EMPTY_I64)
+            return
+        prof = self.env._profile
+        if prof is not None:
+            t0 = perf_counter()
+        if n <= _SMALL_FILL_N:
+            by_flow = water_fill_reference(self._flows, self._members,
+                                           self._resources)
+            rates = np.array([by_flow[ft.objs[slot]] for slot in act])
+        else:
+            rates = water_fill_arrays(ft, kt, act, members=self._members,
+                                      profile=prof)
+        if prof is not None:
+            prof.fill_s += perf_counter() - t0
+            prof.fills += 1
+        bad = rates <= 0.0
+        if bad.any():
+            flow = ft.objs[int(act[int(np.argmax(bad))])]
+            raise SimulationError(
+                f"flow {flow.label!r} was allocated zero bandwidth")
+        ft.rate[act] = rates
+        token0 = self._next_token
+        self._next_token = token0 + n
+        tokens = np.arange(token0, token0 + n, dtype=np.int64)
+        ft.token[act] = tokens
+        eid0 = self.env._reserve_eids(n)
+        eids = np.arange(eid0, eid0 + n, dtype=np.int64)
+        self._cal.stage(act, eids, tokens)

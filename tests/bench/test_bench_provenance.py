@@ -1,0 +1,61 @@
+"""Checked-in BENCH records must come from a clean tree.
+
+A ``BENCH_*.json`` whose provenance says ``dirty: true`` cannot be
+traced back to the commit it claims — the numbers may include
+uncommitted changes.  ``write_bench_record`` warns when it produces
+one; this test makes CI fail if one is ever committed anyway.
+"""
+
+import importlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import write_bench_record
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_FILES = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_repo_has_bench_records():
+    assert BENCH_FILES, "expected committed BENCH_*.json records"
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.name)
+def test_committed_bench_record_is_from_clean_tree(path):
+    with path.open() as handle:
+        record = json.load(handle)
+    provenance = record.get("provenance", {})
+    assert provenance.get("dirty") is not True, (
+        f"{path.name} was produced from a dirty working tree; regenerate "
+        "it from a clean checkout so its numbers are traceable to "
+        f"commit {provenance.get('commit')}")
+
+
+def _provenance_module():
+    # ``repro.obs`` re-exports a ``provenance`` *function* that shadows
+    # the submodule on attribute lookup; fetch the module itself.
+    return importlib.import_module("repro.obs.provenance")
+
+
+def test_writer_warns_on_dirty_tree(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr(
+        _provenance_module(), "git_revision",
+        lambda cwd=None: {"commit": "deadbeef", "dirty": True})
+    out = tmp_path / "BENCH_test.json"
+    write_bench_record(str(out), {"benchmark": "test", "scenarios": {}})
+    err = capsys.readouterr().err
+    assert "dirty working tree" in err
+    assert out.name in err
+    # The record itself still gets written (warning, not refusal).
+    assert json.loads(out.read_text())["provenance"]["dirty"] is True
+
+
+def test_writer_quiet_on_clean_tree(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr(
+        _provenance_module(), "git_revision",
+        lambda cwd=None: {"commit": "deadbeef", "dirty": False})
+    out = tmp_path / "BENCH_test.json"
+    write_bench_record(str(out), {"benchmark": "test", "scenarios": {}})
+    assert capsys.readouterr().err == ""

@@ -1,0 +1,195 @@
+"""The vectorized water-fill solver against the retained reference.
+
+:func:`repro.sim.solver.water_fill_arrays` promises *bit-identical*
+allocations to :func:`repro.sim.solver.water_fill_reference` (the
+pre-vectorization dict implementation) — same divisions, same
+first-minimum bottleneck choice, same charge rounding.  These tests pin
+that contract on randomized topologies and on the degenerate cases the
+array layout could plausibly get wrong: the zero-capacity guard, a
+single flow, every flow on one link, and duplex contention.
+
+Comparisons use plain ``==`` on floats, never ``approx``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment, SimulationError
+from repro.sim.flows import Flow, FlowNetwork
+from repro.sim.resources import Direction, Resource, SharingCurve
+from repro.sim.solver import water_fill_arrays, water_fill_reference
+
+FWD, REV = Direction.FWD, Direction.REV
+
+
+class _DeadResource(Resource):
+    """A resource whose effective capacity collapses to zero under load."""
+
+    __slots__ = ()
+
+    def effective_capacity(self, direction, flows_this_direction,
+                           flows_other_direction):
+        return 0.0
+
+
+def _build(resource_specs, flow_specs):
+    """Insert flows into a fresh network without allocating rates.
+
+    ``_insert`` maintains both the dict membership index (what the
+    reference reads) and the flow/key tables (what the vectorized
+    solver reads), so both solvers see exactly the same state.
+    """
+    env = Environment()
+    net = FlowNetwork(env)
+    resources = [
+        Resource(f"r{i}", cap, duplex_factor=duplex,
+                 sharing=SharingCurve(sharing) if sharing else None)
+        for i, (cap, duplex, sharing) in enumerate(resource_specs)]
+    flows = []
+    for j, (hops, size, rate_cap) in enumerate(flow_specs):
+        route = [(resources[idx], REV if rev else FWD) for idx, rev in hops]
+        flow = Flow(net, route, size, rate_cap=rate_cap, label=f"f{j}")
+        net._insert(flow)
+        flows.append(flow)
+    return net, resources, flows
+
+
+def _assert_solvers_agree(net):
+    """Both solvers produce identical rates (or identical errors)."""
+    act = net._ft.active_slots()
+    flows = list(net._flows)
+    assert len(flows) == len(act)
+    try:
+        ref = water_fill_reference(net._flows, net._members, net._resources)
+    except SimulationError as expected:
+        with pytest.raises(SimulationError) as caught:
+            water_fill_arrays(net._ft, net._kt, act, members=net._members)
+        assert str(caught.value) == str(expected)
+        return None
+    vec = water_fill_arrays(net._ft, net._kt, act, members=net._members)
+    for i, flow in enumerate(flows):
+        assert vec[i] == ref[flow], (
+            f"{flow.label}: vectorized {vec[i]!r} != reference "
+            f"{ref[flow]!r}")
+    return ref
+
+
+# -- randomized topologies -----------------------------------------------
+
+_capacity = st.floats(min_value=0.5, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+_size = st.floats(min_value=1.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False)
+_rate_cap = st.floats(min_value=0.1, max_value=50.0,
+                      allow_nan=False, allow_infinity=False)
+_resource_spec = st.tuples(
+    _capacity,
+    st.sampled_from([1.0, 0.5, 0.8]),
+    st.sampled_from([None, {2: 0.5}, {2: 0.9, 4: 0.6}]))
+
+
+@st.composite
+def _scenarios(draw):
+    n_res = draw(st.integers(min_value=1, max_value=5))
+    resource_specs = [draw(_resource_spec) for _ in range(n_res)]
+    n_flows = draw(st.integers(min_value=1, max_value=10))
+    flow_specs = []
+    for _ in range(n_flows):
+        hops = draw(st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n_res - 1),
+                      st.booleans()),
+            min_size=0, max_size=4))
+        rate_cap = draw(st.one_of(st.none(), _rate_cap))
+        if not hops and rate_cap is None:
+            rate_cap = draw(_rate_cap)  # unconstrained flows are invalid
+        flow_specs.append((hops, draw(_size), rate_cap))
+    return resource_specs, flow_specs
+
+
+@settings(max_examples=200, deadline=None)
+@given(_scenarios())
+def test_randomized_topologies_allocate_identically(scenario):
+    resource_specs, flow_specs = scenario
+    net, _resources, _flows = _build(resource_specs, flow_specs)
+    _assert_solvers_agree(net)
+
+
+# -- degenerate cases ----------------------------------------------------
+
+def test_single_flow():
+    net, _r, flows = _build([(10.0, 1.0, None)], [([(0, False)], 50.0, None)])
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 10.0
+
+
+def test_single_flow_rate_capped():
+    net, _r, flows = _build([(10.0, 1.0, None)],
+                            [([(0, False)], 50.0, 2.5)])
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 2.5
+
+
+def test_routeless_capped_flow():
+    net, _r, flows = _build([], [([], 50.0, 7.0)])
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 7.0
+
+
+def test_all_flows_on_one_link():
+    specs = [([(0, False)], 10.0 + i, None) for i in range(7)]
+    net, _r, flows = _build([(21.0, 1.0, None)], specs)
+    ref = _assert_solvers_agree(net)
+    assert all(ref[f] == 3.0 for f in flows)
+
+
+def test_duplex_contention():
+    # Both directions of one duplex-penalized resource: capacity halves
+    # while the opposite direction is busy.
+    specs = [([(0, False)], 40.0, None), ([(0, True)], 40.0, None)]
+    net, _r, flows = _build([(10.0, 0.5, None)], specs)
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 5.0
+    assert ref[flows[1]] == 5.0
+
+
+def test_same_resource_both_directions_one_route():
+    net, _r, _f = _build(
+        [(10.0, 0.8, None)],
+        [([(0, False), (0, True)], 40.0, None)])
+    _assert_solvers_agree(net)
+
+
+def test_zero_capacity_guard_raises_identically():
+    env = Environment()
+    net = FlowNetwork(env)
+    good = Resource("good", 10.0)
+    dead = _DeadResource("dead", 10.0)
+    for j, route in enumerate([[(good, FWD)], [(good, FWD), (dead, FWD)]]):
+        flow = Flow(net, route, 10.0, label=f"f{j}")
+        net._insert(flow)
+    with pytest.raises(SimulationError, match="zero effective capacity"):
+        water_fill_reference(net._flows, net._members, net._resources)
+    _assert_solvers_agree(net)
+
+
+def test_capped_flows_freeze_before_bottlenecks():
+    # Two capped flows (one tighter) and a free flow on one link; the
+    # reference freezes capped flows tightest-first.
+    specs = [([(0, False)], 30.0, 2.0),
+             ([(0, False)], 30.0, 3.0),
+             ([(0, False)], 30.0, None)]
+    net, _r, flows = _build([(12.0, 1.0, None)], specs)
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 2.0
+    assert ref[flows[1]] == 3.0
+    assert ref[flows[2]] == 7.0
+
+
+def test_fault_factor_respected():
+    net, resources, flows = _build(
+        [(10.0, 1.0, None)], [([(0, False)], 50.0, None)])
+    resources[0].set_fault_factor(0.25)
+    net._kt.refresh_faults()
+    ref = _assert_solvers_agree(net)
+    assert ref[flows[0]] == 2.5
