@@ -22,14 +22,15 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all result tables as JSON")
     parser.add_argument("--quick", action="store_true",
-                        help="simcore/kernels/resilience only: run the "
-                             "reduced scenario sweep (simcore and kernels "
-                             "then skip their JSON records; resilience "
-                             "always writes its own)")
+                        help="simcore/kernels/resilience/service only: run "
+                             "the reduced scenario sweep (simcore and "
+                             "kernels then skip their JSON records; "
+                             "resilience and service always write their "
+                             "own)")
     parser.add_argument("--record", metavar="PATH", default=None,
-                        help="simcore only: write the benchmark record to "
-                             "PATH even under --quick (the CI perf smoke "
-                             "diffs it against the committed record)")
+                        help="simcore/service only: write the benchmark "
+                             "record to PATH (the CI smokes diff it "
+                             "against the committed record)")
     parser.add_argument("--profile", action="store_true",
                         help="simcore only: attach the engine profiler and "
                              "emit a per-phase cost breakdown (fill rounds, "
@@ -37,16 +38,19 @@ def main(argv=None) -> int:
                              "the BENCH record")
     args = parser.parse_args(argv)
     if args.quick:
-        from repro.bench.experiments import kernels, resilience, simcore
+        from repro.bench.experiments import (kernels, resilience, service,
+                                             simcore)
         kernels.QUICK = True
         simcore.QUICK = True
         resilience.QUICK = True
+        service.QUICK = True
     if args.profile:
         from repro.bench.experiments import simcore
         simcore.PROFILE = True
     if args.record:
-        from repro.bench.experiments import simcore
+        from repro.bench.experiments import service, simcore
         simcore.RECORD_PATH = args.record
+        service.RECORD_PATH = args.record
     if args.list:
         for experiment in EXPERIMENTS:
             print(f"{experiment.id:22s} {experiment.title}")

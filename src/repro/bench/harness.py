@@ -23,6 +23,7 @@ from repro.bench.experiments import (
     local_copy,
     merge_saturation,
     resilience,
+    service,
     simcore,
     sort_scaling,
     table2,
@@ -116,6 +117,8 @@ EXPERIMENTS: List[Experiment] = [
                kernels.run_kernels_entry),
     Experiment("resilience", "Sorting under injected faults (fault model)",
                resilience.run_resilience_entry),
+    Experiment("service", "Multi-tenant sort service under offered load",
+               service.run_service_entry),
 ]
 
 _BY_ID: Dict[str, Experiment] = {e.id: e for e in EXPERIMENTS}

@@ -17,6 +17,24 @@ class RuntimeApiError(ReproError):
     """Raised for misuse of the virtual CUDA runtime API."""
 
 
+class PoolError(RuntimeApiError):
+    """Raised for misuse of a :class:`~repro.runtime.buffer.WorkspacePool`.
+
+    Covers double-releasing a borrowed view and returning a view to a
+    pool it was not taken from — both of which would silently corrupt
+    the free list (the same base handed out twice) if accepted.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A workspace-pool take would exceed the pool's byte quota.
+
+    Quotas back per-tenant isolation in :mod:`repro.serve`: one
+    tenant's oversized job fails with this typed error instead of
+    growing the shared host's scratch memory without bound.
+    """
+
+
 class SortError(ReproError):
     """Raised for invalid sorting inputs or configurations."""
 
@@ -64,3 +82,27 @@ class RecoveryError(SortError):
     all-GPUs-failed case raises a plain :class:`SortError` (same as the
     unsupervised sorts) so callers can treat both uniformly.
     """
+
+
+class ServiceError(ReproError):
+    """Raised for misuse of the multi-tenant sort service."""
+
+
+class AdmissionRejected(ServiceError):
+    """The sort service refused to admit a job (load shedding).
+
+    ``reason`` is one of the :data:`REASONS` — the service *chooses* to
+    reject rather than queue unboundedly, so callers can react per
+    reason (back off, shrink the request, try another tenant budget).
+    """
+
+    #: The closed set of rejection reasons the service emits.
+    REASONS = ("queue-full", "deadline-infeasible", "quota-exceeded",
+               "draining")
+
+    def __init__(self, reason: str, message: str):
+        if reason not in self.REASONS:
+            raise ValueError(f"unknown admission rejection reason "
+                             f"{reason!r} (expected one of {self.REASONS})")
+        super().__init__(f"[{reason}] {message}")
+        self.reason = reason

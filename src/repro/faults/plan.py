@@ -11,6 +11,8 @@ timelines, which is what makes chaos runs debuggable.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Tuple
 
@@ -164,6 +166,61 @@ class FaultPlan:
         return cls(events=tuple(events),
                    transient_failure_prob=min(0.3, 0.02 * intensity),
                    seed=seed)
+
+    # -- JSON round-trip ---------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the plan as JSON text.
+
+        Plans are plain data, so minimal failing plans from the chaos
+        fuzzer — and the service's chaos scenarios — can be saved as
+        replayable artifacts and reloaded with :meth:`from_json`.
+        """
+        return json.dumps({
+            "events": [dict(kind=type(event).__name__,
+                            **dataclasses.asdict(event))
+                       for event in self.events],
+            "transient_failure_prob": self.transient_failure_prob,
+            "seed": self.seed,
+        }, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_json`.
+
+        The same validation as direct construction applies, so a
+        hand-edited artifact with a malformed window fails loudly with
+        :class:`~repro.sim.engine.SimulationError`.
+        """
+        kinds = {kind.__name__: kind for kind in (
+            LinkDegradation, LinkDown, CopyEngineStall, StragglerGpu,
+            GpuFail, TransientTransfer)}
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SimulationError(f"fault plan is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise SimulationError(
+                "fault plan JSON must be an object with an 'events' list")
+        events = []
+        for entry in payload["events"]:
+            fields = dict(entry)
+            kind_name = fields.pop("kind", None)
+            kind = kinds.get(kind_name)
+            if kind is None:
+                raise SimulationError(
+                    f"fault plan JSON names unknown event kind "
+                    f"{kind_name!r} (known: {', '.join(sorted(kinds))})")
+            try:
+                events.append(kind(**fields))
+            except TypeError as exc:
+                raise SimulationError(
+                    f"malformed {kind_name} entry {entry!r}: {exc}") \
+                    from exc
+        return cls(events=tuple(events),
+                   transient_failure_prob=payload.get(
+                       "transient_failure_prob", 0.0),
+                   seed=payload.get("seed"))
 
     def __len__(self) -> int:
         return len(self.events)

@@ -15,6 +15,7 @@ The subsystem has three layers:
 """
 
 from repro.obs.diff import DiffResult, diff_files, diff_records, format_diff
+from repro.obs.jobs import job_labels, job_trace
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -50,6 +51,8 @@ __all__ = [
     "flow_count_series",
     "format_diff",
     "git_revision",
+    "job_labels",
+    "job_trace",
     "link_report",
     "link_series",
     "provenance",

@@ -6,6 +6,11 @@ Four subcommands over one instrumented-workload runner:
     Run a sort with observability on and write the full Perfetto /
     Chrome trace JSON — nested phase→flow slices, per-link bandwidth
     counter tracks, fault markers.
+
+``timeline`` and ``summary`` also run whole *service episodes*:
+``--service N`` offers N jobs through :class:`~repro.serve.SortService`
+at estimated capacity, and ``--job tenant/id`` narrows the output to
+one job's spans (see :mod:`repro.obs.jobs`).
 ``links``
     Top-N hottest links (peak utilization), with time-weighted mean
     bandwidth, saturation windows and an ASCII sparkline per link.
@@ -86,20 +91,12 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         metavar="T",
                         help="simulated time of the --kill-gpu failure "
                              "(default 0.5)")
+    parser.add_argument("--service", type=int, default=None, metavar="N",
+                        help="instead of one sort, run a service episode "
+                             "offering N jobs at estimated capacity")
 
 
-def _run_instrumented(args):
-    """Run the requested sort with observability on.
-
-    Returns ``(machine, recorder, result)``.
-    """
-    spec = system_by_name(args.system)
-    logical = float(args.keys)
-    budget = QUICK_PHYSICAL_KEYS if args.quick else PHYSICAL_KEYS
-    physical = max(1, min(budget, int(logical)))
-    scale = max(1.0, logical / physical)
-    machine = Machine(spec, scale=scale, fast_functional=True)
-    recorder = machine.enable_observability()
+def _install_faults(machine, spec, args) -> None:
     fault_events = []
     if getattr(args, "kill_gpu", None) is not None:
         from repro.faults.events import GpuFail
@@ -120,6 +117,21 @@ def _run_instrumented(args):
         else:
             plan = FaultPlan(events=tuple(fault_events))
         machine.install_faults(plan)
+
+
+def _run_instrumented(args):
+    """Run the requested sort with observability on.
+
+    Returns ``(machine, recorder, result)``.
+    """
+    spec = system_by_name(args.system)
+    logical = float(args.keys)
+    budget = QUICK_PHYSICAL_KEYS if args.quick else PHYSICAL_KEYS
+    physical = max(1, min(budget, int(logical)))
+    scale = max(1.0, logical / physical)
+    machine = Machine(spec, scale=scale, fast_functional=True)
+    recorder = machine.enable_observability()
+    _install_faults(machine, spec, args)
     keys = generate(physical, args.distribution, key_dtype("int"),
                     seed=args.seed)
     gpu_ids = args.gpus
@@ -139,6 +151,71 @@ def _run_instrumented(args):
     return machine, recorder, result
 
 
+def _run_service(args):
+    """Run a ``--service N`` episode with observability on.
+
+    Returns ``(machine, recorder, report)``.  A reference sort on a
+    throwaway machine calibrates the platform's sorting rate first, so
+    the admission controller's estimates agree with the executor and
+    the episode is not dominated by deadline rejections.
+    """
+    from repro.recovery import SortSupervisor
+    from repro.serve import (
+        ServiceConfig,
+        SortService,
+        Tenant,
+        WorkloadSpec,
+        generate_jobs,
+    )
+
+    spec = system_by_name(args.system)
+    logical = float(args.keys)
+    budget = QUICK_PHYSICAL_KEYS if args.quick else PHYSICAL_KEYS
+    physical = max(1, min(budget, int(logical)))
+    scale = max(1.0, logical / physical)
+
+    probe = Machine(spec, scale=scale, fast_functional=True)
+    reference = SortSupervisor(probe).sort(
+        generate(physical, args.distribution, key_dtype("int"),
+                 seed=args.seed))
+    rate = (reference.logical_keys
+            / (reference.duration * len(reference.gpu_ids)))
+
+    machine = Machine(spec, scale=scale, fast_functional=True)
+    recorder = machine.enable_observability()
+    _install_faults(machine, spec, args)
+    workload = WorkloadSpec(
+        jobs=args.service,
+        arrival_rate=spec.num_gpus * rate / (_mix_mean_fraction()
+                                             * physical * scale),
+        base_keys=physical,
+        est_service_s=physical * scale / rate,
+        seed=args.seed)
+    service = SortService(
+        machine,
+        tenants=[Tenant(name) for name in workload.tenants],
+        config=ServiceConfig(gpu_rate_keys_per_s=rate,
+                             distribution=args.distribution))
+    report = service.run(generate_jobs(workload))
+    return machine, recorder, report
+
+
+def _mix_mean_fraction() -> float:
+    """Expected keys-fraction of one job under the default mix."""
+    from repro.serve.workload import DEFAULT_MIX
+
+    return sum(fraction * weight
+               for _, fraction, _, _, weight in DEFAULT_MIX)
+
+
+def _job_result(report, label):
+    """The :class:`~repro.serve.job.JobResult` with ``label``."""
+    for result in report.results:
+        if result.spec.label == label:
+            return result
+    return None
+
+
 def _describe_run(machine, result) -> str:
     return (f"{result.algorithm} sort on {machine.spec.display_name}, "
             f"GPUs {result.gpu_ids}: "
@@ -146,9 +223,43 @@ def _describe_run(machine, result) -> str:
             f"{result.duration:.3f} s")
 
 
+def _describe_service(machine, report) -> str:
+    return (f"service episode on {machine.spec.display_name}: "
+            f"{report.offered} offered, {report.completed} completed, "
+            f"{report.rejected} rejected, {report.jobs_per_s:.1f} jobs/s, "
+            f"p99 latency {report.p99_latency_s:.3f} s")
+
+
 def cmd_timeline(args) -> int:
     from repro.analysis.timeline import write_chrome_trace
 
+    if args.service is not None:
+        machine, recorder, report = _run_service(args)
+        trace, label = machine.trace, f"service@{args.system}"
+        if args.job:
+            from repro.obs.jobs import job_trace
+
+            job = _job_result(report, args.job)
+            try:
+                trace, _ = job_trace(machine.trace, args.job,
+                                     job.gpu_ids if job else ())
+            except ReproError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            # Counter tracks are machine-wide; a per-job timeline keeps
+            # only the job's own spans.
+            recorder = None
+            label = f"job {args.job}@{args.system}"
+        path = write_chrome_trace(trace, args.output, label=label,
+                                  recorder=recorder)
+        print(_describe_service(machine, report))
+        print(f"  {len(trace.spans)} spans"
+              + (f", {len(recorder.events)} events, "
+                 f"{len(recorder.flows)} flows" if recorder else
+                 f" (job {args.job})"))
+        print(f"  timeline written to {path} "
+              f"(open in https://ui.perfetto.dev)")
+        return 0
     machine, recorder, result = _run_instrumented(args)
     path = write_chrome_trace(machine.trace, args.output,
                               label=f"{result.algorithm}@{args.system}",
@@ -162,7 +273,12 @@ def cmd_timeline(args) -> int:
 
 
 def cmd_links(args) -> int:
-    machine, recorder, result = _run_instrumented(args)
+    if args.service is not None:
+        machine, recorder, report = _run_service(args)
+        described = _describe_service(machine, report)
+    else:
+        machine, recorder, result = _run_instrumented(args)
+        described = _describe_run(machine, result)
     start, end = 0.0, None
     scope = ""
     if args.phase:
@@ -174,7 +290,7 @@ def cmd_links(args) -> int:
             return 1
         start, end = window
         scope = f" during {args.phase} [{start:.3f}s, {end:.3f}s]"
-    print(_describe_run(machine, result))
+    print(described)
     print(f"hottest links{scope}:")
     reports = link_report(recorder, start=start, end=end,
                           saturation_fraction=args.saturation)
@@ -214,6 +330,8 @@ def cmd_links(args) -> int:
 def cmd_summary(args) -> int:
     from repro.analysis.utilization import utilization_report
 
+    if args.service is not None:
+        return _cmd_summary_service(args)
     machine, recorder, result = _run_instrumented(args)
     print(_describe_run(machine, result))
     print()
@@ -266,6 +384,77 @@ def cmd_summary(args) -> int:
     return 0
 
 
+def _cmd_summary_service(args) -> int:
+    from repro.analysis.utilization import utilization_report
+    from repro.obs.jobs import job_trace
+
+    machine, recorder, report = _run_service(args)
+    print(_describe_service(machine, report))
+    print()
+
+    if args.job is None:
+        jobs_table = Table(
+            ["job", "size", "gpus", "status", "reason", "wait s",
+             "latency s"],
+            title="jobs (filter with --job tenant/id)")
+        for result in report.results:
+            jobs_table.add_row(
+                result.spec.label,
+                f"{result.spec.keys * machine.scale / 1e9:.2f}B",
+                ",".join(map(str, result.gpu_ids)) or "-",
+                result.status, result.reason or "-",
+                ("-" if result.queue_wait_s is None
+                 else f"{result.queue_wait_s:.3f}"),
+                ("-" if result.latency_s is None
+                 else f"{result.latency_s:.3f}"))
+        jobs_table.print()
+        return 0
+
+    job = _job_result(report, args.job)
+    try:
+        trace, root = job_trace(machine.trace, args.job,
+                                job.gpu_ids if job else ())
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"job {args.job}: {job.status} on GPUs {list(job.gpu_ids)}, "
+          f"queued {job.queue_wait_s:.3f} s, "
+          f"ran [{root.start:.3f} s, {root.end:.3f} s]")
+    print()
+
+    phase_table = Table(["phase", "wall s", "spans", "GB"],
+                        title=f"phases of job {args.job}")
+    for phase, duration in trace.phase_durations().items():
+        spans = trace.phase_spans(phase)
+        phase_table.add_row(phase, f"{duration:.3f}", len(spans),
+                            f"{trace.total_bytes(phase) / 1e9:.1f}")
+    phase_table.print()
+
+    phases = [p for p in trace.phases() if not p.startswith("Fault:")]
+    actor_table = Table(["actor", *phases, "busy s"],
+                        title="actor busy seconds by phase")
+    for actor_report in utilization_report(trace):
+        cells = [f"{actor_report.by_phase.get(p, 0.0):.3f}"
+                 for p in phases]
+        actor_table.add_row(actor_report.actor, *cells,
+                            f"{actor_report.busy:.3f}")
+    actor_table.print()
+
+    link_table = Table(["link", "dir", "GB moved", "mean GB/s",
+                        "peak util", "sat s"],
+                       title="links during the job's window (machine-"
+                             "wide: concurrent jobs share links)")
+    for link in link_report(recorder, start=root.start,
+                            end=root.end)[:args.top]:
+        link_table.add_row(link.link, link.direction,
+                           f"{link.bytes / 1e9:.1f}",
+                           f"{link.mean / 1e9:.1f}",
+                           f"{link.peak_utilization:5.1%}",
+                           f"{link.saturated_s:.3f}")
+    link_table.print()
+    return 0
+
+
 def cmd_diff(args) -> int:
     try:
         result = diff_files(args.old, args.new, threshold=args.threshold)
@@ -291,6 +480,9 @@ def main(argv=None) -> int:
     _add_workload_args(timeline)
     timeline.add_argument("-o", "--output", default="timeline.json",
                           help="output path (default timeline.json)")
+    timeline.add_argument("--job", default=None, metavar="TENANT/ID",
+                          help="with --service: write only this job's "
+                               "spans")
     timeline.set_defaults(handler=cmd_timeline)
 
     links = commands.add_parser(
@@ -311,6 +503,8 @@ def main(argv=None) -> int:
     _add_workload_args(summary)
     summary.add_argument("--top", type=int, default=10,
                          help="links to show")
+    summary.add_argument("--job", default=None, metavar="TENANT/ID",
+                         help="with --service: roll up only this job")
     summary.set_defaults(handler=cmd_summary)
 
     diff = commands.add_parser(
@@ -324,6 +518,11 @@ def main(argv=None) -> int:
     diff.set_defaults(handler=cmd_diff)
 
     args = parser.parse_args(argv)
+    if getattr(args, "job", None) and getattr(args, "service", None) is None:
+        parser.error("--job filters a service episode; add --service N")
+    if getattr(args, "service", None) is not None and args.service <= 0:
+        parser.error(f"--service needs a positive job count, "
+                     f"got {args.service}")
     return args.handler(args)
 
 

@@ -23,9 +23,9 @@ from repro.errors import ReproError
 #: Metric-name suffixes where a *decrease* is an improvement.
 LOWER_IS_BETTER = ("wall_s", "clean_s", "faulted_s", "sim_s",
                    "fault_downtime_s", "link_wait_s", "overhead_pct",
-                   "ref_wall_s")
+                   "ref_wall_s", "latency_s", "queue_wait_s")
 #: Metric-name suffixes where an *increase* is an improvement.
-HIGHER_IS_BETTER = ("_per_sec", "speedup", "speedup_vs_seed")
+HIGHER_IS_BETTER = ("_per_sec", "_per_s", "speedup", "speedup_vs_seed")
 
 
 def metric_direction(name: str) -> Optional[int]:

@@ -1,0 +1,110 @@
+"""Per-job trace extraction for service episodes.
+
+A service episode interleaves many supervised sorts in one simulated
+environment, so the machine-wide :class:`~repro.sim.trace.Trace` mixes
+every job's spans together.  Labelled jobs leave the global parent
+stack alone (it assumes one sort at a time), so their phase spans are
+*not* children of the job's root span; instead each job is recoverable
+from three signals:
+
+* its root ``SupervisedSort`` span (and any ``Replan`` spans), whose
+  actor is ``job:<tenant>/<id>``;
+* device spans on the job's gang of GPUs inside the root's time
+  window — gangs are disjoint while a job runs, so a GPU's spans in
+  that window belong to exactly one job;
+* the descendant closure: flow-level spans recorded with an explicit
+  ``parent`` chain under any span already attributed.
+
+Host-side (``cpu*``) spans are attributed by time window alone; when
+two het jobs genuinely overlap on the same NUMA node, both windows
+claim the shared CPU merge work.  The rollups stay per-job exact for
+device and link activity — the paper's phases — and conservative for
+host activity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.sim.trace import Span, Trace
+
+#: Start/end slack when testing containment in the job window; spans
+#: recorded at the exact boundary of the root span stay attributed.
+_EPS = 1e-9
+
+
+def job_labels(trace: Trace) -> List[str]:
+    """Labels of every service job with a root span in ``trace``."""
+    labels = []
+    for span in trace.spans:
+        if (span.phase == "SupervisedSort"
+                and span.actor.startswith("job:")):
+            labels.append(span.actor[len("job:"):])
+    return labels
+
+
+def job_trace(trace: Trace, label: str,
+              gpu_ids: Sequence[int]) -> Tuple[Trace, Span]:
+    """Extract one job's spans into a fresh :class:`Trace`.
+
+    ``label`` is the job's ``tenant/id`` label and ``gpu_ids`` the gang
+    it ran on (both live on the service's
+    :class:`~repro.serve.job.JobResult`).  Returns the filtered trace
+    and the job's root span; raises
+    :class:`~repro.errors.ServiceError` when the trace holds no such
+    job — with the labels it *does* hold, so a typo is a one-step fix.
+    """
+    actor = f"job:{label}"
+    root = None
+    for span in trace.spans:
+        if span.phase == "SupervisedSort" and span.actor == actor:
+            root = span
+            break
+    if root is None:
+        known = ", ".join(sorted(job_labels(trace))) or "(none)"
+        raise ServiceError(
+            f"no job {label!r} in this trace (jobs recorded: {known}); "
+            f"job labels are tenant/id, e.g. acme/3")
+
+    lo, hi = root.start - _EPS, root.end + _EPS
+    device_actors = {f"gpu{gpu}" for gpu in gpu_ids}
+    kept: List[Span] = []
+    kept_ids = set()
+    rest: List[Span] = []
+    for span in trace.spans:
+        if span.actor == actor:
+            pass  # root + Replan markers
+        elif (span.actor in device_actors
+              or span.actor.startswith("cpu")):
+            if not (lo <= span.start and span.end <= hi):
+                continue
+        else:
+            rest.append(span)
+            continue
+        kept.append(span)
+        if span.id:
+            kept_ids.add(span.id)
+
+    # Descendant closure over explicitly-parented spans (flows under
+    # phase spans, relay hops).  Children can complete before their
+    # parent is recorded, so iterate to a fixpoint.
+    changed = True
+    while changed and rest:
+        changed = False
+        remaining = []
+        for span in rest:
+            if span.parent is not None and span.parent in kept_ids:
+                kept.append(span)
+                if span.id:
+                    kept_ids.add(span.id)
+                changed = True
+            else:
+                remaining.append(span)
+        rest = remaining
+
+    filtered = Trace(trace.env)
+    for span in sorted(kept, key=lambda s: (s.start, s.id)):
+        filtered.record(span.phase, span.actor, span.start, span.end,
+                        bytes=span.bytes, id=span.id, parent=span.parent)
+    return filtered, root

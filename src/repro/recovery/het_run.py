@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.errors import ReproError, SortError
 from repro.recovery.checkpoint import PhaseCheckpoint
-from repro.runtime.buffer import HostBuffer, default_pool
+from repro.runtime.buffer import HostBuffer
 from repro.runtime.cpu_ops import cpu_multiway_merge
 from repro.runtime.kernels import sort_on_device
 from repro.runtime.memcpy import copy_async, span
@@ -93,7 +93,7 @@ class HetRun:
         offset = 0
         for sizes in group_sizes:
             for size in sizes:
-                run = default_pool.take(size, self.dtype)
+                run = self.sup.pool.take(size, self.dtype)
                 self._borrowed.append(run)
                 self.tasks.append(_SupTask(
                     index=len(self.tasks), src_start=offset,
@@ -134,7 +134,7 @@ class HetRun:
     def cleanup(self) -> None:
         self._free_device_state()
         for array in self._borrowed:
-            default_pool.give(array)
+            self.sup.pool.give(array)
         self._borrowed = []
 
     # -- phase bodies ------------------------------------------------------

@@ -38,7 +38,7 @@ import numpy as np
 
 from repro.errors import RecoveryError, ReproError, SortError
 from repro.recovery.checkpoint import PhaseCheckpoint
-from repro.runtime.buffer import HostBuffer, default_pool
+from repro.runtime.buffer import HostBuffer
 from repro.runtime.cpu_ops import cpu_multiway_merge
 from repro.runtime.kernels import merge_two_on_device, sort_on_device
 from repro.runtime.memcpy import copy_async, span
@@ -68,7 +68,7 @@ class P2PRun:
         self.padded = self.chunk * g
 
         machine = self.machine
-        padded_data = default_pool.take(self.padded, self.dtype)
+        padded_data = sup.pool.take(self.padded, self.dtype)
         self._borrowed: List[np.ndarray] = [padded_data]
         padded_data[:self.n] = host_in.data
         padded_data[self.n:] = _pad_value(self.dtype)
@@ -173,7 +173,7 @@ class P2PRun:
     def cleanup(self) -> None:
         self._free_device_state()
         for array in self._borrowed:
-            default_pool.give(array)
+            self.sup.pool.give(array)
         self._borrowed = []
 
     # -- phase bodies ------------------------------------------------------

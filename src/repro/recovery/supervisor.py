@@ -36,7 +36,7 @@ from repro.errors import (
 )
 from repro.recovery.checkpoint import PhaseCheckpoint, RecoveryStats
 from repro.recovery.tasks import TaskGroup
-from repro.runtime.buffer import HostBuffer
+from repro.runtime.buffer import HostBuffer, WorkspacePool, default_pool
 from repro.runtime.context import Machine
 from repro.sort.gpu_set import surviving_gpu_ids
 from repro.sort.result import SortResult
@@ -71,6 +71,17 @@ class SupervisorConfig:
     #: back to a host-side multiway merge of the staged runs instead of
     #: failing the run.
     cpu_merge_fallback: bool = True
+    #: Workspace pool for the run's host-side scratch (padded staging
+    #: array, staged runs); ``None`` uses the process-wide
+    #: :data:`~repro.runtime.buffer.default_pool`.  The sort service
+    #: passes each tenant's quota-limited pool here so one tenant's
+    #: scratch cannot starve another's.
+    pool: Optional[WorkspacePool] = None
+    #: Job label for multi-job traces: the run's root span is recorded
+    #: with actor ``job:<label>`` (instead of ``supervisor``) and the
+    #: global trace parent stack is left untouched — the stack assumes
+    #: one sort at a time, which concurrent service jobs violate.
+    job_label: Optional[str] = None
 
 
 class SortSupervisor:
@@ -83,6 +94,12 @@ class SortSupervisor:
         self.rec = RecoveryStats()
         self.checkpoints: List[PhaseCheckpoint] = []
         self.excluded: tuple = ()
+
+    @property
+    def pool(self) -> WorkspacePool:
+        """The workspace pool this run's host scratch comes from."""
+        return self.config.pool if self.config.pool is not None \
+            else default_pool
 
     # -- bookkeeping hooks the drivers call --------------------------------
     def note_checkpoint(self, ck: PhaseCheckpoint) -> None:
@@ -116,6 +133,49 @@ class SortSupervisor:
         supervised paths do not carry value payloads (use the plain
         sorts for key-value records).  Extra keyword arguments go to
         the algorithm driver (``p2p_config=`` / ``het_config=``).
+
+        The supervisor drives the run from the host side, one
+        ``env.run`` per phase, exactly as before :meth:`sort_async`
+        existed — the trampoline below replays the generator's yielded
+        events through ``env.run`` without wrapping it in a process, so
+        single-sort runs stay bit-identical to the pre-service code.
+        """
+        generator = self.sort_async(data, algorithm=algorithm,
+                                    gpu_ids=gpu_ids, **driver_kwargs)
+        env = self.machine.env
+        try:
+            event = next(generator)
+        except StopIteration as stop:
+            return stop.value
+        while True:
+            try:
+                value = env.run(until=event)
+            except BaseException as exc:  # noqa: BLE001 - replayed below
+                # Raw event-loop escapes included: thrown back into the
+                # generator at its yield, where the phase loop's except
+                # clauses (replan, deadline) and cleanup handle them.
+                try:
+                    event = generator.throw(exc)
+                except StopIteration as stop:
+                    return stop.value
+                continue
+            try:
+                event = generator.send(value)
+            except StopIteration as stop:
+                return stop.value
+
+    def sort_async(self, data: Union[np.ndarray, HostBuffer],
+                   algorithm: str = "p2p",
+                   gpu_ids: Optional[Sequence[int]] = None,
+                   **driver_kwargs):
+        """Process form of :meth:`sort`: a generator yielding events.
+
+        Run it under ``env.process`` to execute a supervised sort
+        *concurrently* with other work in the same simulated
+        environment — the sort service schedules many of these on
+        disjoint GPU sets.  The generator's return value is the
+        :class:`SortResult`; exceptions propagate through the process
+        event like any other task failure.
         """
         machine = self.machine
         if algorithm == "p2p":
@@ -144,18 +204,23 @@ class SortSupervisor:
         root_id = None
         if machine.obs is not None:
             root_id = machine.trace.allocate_id()
-            machine.trace.push_parent(root_id)
+            if self.config.job_label is None:
+                # The global parent stack assumes one sort at a time;
+                # labelled (service) jobs leave it alone and are found
+                # by actor instead.
+                machine.trace.push_parent(root_id)
 
         deadline_hit = False
         try:
             while driver.queue:
                 name = driver.queue[0]
                 try:
-                    self._run_phase(name, driver.body(name), deadline)
+                    yield from self._run_phase(name, driver.body(name),
+                                               deadline)
                     ck_body = driver.checkpoint_body(name)
                     if ck_body is not None:
-                        self._run_phase(f"{name}:checkpoint", ck_body,
-                                        deadline)
+                        yield from self._run_phase(f"{name}:checkpoint",
+                                                   ck_body, deadline)
                     driver.after_phase(name)
                     self.rec.completed(name)
                     driver.queue.pop(0)
@@ -167,9 +232,10 @@ class SortSupervisor:
         finally:
             driver.cleanup()
             if root_id is not None:
-                machine.trace.pop_parent()
+                if self.config.job_label is None:
+                    machine.trace.pop_parent()
                 machine.trace.record(
-                    "SupervisedSort", "supervisor", start,
+                    "SupervisedSort", self._actor(), start,
                     bytes=host_in.data.nbytes * machine.scale, id=root_id)
 
         duration = env.now - start
@@ -213,6 +279,12 @@ class SortSupervisor:
         )
 
     # -- internals ---------------------------------------------------------
+    def _actor(self) -> str:
+        """Span actor for this run's supervisor-level trace records."""
+        if self.config.job_label is not None:
+            return f"job:{self.config.job_label}"
+        return "supervisor"
+
     def _initial_ids(self, algorithm: str,
                      gpu_ids: Optional[Sequence[int]]) -> tuple:
         machine = self.machine
@@ -239,24 +311,27 @@ class SortSupervisor:
             ids = tuple(ids[:keep])
         return tuple(ids)
 
-    def _run_phase(self, name: str, body, deadline) -> None:
-        """One phase = one ``machine.run`` of a task-group runner.
+    def _run_phase(self, name: str, body, deadline):
+        """One phase = one wait on a task-group runner.
 
         The runner raises at most one exception (the phase's recorded
         failure or the deadline); the quiesce in the except path is a
         backstop that tears down any task the runner could not reap
-        before the supervisor reacts to the error.
+        before the supervisor reacts to the error.  A generator: the
+        yielded events reach either :meth:`sort`'s host trampoline
+        (``env.run`` per event) or the surrounding process when the run
+        executes as :meth:`sort_async` — same waits either way.
         """
         env = self.machine.env
         group = TaskGroup(env, name=name)
         runner = env.process(group.run(body(group), deadline=deadline))
         try:
-            self.machine.run(runner)
+            yield runner
         except BaseException:
-            self._quiesce(group, runner)
+            yield from self._quiesce(group, runner)
             raise
 
-    def _quiesce(self, group: TaskGroup, runner) -> None:
+    def _quiesce(self, group: TaskGroup, runner):
         """Force-drain a failed phase so no task outlives it."""
         env = self.machine.env
         for _attempt in range(100):
@@ -269,7 +344,7 @@ class SortSupervisor:
             for proc in leftovers:
                 group.interrupt_task(proc)
             try:
-                env.run(until=env.all_of(leftovers))
+                yield env.all_of(leftovers)
             except BaseException:  # noqa: BLE001 - keep draining
                 continue
 
@@ -290,7 +365,7 @@ class SortSupervisor:
             if gpu not in self.excluded:
                 self.excluded = self.excluded + (gpu,)
         now = machine.env.now
-        machine.trace.record("Replan", "supervisor", now)
+        machine.trace.record("Replan", self._actor(), now)
         if machine.obs is not None:
             machine.obs.replanned(phase, type(exc).__name__, dead,
                                   survivors, now)

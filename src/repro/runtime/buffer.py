@@ -19,14 +19,41 @@ time.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
-from repro.errors import RuntimeApiError
+from repro.errors import PoolError, QuotaExceededError, RuntimeApiError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.device import Device
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Snapshot of one :class:`WorkspacePool`'s memory accounting.
+
+    ``borrowed_bytes``/``free_bytes`` break down by dtype string (the
+    per-dtype free lists); the tenancy quotas of :mod:`repro.serve` and
+    the service metrics read these without touching pool internals.
+    """
+
+    borrowed_bytes: Dict[str, int]
+    free_bytes: Dict[str, int]
+    hits: int
+    misses: int
+    quota_bytes: Optional[int]
+
+    @property
+    def total_borrowed(self) -> int:
+        """Bytes currently out on loan, all dtypes."""
+        return sum(self.borrowed_bytes.values())
+
+    @property
+    def total_free(self) -> int:
+        """Bytes currently parked in the free lists, all dtypes."""
+        return sum(self.free_bytes.values())
 
 
 class WorkspacePool:
@@ -42,21 +69,50 @@ class WorkspacePool:
     size, capped at :data:`MAX_CACHED_PER_DTYPE` bases each so repeated
     large sorts cannot accumulate unbounded memory.  Single-threaded by
     design, like the simulator it serves.
+
+    Ownership is tracked: giving a view back twice, or giving it to a
+    pool it was not taken from, raises a typed :class:`PoolError`
+    instead of silently corrupting the free list (the same base handed
+    out to two borrowers).  ``quota_bytes`` optionally caps the bytes a
+    pool may have out on loan — the per-tenant isolation mechanism of
+    :mod:`repro.serve` — raising :class:`QuotaExceededError` on a take
+    that would exceed it.
     """
 
     #: Free bases kept per dtype; the smallest are evicted beyond this.
     MAX_CACHED_PER_DTYPE = 8
 
-    def __init__(self) -> None:
+    def __init__(self, quota_bytes: Optional[int] = None,
+                 name: str = "") -> None:
+        if quota_bytes is not None and quota_bytes < 0:
+            raise RuntimeApiError(
+                f"quota_bytes must be >= 0, got {quota_bytes}")
         self._free: Dict[str, List[np.ndarray]] = {}
+        #: Bases currently out on loan, by ``id(base)``.
+        self._out: Dict[int, np.ndarray] = {}
+        self.quota_bytes = quota_bytes
+        self.name = name
         self.hits = 0
         self.misses = 0
+
+    @property
+    def borrowed_bytes(self) -> int:
+        """Bytes currently out on loan."""
+        return sum(base.nbytes for base in self._out.values())
 
     def take(self, n: int, dtype) -> np.ndarray:
         """A writable, uninitialised length-``n`` view from the pool."""
         if n < 0:
             raise RuntimeApiError(f"cannot take {n} elements")
         dtype = np.dtype(dtype)
+        need = max(n, 1) * dtype.itemsize
+        if (self.quota_bytes is not None
+                and self.borrowed_bytes + need > self.quota_bytes):
+            label = f" {self.name!r}" if self.name else ""
+            raise QuotaExceededError(
+                f"workspace pool{label}: taking {need} bytes would put "
+                f"{self.borrowed_bytes + need} bytes on loan, over the "
+                f"{self.quota_bytes}-byte quota")
         bucket = self._free.get(dtype.str)
         if bucket:
             # Smallest sufficient base (list is sorted by size).
@@ -64,9 +120,11 @@ class WorkspacePool:
                 if base.size >= n:
                     bucket.pop(i)
                     self.hits += 1
+                    self._out[id(base)] = base
                     return base[:n]
         self.misses += 1
         base = np.empty(max(n, 1), dtype=dtype)
+        self._out[id(base)] = base
         return base[:n]
 
     def give(self, view: np.ndarray) -> None:
@@ -76,6 +134,17 @@ class WorkspacePool:
             raise RuntimeApiError(
                 "workspace pool only recycles views of one-dimensional "
                 "arrays")
+        if self._out.pop(id(base), None) is None:
+            label = f" {self.name!r}" if self.name else ""
+            if any(cached is base for bucket in self._free.values()
+                   for cached in bucket):
+                raise PoolError(
+                    f"double release: this {base.size} x {base.dtype} "
+                    f"workspace is already back in pool{label}")
+            raise PoolError(
+                f"foreign release: this {base.size} x {base.dtype} array "
+                f"was not taken from pool{label} (cross-pool give, or "
+                "never borrowed)")
         bucket = self._free.setdefault(base.dtype.str, [])
         index = 0
         while index < len(bucket) and bucket[index].size < base.size:
@@ -95,8 +164,24 @@ class WorkspacePool:
         finally:
             self.give(view)
 
+    def stats(self) -> PoolStats:
+        """Borrowed/free byte accounting (per dtype) plus hit counters."""
+        borrowed: Dict[str, int] = {}
+        for base in self._out.values():
+            key = base.dtype.str
+            borrowed[key] = borrowed.get(key, 0) + base.nbytes
+        free = {key: sum(base.nbytes for base in bucket)
+                for key, bucket in self._free.items() if bucket}
+        return PoolStats(borrowed_bytes=borrowed, free_bytes=free,
+                         hits=self.hits, misses=self.misses,
+                         quota_bytes=self.quota_bytes)
+
     def clear(self) -> None:
-        """Drop every cached base (tests and memory-pressure hooks)."""
+        """Drop every cached base (tests and memory-pressure hooks).
+
+        Outstanding loans stay tracked: views already taken can still be
+        given back afterwards.
+        """
         self._free.clear()
 
     @property

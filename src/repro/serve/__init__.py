@@ -1,0 +1,52 @@
+"""A multi-tenant sort service over one simulated machine.
+
+:mod:`repro.serve` turns the single-shot sorting stack into a service
+that *degrades gracefully instead of falling over*:
+
+* a **bounded job queue** fed by a seeded workload generator
+  (:mod:`repro.serve.workload`);
+* an **admission controller** that sheds load with typed
+  :class:`~repro.errors.AdmissionRejected` reasons — ``queue-full``,
+  ``deadline-infeasible``, ``quota-exceeded``, ``draining`` — rather
+  than queueing unboundedly (:mod:`repro.serve.admission`);
+* a **gang scheduler** that partitions the platform's GPUs between
+  concurrent jobs (fair-share and shortest-job-first policies, with
+  small-job batching onto shared GPUs; :mod:`repro.serve.scheduler`);
+* per-tenant :class:`~repro.runtime.buffer.WorkspacePool` isolation
+  with byte quotas (:mod:`repro.serve.tenancy`);
+* a **circuit breaker** quarantining GPUs that fault in consecutive
+  jobs (:mod:`repro.serve.breaker`);
+* graceful **drain/shutdown** that completes in-flight jobs or returns
+  typed partial results.
+
+Each admitted job runs under its own
+:class:`~repro.recovery.SortSupervisor` (via :meth:`sort_async
+<repro.recovery.supervisor.SortSupervisor.sort_async>`), so per-job
+deadlines, replanning around dead GPUs, and checkpoint recovery all
+compose with service-level scheduling.  See ``docs/SERVICE.md``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.job import JobResult, JobSpec
+from repro.serve.queue import BoundedJobQueue
+from repro.serve.scheduler import GangScheduler, Placement
+from repro.serve.service import ServiceConfig, ServiceReport, SortService
+from repro.serve.tenancy import Tenant
+from repro.serve.workload import WorkloadSpec, generate_jobs
+
+__all__ = [
+    "AdmissionController",
+    "BoundedJobQueue",
+    "CircuitBreaker",
+    "GangScheduler",
+    "JobResult",
+    "JobSpec",
+    "Placement",
+    "ServiceConfig",
+    "ServiceReport",
+    "SortService",
+    "Tenant",
+    "WorkloadSpec",
+    "generate_jobs",
+]

@@ -1,0 +1,83 @@
+"""The GPU circuit breaker: quarantine repeat offenders across jobs.
+
+The fault injector already records every fault occurrence on its
+timeline; the breaker folds that *cross-job* signal into scheduling.
+After each job, every GPU the job used is judged: a fault window on
+the GPU overlapping the job's run increments its consecutive-fault
+count, a clean run resets it, and at :attr:`threshold` consecutive
+faulted jobs the GPU is quarantined — the gang scheduler stops
+allocating it, so a flapping device degrades capacity instead of
+failing every job scheduled onto it.  Hard GPU failures quarantine
+immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+
+class CircuitBreaker:
+    """Per-GPU consecutive-fault counting with quarantine."""
+
+    def __init__(self, threshold: int = 3):
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        #: Consecutive faulted jobs per GPU id.
+        self.consecutive: Dict[int, int] = {}
+        self.quarantined: Set[int] = set()
+        #: ``(gpu, simulated time)`` of every trip, in order.
+        self.trips: List[Tuple[int, float]] = []
+
+    def is_quarantined(self, gpu: int) -> bool:
+        """Whether the scheduler must avoid ``gpu``."""
+        return gpu in self.quarantined
+
+    def observe_job(self, machine: "Machine", gpu_ids: Sequence[int],
+                    start: float, end: float) -> Set[int]:
+        """Judge one finished job's GPUs; returns newly quarantined ids.
+
+        ``start``/``end`` bound the job's run in simulated time; a
+        fault-timeline window on a used GPU overlapping that interval
+        counts against the GPU.
+        """
+        faults = machine.faults
+        newly: Set[int] = set()
+        for gpu in gpu_ids:
+            if gpu in self.quarantined:
+                continue
+            if faults is None:
+                self.consecutive[gpu] = 0
+                continue
+            if faults.is_failed(gpu):
+                # A corpse needs no three strikes.
+                self.quarantined.add(gpu)
+                self.trips.append((gpu, end))
+                newly.add(gpu)
+                continue
+            name = machine.device(gpu).name
+            hit = any(
+                record.target == name and record.start <= end
+                and (record.end is None or record.end >= start)
+                for record in faults.timeline)
+            if not hit:
+                self.consecutive[gpu] = 0
+                continue
+            count = self.consecutive.get(gpu, 0) + 1
+            self.consecutive[gpu] = count
+            if count >= self.threshold:
+                self.quarantined.add(gpu)
+                self.trips.append((gpu, end))
+                newly.add(gpu)
+        return newly
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable breaker state."""
+        return {
+            "threshold": self.threshold,
+            "quarantined": sorted(self.quarantined),
+            "trips": [{"gpu": gpu, "at_s": at} for gpu, at in self.trips],
+        }

@@ -1,0 +1,112 @@
+"""Job descriptions and outcomes of the sort service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sort.result import SortResult
+
+#: Terminal states a job can reach.  ``rejected`` jobs never entered
+#: the queue; ``deadline`` covers both typed partial results from the
+#: supervisor and jobs whose deadline expired while still queued.
+STATUSES = ("completed", "deadline", "failed", "cancelled", "rejected")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One sort request, as generated or submitted by a tenant."""
+
+    job_id: int
+    tenant: str
+    #: Absolute simulated arrival time.
+    arrival_s: float
+    #: Physical keys to sort (the machine's ``scale`` supplies the
+    #: logical multiplier, exactly like the single-shot sorts).
+    keys: int
+    dtype: str = "int32"
+    #: GPUs the job wants; the gang scheduler allocates exactly this
+    #: many healthy GPUs (power of two for ``p2p``).
+    gpus: int = 1
+    #: Latency budget in simulated seconds, relative to arrival;
+    #: ``None`` means best-effort.
+    deadline_s: Optional[float] = None
+    algorithm: str = "p2p"
+    #: Seed of the job's input data (mixed with ``job_id`` by the
+    #: workload generator so every job sorts distinct keys).
+    seed: int = 0
+
+    @property
+    def bytes(self) -> int:
+        """Physical payload size in bytes."""
+        return self.keys * np.dtype(self.dtype).itemsize
+
+    @property
+    def label(self) -> str:
+        """Trace/span label: ``<tenant>/<job_id>``."""
+        return f"{self.tenant}/{self.job_id}"
+
+
+@dataclass
+class JobResult:
+    """Terminal record of one job (admitted or not)."""
+
+    spec: JobSpec
+    status: str
+    #: Rejection reason, exception type name, or ``None`` for clean
+    #: completions.
+    reason: Optional[str] = None
+    #: When the service saw the request (== arrival for generated load).
+    submitted_s: float = 0.0
+    #: Dispatch time; ``None`` for jobs that never ran.
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    gpu_ids: Tuple[int, ...] = ()
+    #: The supervisor's result for jobs that ran (including typed
+    #: partial results); ``None`` otherwise.
+    sort: Optional[SortResult] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown job status {self.status!r} "
+                             f"(expected one of {STATUSES})")
+
+    @property
+    def admitted(self) -> bool:
+        """Whether the job made it past admission control."""
+        return self.status != "rejected"
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Submission-to-finish latency; ``None`` if the job never
+        finished (rejected at admission)."""
+        if self.finished_s is None:
+            return None
+        return self.finished_s - self.submitted_s
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Time spent queued before dispatch; ``None`` if never ran."""
+        if self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable summary (omits the sorted payload)."""
+        return {
+            "job_id": self.spec.job_id,
+            "tenant": self.spec.tenant,
+            "keys": self.spec.keys,
+            "gpus": self.spec.gpus,
+            "algorithm": self.spec.algorithm,
+            "status": self.status,
+            "reason": self.reason,
+            "submitted_s": self.submitted_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+            "latency_s": self.latency_s,
+            "queue_wait_s": self.queue_wait_s,
+            "gpu_ids": list(self.gpu_ids),
+        }

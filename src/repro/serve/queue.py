@@ -1,0 +1,70 @@
+"""The bounded job queue: backpressure made structural.
+
+The queue is the service's only buffer, and it is *bounded by
+construction* — admission control rejects (typed) before ever pushing
+into a full queue, so overload shows up as rejection-rate curves, never
+as unbounded memory growth or runaway latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.serve.job import JobSpec
+
+
+@dataclass
+class PendingJob:
+    """A queued, admitted job waiting for GPUs."""
+
+    spec: JobSpec
+    #: The job's input keys (generated at submission).
+    data: np.ndarray
+    #: When admission accepted the job.
+    submitted_s: float
+
+
+class BoundedJobQueue:
+    """FIFO of admitted jobs with a hard capacity.
+
+    The scheduler may pop out of order (backfill, SJF); arrival order
+    is preserved for iteration so fairness policies can break ties by
+    age.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ServiceError(
+                f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[PendingJob] = []
+
+    @property
+    def full(self) -> bool:
+        """Whether another push would exceed capacity."""
+        return len(self._entries) >= self.capacity
+
+    def push(self, entry: PendingJob) -> None:
+        """Append an admitted job; admission must have checked bounds."""
+        if self.full:
+            raise ServiceError(
+                f"push into a full queue ({self.capacity} jobs) — "
+                "admission control must reject first")
+        self._entries.append(entry)
+
+    def pop_at(self, index: int) -> PendingJob:
+        """Remove and return the entry at ``index`` (scheduler's pick)."""
+        return self._entries.pop(index)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[PendingJob]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> PendingJob:
+        return self._entries[index]

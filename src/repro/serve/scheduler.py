@@ -1,0 +1,158 @@
+"""The gang scheduler: partition one machine's GPUs between jobs.
+
+Jobs get *gangs* — all their GPUs at once, for their whole run — so a
+job's supervisor owns its GPU set exactly like a single-shot sort.
+Large jobs hold their GPUs exclusively; small jobs (at most
+:attr:`GangScheduler.small_job_keys` keys) may be batched onto shared
+GPUs, up to :attr:`GangScheduler.slots_per_gpu` per device, trading a
+little contention for much better small-job latency under load.
+
+Two ready policies:
+
+``fair``
+    Fair share by tenant: among placeable queued jobs, run the one
+    whose tenant has consumed the fewest GPU-seconds (ties by age).
+``sjf``
+    Shortest job first by estimated service time (ties by age) —
+    minimizes mean latency, at the cost of large-job starvation under
+    sustained overload (which admission bounds anyway).
+
+Both policies *backfill*: when the head job cannot be placed, a later
+job that fits runs immediately.  Quarantined (circuit breaker) and
+hard-failed GPUs are never allocated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.errors import ServiceError
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.job import JobSpec
+from repro.serve.queue import BoundedJobQueue
+from repro.serve.tenancy import Tenant
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.context import Machine
+
+POLICIES = ("fair", "sjf")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """GPUs granted to one job for its whole run."""
+
+    gpu_ids: Tuple[int, ...]
+    #: Whether the job holds its GPUs exclusively (large jobs) or
+    #: shares slots with other small jobs.
+    exclusive: bool
+
+
+class GangScheduler:
+    """Allocates GPU gangs to queued jobs under one policy."""
+
+    def __init__(self, machine: "Machine", policy: str = "fair",
+                 slots_per_gpu: int = 2, small_job_keys: int = 0,
+                 breaker: Optional[CircuitBreaker] = None,
+                 estimate_service_s: Optional[
+                     Callable[[JobSpec], float]] = None):
+        if policy not in POLICIES:
+            raise ServiceError(f"unknown scheduling policy {policy!r} "
+                               f"(expected one of {POLICIES})")
+        if slots_per_gpu < 1:
+            raise ServiceError(
+                f"slots_per_gpu must be >= 1, got {slots_per_gpu}")
+        self.machine = machine
+        self.policy = policy
+        self.slots_per_gpu = slots_per_gpu
+        #: Jobs with at most this many physical keys may share GPUs;
+        #: 0 disables batching entirely.
+        self.small_job_keys = small_job_keys
+        self.breaker = breaker
+        self.estimate_service_s = estimate_service_s or (lambda spec: 0.0)
+        #: Allocation priority: the platform's preferred GPU ordering.
+        self._order: Tuple[int, ...] = machine.spec.preferred_gpu_set(
+            machine.num_gpus)
+        #: Small-job slots taken per GPU.
+        self._occupancy: Dict[int, int] = {gpu: 0 for gpu in self._order}
+        #: GPUs held exclusively by a running large job.
+        self._exclusive: Set[int] = set()
+
+    # -- health ------------------------------------------------------------
+    def healthy_gpus(self) -> List[int]:
+        """Usable GPUs (not quarantined, not hard-failed), in priority
+        order."""
+        faults = self.machine.faults
+        gpus = []
+        for gpu in self._order:
+            if self.breaker is not None and self.breaker.is_quarantined(gpu):
+                continue
+            if faults is not None and faults.is_failed(gpu):
+                continue
+            gpus.append(gpu)
+        return gpus
+
+    # -- placement ---------------------------------------------------------
+    def _shareable(self, spec: JobSpec) -> bool:
+        return 0 < spec.keys <= self.small_job_keys
+
+    def candidate(self, spec: JobSpec) -> Optional[Placement]:
+        """The gang ``spec`` would get right now, without committing."""
+        healthy = self.healthy_gpus()
+        if self._shareable(spec):
+            free = [gpu for gpu in healthy
+                    if gpu not in self._exclusive
+                    and self._occupancy[gpu] < self.slots_per_gpu]
+            # Least-loaded slots first so batched jobs spread out; the
+            # priority order breaks ties deterministically.
+            free.sort(key=lambda gpu: self._occupancy[gpu])
+            if len(free) >= spec.gpus:
+                return Placement(gpu_ids=tuple(sorted(free[:spec.gpus])),
+                                 exclusive=False)
+            return None
+        free = [gpu for gpu in healthy
+                if gpu not in self._exclusive
+                and self._occupancy[gpu] == 0]
+        if len(free) >= spec.gpus:
+            return Placement(gpu_ids=tuple(sorted(free[:spec.gpus])),
+                             exclusive=True)
+        return None
+
+    def place(self, spec: JobSpec) -> Optional[Placement]:
+        """Commit a gang for ``spec``; ``None`` when nothing fits."""
+        placement = self.candidate(spec)
+        if placement is None:
+            return None
+        for gpu in placement.gpu_ids:
+            if placement.exclusive:
+                self._exclusive.add(gpu)
+            else:
+                self._occupancy[gpu] += 1
+        return placement
+
+    def release(self, placement: Placement) -> None:
+        """Return a finished job's gang to the free pool."""
+        for gpu in placement.gpu_ids:
+            if placement.exclusive:
+                self._exclusive.discard(gpu)
+            else:
+                self._occupancy[gpu] = max(0, self._occupancy[gpu] - 1)
+
+    # -- policy ------------------------------------------------------------
+    def pick(self, queue: BoundedJobQueue,
+             tenants: Dict[str, Tenant]) -> Optional[int]:
+        """Index of the next queued job to dispatch, or ``None``.
+
+        Only placeable jobs are candidates (backfill); the policy
+        orders them.
+        """
+        candidates = [index for index, pending in enumerate(queue)
+                      if self.candidate(pending.spec) is not None]
+        if not candidates:
+            return None
+        if self.policy == "sjf":
+            return min(candidates, key=lambda index: (
+                self.estimate_service_s(queue[index].spec), index))
+        return min(candidates, key=lambda index: (
+            tenants[queue[index].spec.tenant].gpu_seconds, index))

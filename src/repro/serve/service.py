@@ -1,0 +1,397 @@
+"""The sort service: admission, scheduling, execution, drain.
+
+One :class:`SortService` owns one :class:`~repro.runtime.context.
+Machine` and runs many supervised sorts *concurrently* inside its
+simulation: arrivals are a simulated process, each dispatched job runs
+:meth:`~repro.recovery.supervisor.SortSupervisor.sort_async` under its
+own process on the gang scheduler's GPU set, and the whole episode is
+driven by one ``env.run``.  Overload never crashes the service — it
+surfaces as typed :class:`~repro.errors.AdmissionRejected` results,
+bounded queue waits, and (under drain) typed partial results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data import generate
+from repro.errors import AdmissionRejected, ReproError, ServiceError
+from repro.recovery.supervisor import SortSupervisor, SupervisorConfig
+from repro.runtime.context import Machine
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.job import JobResult, JobSpec
+from repro.serve.queue import BoundedJobQueue, PendingJob
+from repro.serve.scheduler import GangScheduler, Placement
+from repro.serve.tenancy import Tenant
+from repro.sim.engine import Interrupt
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the sort service."""
+
+    #: Admission queue bound; fuller arrivals are rejected
+    #: ``queue-full``.
+    queue_capacity: int = 8
+    #: ``fair`` (per-tenant GPU-seconds) or ``sjf``.
+    policy: str = "fair"
+    #: Small jobs batched per GPU (1 disables sharing-induced overlap).
+    slots_per_gpu: int = 2
+    #: Jobs at most this many physical keys may share GPUs; 0 disables
+    #: small-job batching.
+    small_job_keys: int = 0
+    #: Consecutive faulted jobs before a GPU is quarantined.
+    breaker_threshold: int = 3
+    #: Estimated sorting rate in *logical* keys per second per GPU —
+    #: the admission controller's and SJF's service-time model.
+    #: Calibrate from a reference run for tight deadline checks.
+    gpu_rate_keys_per_s: float = 5e8
+    #: Supervisor template for every job; the service fills in the
+    #: per-job ``deadline_s``, ``pool`` and ``job_label``.
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    #: Start draining (reject new work, finish queued + running jobs)
+    #: at this simulated time; ``None`` never drains.
+    drain_at_s: Optional[float] = None
+    #: After draining, give in-flight work this long before cancelling
+    #: it with typed ``cancelled`` results; ``None`` waits forever.
+    shutdown_grace_s: Optional[float] = None
+    #: Data distribution of generated job inputs.
+    distribution: str = "uniform"
+
+
+class SortService:
+    """Multi-tenant sort service over one machine."""
+
+    def __init__(self, machine: Machine,
+                 tenants: Optional[Sequence[Tenant]] = None,
+                 config: Optional[ServiceConfig] = None):
+        self.machine = machine
+        self.config = config or ServiceConfig()
+        self.tenants: Dict[str, Tenant] = {
+            tenant.name: tenant for tenant in (tenants or ())}
+        self.queue = BoundedJobQueue(self.config.queue_capacity)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold)
+        self.scheduler = GangScheduler(
+            machine, policy=self.config.policy,
+            slots_per_gpu=self.config.slots_per_gpu,
+            small_job_keys=self.config.small_job_keys,
+            breaker=self.breaker,
+            estimate_service_s=self.estimate_service_s)
+        self.admission = AdmissionController(
+            self.queue, self.estimate_service_s)
+        self.results: List[JobResult] = []
+        #: job_id -> the job's running process.
+        self._running: Dict[int, object] = {}
+        self._arrivals_done = False
+        self._done = None
+        self.peak_queue = 0
+
+    # -- estimation --------------------------------------------------------
+    def estimate_service_s(self, spec: JobSpec) -> float:
+        """Modelled service time of ``spec`` on its requested gang."""
+        logical = spec.keys * self.machine.scale
+        rate = self.config.gpu_rate_keys_per_s * max(1, spec.gpus)
+        return logical / rate
+
+    def tenant(self, name: str) -> Tenant:
+        """The named tenant, auto-registered without a quota."""
+        found = self.tenants.get(name)
+        if found is None:
+            found = self.tenants[name] = Tenant(name)
+        return found
+
+    # -- the episode -------------------------------------------------------
+    def run(self, jobs: Sequence[JobSpec]) -> "ServiceReport":
+        """Play a workload to completion; returns the episode report.
+
+        Drives the machine's environment until every job reached a
+        terminal state (or was cancelled by shutdown).  One episode per
+        service instance.
+        """
+        if self._done is not None:
+            raise ServiceError("a service instance runs one episode; "
+                               "create a fresh one")
+        if not jobs:
+            raise ServiceError("the workload is empty")
+        env = self.machine.env
+        self._done = env.event()
+        start = env.now
+        env.process(self._arrivals(sorted(jobs,
+                                          key=lambda j: j.arrival_s)))
+        if self.config.drain_at_s is not None:
+            env.process(self._drain_driver())
+        env.run(until=self._done)
+        return self._report(start, env.now)
+
+    def _arrivals(self, jobs: Sequence[JobSpec]):
+        env = self.machine.env
+        for spec in jobs:
+            delay = spec.arrival_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self.submit(spec)
+        self._arrivals_done = True
+        self._check_done()
+
+    def submit(self, spec: JobSpec,
+               data: Optional[np.ndarray] = None) -> bool:
+        """Admit (and queue) or reject one job at the current time.
+
+        Returns whether the job was admitted; either way a terminal or
+        queued record exists afterwards.  ``data`` overrides the
+        generated input (tests pin exact keys).
+        """
+        now = self.machine.env.now
+        tenant = self.tenant(spec.tenant)
+        tenant.submitted += 1
+        try:
+            self.admission.admit(spec, tenant)
+        except AdmissionRejected as exc:
+            tenant.note_rejection(exc.reason)
+            self.results.append(JobResult(
+                spec=spec, status="rejected", reason=exc.reason,
+                submitted_s=now))
+            self._check_done()
+            return False
+        tenant.admitted += 1
+        if data is None:
+            data = generate(spec.keys, self.config.distribution,
+                            np.dtype(spec.dtype), seed=spec.seed)
+        self.queue.push(PendingJob(spec=spec, data=data, submitted_s=now))
+        self.peak_queue = max(self.peak_queue, len(self.queue))
+        self._dispatch()
+        return True
+
+    # -- scheduling --------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Start every queued job the scheduler can place right now."""
+        while len(self.queue):
+            index = self.scheduler.pick(self.queue, self.tenants)
+            if index is None:
+                self._fail_stranded()
+                return
+            pending = self.queue.pop_at(index)
+            now = self.machine.env.now
+            spec = pending.spec
+            if (spec.deadline_s is not None
+                    and now - pending.submitted_s >= spec.deadline_s):
+                # Stale while queued: shed it typed instead of burning
+                # GPUs on a result nobody is waiting for.
+                self.results.append(JobResult(
+                    spec=spec, status="deadline",
+                    reason="expired-in-queue",
+                    submitted_s=pending.submitted_s, finished_s=now))
+                continue
+            placement = self.scheduler.place(spec)
+            if placement is None:  # pragma: no cover - pick guarantees
+                self.queue.push(pending)
+                return
+            process = self.machine.env.process(
+                self._run_job(pending, placement))
+            self._running[spec.job_id] = process
+        self._check_done()
+
+    def _fail_stranded(self) -> None:
+        """Fail queued jobs that can never run (gang > healthy GPUs).
+
+        Only decidable when the machine is otherwise idle: with nothing
+        running, an unplaceable job is unplaceable forever (quarantine
+        never lifts within an episode).
+        """
+        if self._running:
+            return
+        survivors: List[PendingJob] = []
+        stranded: List[PendingJob] = []
+        for pending in list(self.queue):
+            if self.scheduler.candidate(pending.spec) is None:
+                stranded.append(pending)
+            else:
+                survivors.append(pending)
+        if not stranded:
+            self._check_done()
+            return
+        now = self.machine.env.now
+        while len(self.queue):
+            self.queue.pop_at(0)
+        for pending in survivors:
+            self.queue.push(pending)
+        for pending in stranded:
+            self.results.append(JobResult(
+                spec=pending.spec, status="failed",
+                reason="unschedulable",
+                submitted_s=pending.submitted_s, finished_s=now))
+        if survivors:
+            self._dispatch()
+        else:
+            self._check_done()
+
+    # -- execution ---------------------------------------------------------
+    def _run_job(self, pending: PendingJob, placement: Placement):
+        env = self.machine.env
+        spec = pending.spec
+        tenant = self.tenant(spec.tenant)
+        started = env.now
+        remaining = None
+        if spec.deadline_s is not None:
+            remaining = spec.deadline_s - (started - pending.submitted_s)
+        supervisor = SortSupervisor(self.machine, replace(
+            self.config.supervisor, deadline_s=remaining,
+            pool=tenant.pool, job_label=spec.label))
+        status, reason, sort_result = "completed", None, None
+        try:
+            sort_result = yield from supervisor.sort_async(
+                pending.data, algorithm=spec.algorithm,
+                gpu_ids=placement.gpu_ids)
+            if sort_result.deadline_exceeded:
+                status, reason = "deadline", "deadline-budget"
+        except Interrupt:
+            status, reason = "cancelled", "shutdown"
+        except ReproError as exc:
+            status, reason = "failed", type(exc).__name__
+        finished = env.now
+        self.scheduler.release(placement)
+        self.breaker.observe_job(self.machine, placement.gpu_ids,
+                                 started, finished)
+        tenant.gpu_seconds += (finished - started) * len(placement.gpu_ids)
+        if status == "completed":
+            tenant.completed += 1
+        self.results.append(JobResult(
+            spec=spec, status=status, reason=reason,
+            submitted_s=pending.submitted_s, started_s=started,
+            finished_s=finished, gpu_ids=placement.gpu_ids,
+            sort=sort_result))
+        self._running.pop(spec.job_id, None)
+        self._dispatch()
+
+    # -- drain / shutdown --------------------------------------------------
+    def _drain_driver(self):
+        env = self.machine.env
+        delay = self.config.drain_at_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        self.drain()
+        if self.config.shutdown_grace_s is None:
+            return
+        yield env.timeout(self.config.shutdown_grace_s)
+        self.shutdown_now()
+
+    def drain(self) -> None:
+        """Stop admitting; queued and running jobs still complete."""
+        self.admission.draining = True
+
+    def shutdown_now(self) -> None:
+        """Cancel all remaining work with typed ``cancelled`` results.
+
+        Queued jobs terminate immediately; running jobs are
+        interrupted, unwind through the supervisor's quiesce/cleanup
+        path, and record their own ``cancelled`` results.
+        """
+        self.admission.draining = True
+        now = self.machine.env.now
+        while len(self.queue):
+            pending = self.queue.pop_at(0)
+            self.results.append(JobResult(
+                spec=pending.spec, status="cancelled", reason="shutdown",
+                submitted_s=pending.submitted_s, finished_s=now))
+        for process in list(self._running.values()):
+            if process.is_alive:
+                process.interrupt("shutdown")
+        self._check_done()
+
+    # -- bookkeeping -------------------------------------------------------
+    def _check_done(self) -> None:
+        if (self._done is not None and not self._done.triggered
+                and self._arrivals_done and not len(self.queue)
+                and not self._running):
+            self._done.succeed()
+
+    def _report(self, start: float, end: float) -> "ServiceReport":
+        return ServiceReport.build(
+            results=list(self.results), start_s=start, end_s=end,
+            peak_queue=self.peak_queue,
+            quarantined=tuple(sorted(self.breaker.quarantined)),
+            tenants={name: tenant.snapshot()
+                     for name, tenant in sorted(self.tenants.items())})
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of one service episode."""
+
+    results: List[JobResult]
+    start_s: float
+    end_s: float
+    peak_queue: int
+    quarantined: Tuple[int, ...]
+    tenants: Dict[str, Dict[str, object]]
+    offered: int = 0
+    by_status: Dict[str, int] = field(default_factory=dict)
+    rejections: Dict[str, int] = field(default_factory=dict)
+    jobs_per_s: float = 0.0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+    mean_queue_wait_s: float = 0.0
+
+    @classmethod
+    def build(cls, results, start_s, end_s, peak_queue, quarantined,
+              tenants) -> "ServiceReport":
+        """Derive the aggregate metrics from the raw results."""
+        by_status: Dict[str, int] = {}
+        rejections: Dict[str, int] = {}
+        for result in results:
+            by_status[result.status] = by_status.get(result.status, 0) + 1
+            if result.status == "rejected":
+                rejections[result.reason] = \
+                    rejections.get(result.reason, 0) + 1
+        completed = [r for r in results if r.status == "completed"]
+        latencies = [r.latency_s for r in completed]
+        waits = [r.queue_wait_s for r in completed]
+        span = max(end_s - start_s, 1e-12)
+        return cls(
+            results=results, start_s=start_s, end_s=end_s,
+            peak_queue=peak_queue, quarantined=quarantined,
+            tenants=tenants, offered=len(results), by_status=by_status,
+            rejections=rejections,
+            jobs_per_s=len(completed) / span,
+            p50_latency_s=(float(np.percentile(latencies, 50))
+                           if latencies else 0.0),
+            p99_latency_s=(float(np.percentile(latencies, 99))
+                           if latencies else 0.0),
+            mean_queue_wait_s=(float(np.mean(waits)) if waits else 0.0))
+
+    @property
+    def completed(self) -> int:
+        """Jobs that finished with a full sorted result."""
+        return self.by_status.get("completed", 0)
+
+    @property
+    def rejected(self) -> int:
+        """Jobs shed at admission (all typed reasons)."""
+        return self.by_status.get("rejected", 0)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered jobs shed at admission."""
+        return self.rejected / self.offered if self.offered else 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable record (summary + per-job rows)."""
+        return {
+            "duration_s": self.end_s - self.start_s,
+            "offered": self.offered,
+            "by_status": dict(self.by_status),
+            "rejections": dict(self.rejections),
+            "rejection_rate": self.rejection_rate,
+            "jobs_per_s": self.jobs_per_s,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "mean_queue_wait_s": self.mean_queue_wait_s,
+            "peak_queue": self.peak_queue,
+            "quarantined": list(self.quarantined),
+            "tenants": self.tenants,
+            "jobs": [result.to_json() for result in self.results],
+        }

@@ -1,0 +1,61 @@
+"""Per-tenant state: workspace isolation and accounting.
+
+Each tenant owns a quota-limited
+:class:`~repro.runtime.buffer.WorkspacePool`; every job the service
+runs for the tenant borrows its host scratch from that pool (the
+supervisor's ``pool`` config), so one tenant's oversized jobs hit a
+typed :class:`~repro.errors.QuotaExceededError` instead of growing the
+shared host's memory — and never touch another tenant's pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.runtime.buffer import WorkspacePool
+
+
+class Tenant:
+    """One tenant of the sort service."""
+
+    def __init__(self, name: str, quota_bytes: Optional[int] = None):
+        self.name = name
+        self.pool = WorkspacePool(quota_bytes=quota_bytes,
+                                  name=f"tenant:{name}")
+        self.submitted = 0
+        self.admitted = 0
+        #: Rejections by :class:`~repro.errors.AdmissionRejected` reason.
+        self.rejected: Dict[str, int] = {}
+        self.completed = 0
+        #: GPU-seconds consumed (job wall time x GPUs) — the fair-share
+        #: scheduler's currency.
+        self.gpu_seconds = 0.0
+
+    @property
+    def quota_bytes(self) -> Optional[int]:
+        """The pool's byte quota (``None`` = unlimited)."""
+        return self.pool.quota_bytes
+
+    def note_rejection(self, reason: str) -> None:
+        """Count one typed admission rejection."""
+        self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable accounting snapshot."""
+        stats = self.pool.stats()
+        return {
+            "name": self.name,
+            "quota_bytes": self.quota_bytes,
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": dict(self.rejected),
+            "completed": self.completed,
+            "gpu_seconds": self.gpu_seconds,
+            "pool_borrowed_bytes": stats.total_borrowed,
+            "pool_free_bytes": stats.total_free,
+        }
+
+    def __repr__(self) -> str:
+        quota = (f"{self.quota_bytes}B quota" if self.quota_bytes
+                 is not None else "no quota")
+        return f"<Tenant {self.name} ({quota})>"

@@ -1,0 +1,100 @@
+"""Seeded workload generation for the sort service.
+
+A :class:`WorkloadSpec` describes an arrival process (Poisson, rate
+expressed as a multiple of the platform's estimated capacity) over a
+mix of job size classes; :func:`generate_jobs` expands it into a
+deterministic list of :class:`~repro.serve.job.JobSpec` — equal specs
+and seeds always give equal workloads, so overload experiments replay
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.serve.job import JobSpec
+
+#: ``(name, keys_fraction, gpus, algorithm, weight)`` rows of the
+#: default job mix.  ``keys_fraction`` scales the spec's base key
+#: count; single-GPU jobs use the heterogeneous sort (no exchange),
+#: multi-GPU jobs the P2P sort (power-of-two GPU counts).
+DEFAULT_MIX: Tuple[Tuple[str, float, int, str, float], ...] = (
+    ("small", 0.125, 1, "het", 0.5),
+    ("medium", 0.5, 2, "p2p", 0.3),
+    ("large", 1.0, 4, "p2p", 0.2),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One reproducible stream of sort jobs."""
+
+    #: Number of jobs to generate.
+    jobs: int
+    #: Mean arrivals per simulated second (Poisson process).  Express
+    #: overload as a multiple of measured capacity — the service
+    #: benchmark calibrates this from a reference run.
+    arrival_rate: float
+    #: Base physical key count the mix's fractions scale.
+    base_keys: int
+    #: Tenants, assigned round-robin-free (seeded draw) per job.
+    tenants: Tuple[str, ...] = ("acme", "globex", "initech")
+    #: Job mix rows; see :data:`DEFAULT_MIX`.
+    mix: Tuple[Tuple[str, float, int, str, float], ...] = DEFAULT_MIX
+    #: Deadline = ``deadline_slack`` x the job's estimated service time
+    #: (at :attr:`est_service_s` per base-keys GPU-second); ``None``
+    #: generates best-effort jobs with no deadlines.
+    deadline_slack: float = 8.0
+    #: Estimated service seconds of a ``base_keys`` job on one GPU —
+    #: the scale for deadlines; calibrate from a reference run.
+    est_service_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.jobs <= 0:
+            raise ServiceError(f"workload needs >= 1 job, got {self.jobs}")
+        if self.arrival_rate <= 0:
+            raise ServiceError(
+                f"arrival rate must be positive, got {self.arrival_rate}")
+        if self.base_keys <= 0:
+            raise ServiceError(
+                f"base_keys must be positive, got {self.base_keys}")
+        if not self.tenants:
+            raise ServiceError("workload needs at least one tenant")
+        if not self.mix:
+            raise ServiceError("workload needs at least one mix row")
+
+
+def generate_jobs(spec: WorkloadSpec) -> List[JobSpec]:
+    """Expand a workload spec into a deterministic job list.
+
+    All randomness comes from one stream seeded by ``spec.seed``;
+    per-job data seeds are derived so every job sorts distinct keys
+    while the whole workload stays replayable.
+    """
+    rng = np.random.default_rng(spec.seed)
+    weights = np.array([row[4] for row in spec.mix], dtype=float)
+    weights /= weights.sum()
+    jobs: List[JobSpec] = []
+    now = 0.0
+    for job_id in range(spec.jobs):
+        now += float(rng.exponential(1.0 / spec.arrival_rate))
+        row = spec.mix[int(rng.choice(len(spec.mix), p=weights))]
+        _, fraction, gpus, algorithm, _ = row
+        keys = max(1, int(spec.base_keys * fraction))
+        tenant = spec.tenants[int(rng.integers(len(spec.tenants)))]
+        deadline = None
+        if spec.deadline_slack is not None:
+            # Service estimate scales with keys and shrinks with GPUs;
+            # the slack covers queueing under healthy load.
+            est = spec.est_service_s * (keys / spec.base_keys) / gpus
+            deadline = spec.deadline_slack * est
+        jobs.append(JobSpec(
+            job_id=job_id, tenant=tenant, arrival_s=now, keys=keys,
+            dtype="int32", gpus=gpus, deadline_s=deadline,
+            algorithm=algorithm, seed=spec.seed * 100_003 + job_id))
+    return jobs

@@ -1,0 +1,80 @@
+"""Tests of the service benchmark: load points, breaker scenario,
+record shape."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments.service import (
+    run_breaker_scenario,
+    run_load_point,
+    run_service,
+)
+
+
+@pytest.fixture(scope="module")
+def load_point():
+    return run_load_point("ibm-ac922", 1.0, jobs=12)
+
+
+class TestLoadPoint:
+    def test_all_jobs_accounted_for(self, load_point):
+        point = load_point
+        assert point.offered == 12
+        assert point.completed + point.rejected + point.deadline \
+            + point.failed == 12
+
+    def test_healthy_load_mostly_completes(self, load_point):
+        assert load_point.completed >= 10
+        assert 0.0 < load_point.p50_latency_s \
+            <= load_point.p99_latency_s
+
+    def test_to_json_round_trips(self, load_point):
+        payload = json.loads(json.dumps(load_point.to_json()))
+        assert payload["system"] == "ibm-ac922"
+        assert payload["load"] == 1.0
+        assert payload["rejection_rate"] \
+            == pytest.approx(load_point.rejected / 12)
+        assert payload["peak_queue"] >= 0
+
+    def test_same_point_is_deterministic(self, load_point):
+        again = run_load_point("ibm-ac922", 1.0, jobs=12)
+        assert again.to_json() == load_point.to_json()
+
+
+class TestBreakerScenario:
+    def test_straggler_trips_after_threshold(self):
+        scenario = run_breaker_scenario("ibm-ac922", jobs=20)
+        assert scenario.straggler_gpu in scenario.quarantined
+        assert scenario.jobs_to_trip == 3
+        assert scenario.post_trip_uses == 0
+        assert scenario.plan_roundtrip_ok
+
+
+class TestRecord:
+    def test_quick_record_covers_all_scenarios(self, tmp_path,
+                                               monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "BENCH_service.json"
+        tables = run_service(quick=True, json_path=str(path))
+        assert len(tables) == 2
+        record = json.loads(path.read_text())
+        assert record["benchmark"] == "service"
+        assert record["quick"] is True
+        scenarios = record["scenarios"]
+        for system in ("ibm-ac922", "delta-d22x", "dgx-a100"):
+            for load in ("x0.5", "x1", "x2"):
+                assert f"{system}-{load}" in scenarios
+            assert f"{system}-breaker" in scenarios
+        assert "provenance" in record
+        # The acceptance property: 2x overload sheds typed load and
+        # keeps admitted-job p99 within 2x of the 1x value.
+        for system in ("ibm-ac922", "delta-d22x", "dgx-a100"):
+            at_1x = scenarios[f"{system}-x1"]
+            at_2x = scenarios[f"{system}-x2"]
+            assert at_2x["rejected"] > 0
+            assert set(at_2x["rejections"]) \
+                <= {"queue-full", "deadline-infeasible",
+                    "quota-exceeded", "draining"}
+            assert at_2x["p99_latency_s"] \
+                <= 2.0 * at_1x["p99_latency_s"]

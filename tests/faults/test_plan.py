@@ -10,6 +10,7 @@ from repro.faults import (
     TransientTransfer,
 )
 from repro.hw import dgx_a100
+from repro.sim.engine import SimulationError
 
 
 class TestFaultPlanBasics:
@@ -37,6 +38,66 @@ class TestFaultPlanBasics:
                                 factor=0.5)
         with pytest.raises(AttributeError):
             event.factor = 0.1
+
+
+class TestJsonRoundTrip:
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(events=(
+            LinkDegradation(at=0.1, resource="nvlink_0_1", duration=0.2,
+                            factor=0.5),
+            LinkDown(at=0.3, resource="nvlink_0_1", duration=0.05),
+            StragglerGpu(at=0.4, gpu=2, duration=0.3, slowdown=2.5),
+            TransientTransfer(at=0.6),
+        ), transient_failure_prob=0.05, seed=99)
+
+    def test_round_trip_preserves_the_plan(self):
+        plan = self._plan()
+        loaded = FaultPlan.from_json(plan.to_json())
+        assert loaded == plan
+        assert loaded.events == plan.events
+        assert loaded.transient_failure_prob \
+            == plan.transient_failure_prob
+        assert loaded.seed == plan.seed
+
+    def test_generated_plans_round_trip(self):
+        plan = FaultPlan.generate(dgx_a100(), seed=5, intensity=3.0,
+                                  horizon=2.0)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_empty_plan_round_trips(self):
+        loaded = FaultPlan.from_json(FaultPlan.empty().to_json())
+        assert len(loaded) == 0
+        assert loaded.seed is None
+
+    def test_invalid_json_is_typed(self):
+        with pytest.raises(SimulationError):
+            FaultPlan.from_json("not json {")
+
+    def test_wrong_shape_is_typed(self):
+        with pytest.raises(SimulationError):
+            FaultPlan.from_json('["a", "b"]')
+        with pytest.raises(SimulationError):
+            FaultPlan.from_json('{"seed": 1}')
+
+    def test_unknown_event_kind_is_typed(self):
+        text = ('{"events": [{"kind": "MeteorStrike", "at": 0.0}], '
+                '"transient_failure_prob": 0.0, "seed": null}')
+        with pytest.raises(SimulationError, match="MeteorStrike"):
+            FaultPlan.from_json(text)
+
+    def test_malformed_entry_is_typed(self):
+        text = ('{"events": [{"kind": "LinkDown", "at": 0.0, '
+                '"bogus_field": 1}]}')
+        with pytest.raises(SimulationError, match="LinkDown"):
+            FaultPlan.from_json(text)
+
+    def test_hand_edited_invalid_window_still_validates(self):
+        plan = FaultPlan(events=(
+            LinkDown(at=0.3, resource="x", duration=0.05),))
+        text = plan.to_json().replace('"duration": 0.05',
+                                      '"duration": -1.0')
+        with pytest.raises(SimulationError):
+            FaultPlan.from_json(text)
 
 
 class TestGenerate:

@@ -88,6 +88,69 @@ class TestSummary:
         assert "GPUs (0, 1, 2, 3, 4, 5, 6, 7)" in out
 
 
+class TestService:
+    _EPISODE = ["--quick", "--system", "ibm-ac922", "--keys", "1e8",
+                "--seed", "42", "--service", "6"]
+
+    def test_summary_lists_jobs(self, capsys):
+        assert main(["summary", *self._EPISODE]) == 0
+        out = capsys.readouterr().out
+        assert "service episode on IBM Power System AC922" in out
+        assert "6 offered" in out
+        assert "jobs (filter with --job tenant/id)" in out
+
+    def test_summary_job_filter_rolls_up_one_job(self, capsys):
+        assert main(["summary", *self._EPISODE]) == 0
+        out = capsys.readouterr().out
+        label = next(line.split()[0] for line in out.splitlines()
+                     if line.startswith(("acme/", "globex/", "initech/"))
+                     and " completed " in line)
+        assert main(["summary", *self._EPISODE, "--job", label]) == 0
+        out = capsys.readouterr().out
+        assert f"phases of job {label}" in out
+        assert "SupervisedSort" in out
+        assert f"job:{label}" in out
+        assert "links during the job's window" in out
+
+    def test_summary_unknown_job_fails_with_known_labels(self, capsys):
+        assert main(["summary", *self._EPISODE,
+                     "--job", "nobody/99"]) == 1
+        err = capsys.readouterr().err
+        assert "no job 'nobody/99'" in err
+
+    def test_timeline_job_filter_writes_only_job_spans(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "job.json"
+        whole = tmp_path / "whole.json"
+        assert main(["timeline", *self._EPISODE,
+                     "-o", str(whole)]) == 0
+        out = capsys.readouterr().out
+        assert "service episode on IBM Power System AC922" in out
+        document = json.loads(whole.read_text())
+        job_rows = {event["args"]["name"]
+                    for event in document["traceEvents"]
+                    if event["ph"] == "M"
+                    and event.get("args", {}).get("name",
+                                                  "").startswith("job:")}
+        assert len(job_rows) >= 1
+        label = sorted(job_rows)[0][len("job:"):]
+        assert main(["timeline", *self._EPISODE, "--job", label,
+                     "-o", str(path)]) == 0
+        events = json.loads(path.read_text())["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices
+        # No counter tracks in a per-job timeline.
+        assert not any(e["ph"] == "C" for e in events)
+
+    def test_job_without_service_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--quick", "--job", "acme/0"])
+
+    def test_service_needs_a_positive_count(self):
+        with pytest.raises(SystemExit):
+            main(["summary", "--quick", "--service", "0"])
+
+
 class TestArgs:
     def test_gpu_list_parses(self, capsys):
         assert main(["summary", "--quick", "--keys", "1e7",

@@ -1,0 +1,78 @@
+"""Per-job trace extraction from service episodes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.hw import ibm_ac922
+from repro.obs.jobs import job_labels, job_trace
+from repro.runtime import Machine
+from repro.serve import JobSpec, ServiceConfig, SortService
+
+
+def _episode():
+    machine = Machine(ibm_ac922(), scale=1e5, fast_functional=True)
+    machine.enable_observability()
+    jobs = [JobSpec(job_id=i, tenant="acme", arrival_s=0.0,
+                    keys=4096, gpus=2, algorithm="p2p", seed=i + 1)
+            for i in range(4)]
+    report = SortService(machine).run(jobs)
+    return machine, report
+
+
+@pytest.fixture(scope="module")
+def episode():
+    return _episode()
+
+
+class TestJobTrace:
+    def test_labels_list_every_job(self, episode):
+        machine, report = episode
+        assert sorted(job_labels(machine.trace)) \
+            == [f"acme/{i}" for i in range(4)]
+
+    def test_filter_keeps_only_the_jobs_spans(self, episode):
+        machine, report = episode
+        result = next(r for r in report.results
+                      if r.spec.label == "acme/0")
+        trace, root = job_trace(machine.trace, "acme/0", result.gpu_ids)
+        assert root.phase == "SupervisedSort"
+        assert root.actor == "job:acme/0"
+        assert trace.spans
+        allowed = {f"gpu{gpu}" for gpu in result.gpu_ids} | {"job:acme/0"}
+        for span in trace.spans:
+            assert span.actor in allowed or span.actor.startswith("cpu")
+            assert span.start >= root.start - 1e-9
+            assert span.end <= root.end + 1e-9
+
+    def test_jobs_partition_their_device_spans(self, episode):
+        """Concurrent jobs on disjoint gangs never claim each other's
+        device spans."""
+        machine, report = episode
+        seen = {}
+        for result in report.results:
+            label = result.spec.label
+            trace, _ = job_trace(machine.trace, label, result.gpu_ids)
+            for span in trace.spans:
+                if span.actor.startswith("gpu"):
+                    key = (span.actor, span.start, span.end, span.phase)
+                    assert key not in seen, \
+                        f"{key} claimed by {seen.get(key)} and {label}"
+                    seen[key] = label
+        assert seen
+
+    def test_phase_rollup_of_one_job_is_self_consistent(self, episode):
+        machine, report = episode
+        result = next(r for r in report.results
+                      if r.spec.label == "acme/1")
+        trace, root = job_trace(machine.trace, "acme/1", result.gpu_ids)
+        durations = trace.phase_durations()
+        assert durations["SupervisedSort"] \
+            == pytest.approx(root.duration)
+        for phase, duration in durations.items():
+            assert duration <= root.duration + 1e-9
+
+    def test_unknown_label_raises_with_known_jobs(self, episode):
+        machine, report = episode
+        with pytest.raises(ServiceError, match="acme/0"):
+            job_trace(machine.trace, "acme/99", (0, 1))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import RuntimeApiError
+from repro.errors import PoolError, QuotaExceededError, RuntimeApiError
 from repro.runtime.buffer import WorkspacePool, default_pool
 
 
@@ -90,6 +90,65 @@ class TestWorkspacePool:
         assert pool.cached_bytes > 0
         pool.clear()
         assert pool.cached_bytes == 0
+
+    def test_double_release_raises_typed_error(self):
+        pool = WorkspacePool()
+        view = pool.take(32, np.int32)
+        pool.give(view)
+        with pytest.raises(PoolError, match="double release"):
+            pool.give(view)
+        # The free list is intact: the base is cached exactly once.
+        assert len(pool._free[np.dtype(np.int32).str]) == 1
+
+    def test_cross_pool_release_raises_typed_error(self):
+        ours = WorkspacePool(name="ours")
+        theirs = WorkspacePool(name="theirs")
+        view = theirs.take(32, np.int32)
+        with pytest.raises(PoolError, match="foreign release"):
+            ours.give(view)
+        # The rightful owner still accepts it.
+        theirs.give(view)
+
+    def test_never_borrowed_release_raises(self):
+        pool = WorkspacePool()
+        with pytest.raises(PoolError, match="foreign release"):
+            pool.give(np.zeros(8, dtype=np.int32))
+
+    def test_stats_snapshot(self):
+        pool = WorkspacePool()
+        held = pool.take(100, np.int32)
+        pool.give(pool.take(50, np.float64))
+        stats = pool.stats()
+        assert stats.borrowed_bytes == {np.dtype(np.int32).str: 400}
+        assert stats.free_bytes == {np.dtype(np.float64).str: 400}
+        assert stats.total_borrowed == 400
+        assert stats.total_free == 400
+        assert stats.misses == 2
+        assert stats.quota_bytes is None
+        pool.give(held)
+        assert pool.stats().total_borrowed == 0
+
+    def test_quota_rejects_oversized_take(self):
+        pool = WorkspacePool(quota_bytes=1000)
+        held = pool.take(200, np.int32)  # 800 bytes on loan
+        with pytest.raises(QuotaExceededError):
+            pool.take(100, np.int32)  # would be 1200
+        small = pool.take(25, np.int32)  # exactly 1000 — allowed
+        pool.give(held)
+        pool.give(small)
+        # Returning loans frees quota for the next borrower.
+        pool.give(pool.take(200, np.int32))
+
+    def test_quota_counts_loans_not_cache(self):
+        pool = WorkspacePool(quota_bytes=800)
+        pool.give(pool.take(200, np.int32))
+        # 800 bytes parked in the free list do not consume quota.
+        view = pool.take(200, np.int32)
+        assert view.size == 200
+
+    def test_negative_quota_rejected(self):
+        with pytest.raises(RuntimeApiError):
+            WorkspacePool(quota_bytes=-1)
 
     def test_default_pool_is_shared(self):
         from repro.gpuprims.radix_lsb import radix_sort_lsb

@@ -1,0 +1,99 @@
+"""Unit tests of the bounded queue and the admission controller."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionRejected, ServiceError
+from repro.serve import AdmissionController, BoundedJobQueue, JobSpec, Tenant
+from repro.serve.admission import scratch_bytes
+from repro.serve.queue import PendingJob
+
+
+def _spec(**overrides) -> JobSpec:
+    base = dict(job_id=0, tenant="acme", arrival_s=0.0, keys=1024,
+                gpus=2, algorithm="p2p")
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _pending(spec=None) -> PendingJob:
+    spec = spec or _spec()
+    return PendingJob(spec=spec, data=np.zeros(4, dtype=np.int32),
+                      submitted_s=0.0)
+
+
+class TestBoundedQueue:
+    def test_capacity_is_enforced(self):
+        queue = BoundedJobQueue(2)
+        queue.push(_pending())
+        assert not queue.full
+        queue.push(_pending())
+        assert queue.full
+        with pytest.raises(ServiceError):
+            queue.push(_pending())
+
+    def test_pop_at_preserves_the_rest(self):
+        queue = BoundedJobQueue(4)
+        entries = [_pending(_spec(job_id=i)) for i in range(3)]
+        for entry in entries:
+            queue.push(entry)
+        assert queue.pop_at(1) is entries[1]
+        assert [e.spec.job_id for e in queue] == [0, 2]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ServiceError):
+            BoundedJobQueue(0)
+
+
+class TestScratchBytes:
+    def test_p2p_pads_to_a_gpu_multiple(self):
+        spec = _spec(keys=1001, gpus=4, dtype="int32")
+        assert scratch_bytes(spec) == 1004 * 4
+
+    def test_het_borrows_the_input_size(self):
+        spec = _spec(keys=1001, gpus=1, algorithm="het", dtype="int64")
+        assert scratch_bytes(spec) == 1001 * 8
+
+
+class TestAdmission:
+    def _controller(self, capacity=2, estimate=lambda spec: 0.1):
+        return AdmissionController(BoundedJobQueue(capacity), estimate)
+
+    def test_clean_admission_returns(self):
+        self._controller().admit(_spec(), Tenant("acme"))
+
+    def test_draining_rejects_everything_first(self):
+        controller = self._controller(capacity=1)
+        controller.queue.push(_pending())  # also full
+        controller.draining = True
+        with pytest.raises(AdmissionRejected) as err:
+            controller.admit(_spec(), Tenant("acme"))
+        assert err.value.reason == "draining"
+
+    def test_full_queue_rejects_typed(self):
+        controller = self._controller(capacity=1)
+        controller.queue.push(_pending())
+        with pytest.raises(AdmissionRejected) as err:
+            controller.admit(_spec(), Tenant("acme"))
+        assert err.value.reason == "queue-full"
+
+    def test_quota_exceeded_rejects_before_deadline_check(self):
+        controller = self._controller(estimate=lambda spec: 100.0)
+        tenant = Tenant("capped", quota_bytes=64)
+        with pytest.raises(AdmissionRejected) as err:
+            controller.admit(_spec(keys=1024, deadline_s=0.001), tenant)
+        assert err.value.reason == "quota-exceeded"
+
+    def test_infeasible_deadline_rejects(self):
+        controller = self._controller(estimate=lambda spec: 5.0)
+        with pytest.raises(AdmissionRejected) as err:
+            controller.admit(_spec(deadline_s=1.0), Tenant("acme"))
+        assert err.value.reason == "deadline-infeasible"
+
+    def test_feasible_deadline_admits(self):
+        controller = self._controller(estimate=lambda spec: 0.5)
+        controller.admit(_spec(deadline_s=1.0), Tenant("acme"))
+
+    def test_best_effort_jobs_skip_the_deadline_check(self):
+        controller = self._controller(estimate=lambda spec: 1e9)
+        controller.admit(_spec(deadline_s=None), Tenant("acme"))

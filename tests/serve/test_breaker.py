@@ -1,0 +1,94 @@
+"""Unit tests of the GPU circuit breaker."""
+
+import pytest
+
+from repro.faults.injector import FaultRecord
+from repro.hw import ibm_ac922
+from repro.runtime import Machine
+from repro.serve import CircuitBreaker
+
+
+class _StubFaults:
+    """Minimal stand-in for the injector: a timeline and failed set."""
+
+    def __init__(self, timeline=(), failed=()):
+        self.timeline = list(timeline)
+        self._failed = set(failed)
+
+    def is_failed(self, gpu: int) -> bool:
+        return gpu in self._failed
+
+
+def _machine(faults=None) -> Machine:
+    machine = Machine(ibm_ac922(), scale=1)
+    if faults is not None:
+        machine.faults = faults
+    return machine
+
+
+def _straggle(gpu: int, start: float, end=None) -> FaultRecord:
+    return FaultRecord(kind="straggler", target=f"gpu{gpu}",
+                       start=start, end=end)
+
+
+class TestBreaker:
+    def test_three_consecutive_faulted_jobs_trip(self):
+        machine = _machine(_StubFaults([_straggle(1, 0.0)]))
+        breaker = CircuitBreaker(threshold=3)
+        for end in (1.0, 2.0):
+            assert breaker.observe_job(machine, [1], end - 1.0, end) \
+                == set()
+            assert not breaker.is_quarantined(1)
+        assert breaker.observe_job(machine, [1], 2.0, 3.0) == {1}
+        assert breaker.is_quarantined(1)
+        assert breaker.trips == [(1, 3.0)]
+
+    def test_clean_job_resets_the_count(self):
+        # One fault window covering jobs 1-2 but not job 3.
+        machine = _machine(_StubFaults([_straggle(1, 0.0, end=2.0)]))
+        breaker = CircuitBreaker(threshold=3)
+        breaker.observe_job(machine, [1], 0.0, 1.0)
+        breaker.observe_job(machine, [1], 1.0, 2.0)
+        assert breaker.consecutive[1] == 2
+        breaker.observe_job(machine, [1], 2.5, 3.5)  # clean
+        assert breaker.consecutive[1] == 0
+        assert not breaker.is_quarantined(1)
+
+    def test_hard_failure_quarantines_immediately(self):
+        machine = _machine(_StubFaults(failed=[2]))
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.observe_job(machine, [2], 0.0, 1.0) == {2}
+        assert breaker.is_quarantined(2)
+
+    def test_only_the_faulted_gpu_is_charged(self):
+        machine = _machine(_StubFaults([_straggle(1, 0.0)]))
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.observe_job(machine, [0, 1], 0.0, 1.0) == {1}
+        assert not breaker.is_quarantined(0)
+        assert breaker.consecutive[0] == 0
+
+    def test_no_injector_counts_as_clean(self):
+        machine = _machine()
+        breaker = CircuitBreaker()
+        assert breaker.observe_job(machine, [0, 1], 0.0, 1.0) == set()
+        assert breaker.quarantined == set()
+
+    def test_windows_outside_the_job_do_not_count(self):
+        machine = _machine(_StubFaults([_straggle(1, 5.0, end=6.0)]))
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.observe_job(machine, [1], 0.0, 1.0) == set()
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.quarantined.add(3)
+        breaker.trips.append((3, 1.5))
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "threshold": 2,
+            "quarantined": [3],
+            "trips": [{"gpu": 3, "at_s": 1.5}],
+        }
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

@@ -1,0 +1,148 @@
+"""Unit tests of the gang scheduler: placement, batching, policies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.hw import ibm_ac922
+from repro.runtime import Machine
+from repro.serve import (
+    BoundedJobQueue,
+    CircuitBreaker,
+    GangScheduler,
+    JobSpec,
+    Tenant,
+)
+from repro.serve.queue import PendingJob
+
+
+def _machine() -> Machine:
+    return Machine(ibm_ac922(), scale=1)
+
+
+def _spec(**overrides) -> JobSpec:
+    base = dict(job_id=0, tenant="acme", arrival_s=0.0, keys=4096,
+                gpus=2, algorithm="p2p")
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _queued(*specs) -> BoundedJobQueue:
+    queue = BoundedJobQueue(max(len(specs), 1))
+    for spec in specs:
+        queue.push(PendingJob(spec=spec,
+                              data=np.zeros(4, dtype=np.int32),
+                              submitted_s=spec.arrival_s))
+    return queue
+
+
+class TestPlacement:
+    def test_exclusive_jobs_take_whole_gpus(self):
+        scheduler = GangScheduler(_machine())
+        placement = scheduler.place(_spec(gpus=2))
+        assert placement is not None
+        assert placement.exclusive
+        assert len(placement.gpu_ids) == 2
+        # The same GPUs are gone until release.
+        second = scheduler.place(_spec(gpus=4))
+        assert second is None
+        third = scheduler.place(_spec(gpus=2))
+        assert third is not None
+        assert set(third.gpu_ids).isdisjoint(placement.gpu_ids)
+
+    def test_release_returns_the_gang(self):
+        scheduler = GangScheduler(_machine())
+        placement = scheduler.place(_spec(gpus=4))
+        assert scheduler.place(_spec(gpus=1)) is None
+        scheduler.release(placement)
+        assert scheduler.place(_spec(gpus=4)) is not None
+
+    def test_small_jobs_batch_onto_shared_gpus(self):
+        scheduler = GangScheduler(_machine(), slots_per_gpu=2,
+                                  small_job_keys=1024)
+        small = _spec(keys=512, gpus=1, algorithm="het")
+        first = scheduler.place(small)
+        assert first is not None and not first.exclusive
+        # 4 GPUs x 2 slots: eight small jobs fit at once.
+        placements = [scheduler.place(small) for _ in range(7)]
+        assert all(p is not None for p in placements)
+        assert scheduler.place(small) is None
+
+    def test_small_jobs_spread_before_stacking(self):
+        scheduler = GangScheduler(_machine(), slots_per_gpu=2,
+                                  small_job_keys=1024)
+        small = _spec(keys=512, gpus=1, algorithm="het")
+        used = [scheduler.place(small).gpu_ids[0] for _ in range(4)]
+        assert sorted(used) == [0, 1, 2, 3]
+
+    def test_shared_gpus_refuse_exclusive_jobs(self):
+        scheduler = GangScheduler(_machine(), slots_per_gpu=2,
+                                  small_job_keys=1024)
+        for _ in range(4):
+            assert scheduler.place(
+                _spec(keys=512, gpus=1, algorithm="het")) is not None
+        assert scheduler.place(_spec(gpus=4)) is None
+
+    def test_zero_small_job_keys_disables_batching(self):
+        scheduler = GangScheduler(_machine(), small_job_keys=0)
+        placement = scheduler.place(_spec(keys=1, gpus=1))
+        assert placement is not None
+        assert placement.exclusive
+
+    def test_quarantined_gpus_are_never_allocated(self):
+        breaker = CircuitBreaker()
+        breaker.quarantined.add(0)
+        scheduler = GangScheduler(_machine(), breaker=breaker)
+        assert 0 not in scheduler.healthy_gpus()
+        placement = scheduler.place(_spec(gpus=3))
+        assert placement is not None
+        assert 0 not in placement.gpu_ids
+        assert scheduler.place(_spec(gpus=1)) is None
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ServiceError):
+            GangScheduler(_machine(), policy="lifo")
+        with pytest.raises(ServiceError):
+            GangScheduler(_machine(), slots_per_gpu=0)
+
+
+class TestPolicies:
+    def test_fair_picks_the_starved_tenant(self):
+        scheduler = GangScheduler(_machine(), policy="fair")
+        tenants = {"acme": Tenant("acme"), "globex": Tenant("globex")}
+        tenants["acme"].gpu_seconds = 10.0
+        queue = _queued(_spec(job_id=0, tenant="acme"),
+                        _spec(job_id=1, tenant="globex"))
+        assert scheduler.pick(queue, tenants) == 1
+
+    def test_fair_breaks_ties_by_age(self):
+        scheduler = GangScheduler(_machine(), policy="fair")
+        tenants = {"acme": Tenant("acme"), "globex": Tenant("globex")}
+        queue = _queued(_spec(job_id=0, tenant="globex"),
+                        _spec(job_id=1, tenant="acme"))
+        assert scheduler.pick(queue, tenants) == 0
+
+    def test_sjf_picks_the_shortest_job(self):
+        scheduler = GangScheduler(
+            _machine(), policy="sjf",
+            estimate_service_s=lambda spec: spec.keys)
+        tenants = {"acme": Tenant("acme")}
+        queue = _queued(_spec(job_id=0, keys=8192),
+                        _spec(job_id=1, keys=1024))
+        assert scheduler.pick(queue, tenants) == 1
+
+    def test_backfill_skips_unplaceable_head(self):
+        scheduler = GangScheduler(_machine(), policy="fair")
+        held = scheduler.place(_spec(gpus=2))
+        assert held is not None
+        tenants = {"acme": Tenant("acme")}
+        queue = _queued(_spec(job_id=0, gpus=4),   # cannot fit now
+                        _spec(job_id=1, gpus=2))   # can
+        assert scheduler.pick(queue, tenants) == 1
+
+    def test_nothing_placeable_returns_none(self):
+        scheduler = GangScheduler(_machine())
+        held = scheduler.place(_spec(gpus=4))
+        assert held is not None
+        queue = _queued(_spec(job_id=0, gpus=1))
+        assert scheduler.pick(queue, {"acme": Tenant("acme")}) is None

@@ -1,0 +1,69 @@
+"""Unit tests of the seeded workload generator."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.serve import WorkloadSpec, generate_jobs
+from repro.serve.workload import DEFAULT_MIX
+
+
+def _spec(**overrides) -> WorkloadSpec:
+    base = dict(jobs=40, arrival_rate=10.0, base_keys=8192, seed=3)
+    base.update(overrides)
+    return WorkloadSpec(**base)
+
+
+class TestGeneration:
+    def test_same_spec_same_jobs(self):
+        assert generate_jobs(_spec()) == generate_jobs(_spec())
+
+    def test_different_seeds_differ(self):
+        assert generate_jobs(_spec()) != generate_jobs(_spec(seed=4))
+
+    def test_arrivals_are_increasing(self):
+        jobs = generate_jobs(_spec())
+        arrivals = [job.arrival_s for job in jobs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0.0
+
+    def test_job_ids_are_sequential(self):
+        jobs = generate_jobs(_spec())
+        assert [job.job_id for job in jobs] == list(range(40))
+
+    def test_every_job_has_a_distinct_data_seed(self):
+        jobs = generate_jobs(_spec())
+        assert len({job.seed for job in jobs}) == len(jobs)
+
+    def test_mix_rows_are_respected(self):
+        jobs = generate_jobs(_spec())
+        allowed = {(max(1, int(8192 * fraction)), gpus, algorithm)
+                   for _, fraction, gpus, algorithm, _ in DEFAULT_MIX}
+        assert {(job.keys, job.gpus, job.algorithm)
+                for job in jobs} <= allowed
+
+    def test_deadlines_scale_with_size_over_gpus(self):
+        jobs = generate_jobs(_spec(deadline_slack=4.0, est_service_s=0.5))
+        for job in jobs:
+            expected = 4.0 * 0.5 * (job.keys / 8192) / job.gpus
+            assert job.deadline_s == pytest.approx(expected)
+
+    def test_no_slack_means_no_deadlines(self):
+        jobs = generate_jobs(_spec(deadline_slack=None))
+        assert all(job.deadline_s is None for job in jobs)
+
+    def test_tenants_come_from_the_spec(self):
+        jobs = generate_jobs(_spec(tenants=("solo",)))
+        assert {job.tenant for job in jobs} == {"solo"}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(jobs=0),
+        dict(arrival_rate=0.0),
+        dict(base_keys=0),
+        dict(tenants=()),
+        dict(mix=()),
+    ])
+    def test_bad_specs_rejected(self, overrides):
+        with pytest.raises(ServiceError):
+            _spec(**overrides)
