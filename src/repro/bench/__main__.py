@@ -22,33 +22,36 @@ def main(argv=None) -> int:
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all result tables as JSON")
     parser.add_argument("--quick", action="store_true",
-                        help="simcore/kernels/resilience/service only: run "
-                             "the reduced scenario sweep (simcore and "
-                             "kernels then skip their JSON records; "
-                             "resilience and service always write their "
-                             "own)")
+                        help="simcore/kernels/resilience/service/cluster "
+                             "only: run the reduced scenario sweep (simcore, "
+                             "kernels and cluster then skip their JSON "
+                             "records; resilience and service always write "
+                             "their own)")
     parser.add_argument("--record", metavar="PATH", default=None,
-                        help="simcore/service only: write the benchmark "
-                             "record to PATH (the CI smokes diff it "
-                             "against the committed record)")
+                        help="simcore/service/cluster only: write the "
+                             "benchmark record to PATH (the CI smokes diff "
+                             "it against the committed record)")
     parser.add_argument("--profile", action="store_true",
-                        help="simcore only: attach the engine profiler and "
-                             "emit a per-phase cost breakdown (fill rounds, "
-                             "calendar rebuilds, heap ops, dispatch) into "
-                             "the BENCH record")
+                        help="simcore/cluster only: attach the engine "
+                             "profiler and emit a per-phase cost breakdown "
+                             "(fill rounds, calendar rebuilds, heap ops, "
+                             "dispatch) into the BENCH record")
     args = parser.parse_args(argv)
     if args.quick:
-        from repro.bench.experiments import (kernels, resilience, service,
-                                             simcore)
+        from repro.bench.experiments import (cluster, kernels, resilience,
+                                             service, simcore)
+        cluster.QUICK = True
         kernels.QUICK = True
         simcore.QUICK = True
         resilience.QUICK = True
         service.QUICK = True
     if args.profile:
-        from repro.bench.experiments import simcore
+        from repro.bench.experiments import cluster, simcore
+        cluster.PROFILE = True
         simcore.PROFILE = True
     if args.record:
-        from repro.bench.experiments import service, simcore
+        from repro.bench.experiments import cluster, service, simcore
+        cluster.RECORD_PATH = args.record
         simcore.RECORD_PATH = args.record
         service.RECORD_PATH = args.record
     if args.list:

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Union
 
 from repro.bench.experiments import (
     ablations,
+    cluster,
     co_running,
     cpu_baselines,
     datatypes,
@@ -119,6 +120,8 @@ EXPERIMENTS: List[Experiment] = [
                resilience.run_resilience_entry),
     Experiment("service", "Multi-tenant sort service under offered load",
                service.run_service_entry),
+    Experiment("cluster", "Multi-node hierarchical sort over cluster fabrics",
+               cluster.run_cluster_entry),
 ]
 
 _BY_ID: Dict[str, Experiment] = {e.id: e for e in EXPERIMENTS}

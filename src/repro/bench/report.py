@@ -64,7 +64,8 @@ class Table:
 
 
 def write_bench_record(path: str, record: dict,
-                       seed: Optional[int] = None) -> str:
+                       seed: Optional[int] = None,
+                       topology: Optional[dict] = None) -> str:
     """Write one ``BENCH_*.json`` record with an embedded provenance block.
 
     The provenance (git SHA + dirty flag, config hash, seed, UTC
@@ -72,13 +73,16 @@ def write_bench_record(path: str, record: dict,
     every number traceable and lets ``repro.obs diff`` refuse
     apples-to-oranges comparisons.  The config hash covers everything
     except the measured ``scenarios`` (and the provenance itself).
+    Cluster-scale records pass ``topology`` (node/GPU/vertex/link
+    counts) so a regression is attributable to the simulated graph
+    size, not just the opaque config hash.
     """
     from repro.obs.provenance import provenance
 
     config = {key: value for key, value in record.items()
               if key not in ("scenarios", "provenance")}
     stamped = dict(record)
-    stamped["provenance"] = provenance(config, seed=seed)
+    stamped["provenance"] = provenance(config, seed=seed, topology=topology)
     if stamped["provenance"].get("dirty"):
         # A record from a dirty tree cannot be traced back to a commit;
         # it must not be checked in (tests/bench/test_bench_provenance.py

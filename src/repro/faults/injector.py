@@ -338,6 +338,9 @@ class FaultInjector:
         self._down[rid] = open_windows + 1
         if open_windows == 0:
             self._restored[rid] = self.env.event()
+        # Precomputed routes may cross the downed link; drop them so
+        # the next lookup re-resolves against the live link state.
+        self.machine.spec.topology.invalidate_routes()
         for flow in self.machine.net.flows_crossing(resource):
             self.machine.net.abort_flow(flow, TransientTransferError(
                 f"link {resource.name} went down under flow "
@@ -349,6 +352,8 @@ class FaultInjector:
         else:
             del self._down[rid]
             self._restored.pop(rid).succeed()
+            # The link is back: cached avoid-set detours are stale too.
+            self.machine.spec.topology.invalidate_routes()
         self._close(record)
 
     def _run_engine_stall(self, event: CopyEngineStall):

@@ -10,7 +10,14 @@ builders:
 """
 
 from repro.hw.links import LinkKind
-from repro.hw.topology import NodeKind, Topology, TopologyNode
+from repro.hw.topology import (
+    NodeKind,
+    RouteTable,
+    TIER_INTER,
+    TIER_INTRA,
+    Topology,
+    TopologyNode,
+)
 from repro.hw.gpu import GpuSpec
 from repro.hw.host import CpuSpec, NumaNodeSpec
 from repro.hw.systems import (
@@ -21,19 +28,32 @@ from repro.hw.systems import (
     ibm_ac922,
     system_by_name,
 )
+from repro.hw.cluster import (
+    FABRICS,
+    ClusterSpec,
+    ClusterTopology,
+    make_cluster,
+)
 
 __all__ = [
+    "ClusterSpec",
+    "ClusterTopology",
     "CpuSpec",
+    "FABRICS",
     "GpuSpec",
     "LinkKind",
     "NodeKind",
     "NumaNodeSpec",
+    "RouteTable",
     "SystemBuilder",
     "SystemSpec",
+    "TIER_INTER",
+    "TIER_INTRA",
     "Topology",
     "TopologyNode",
     "delta_d22x",
     "dgx_a100",
     "ibm_ac922",
+    "make_cluster",
     "system_by_name",
 ]

@@ -1,0 +1,371 @@
+"""Multi-node cluster topologies over a network fabric.
+
+The paper stops at single machines; this module scales the catalog out
+to 4-64-node clusters of the three evaluated platforms, following the
+link taxonomy of published supercomputer-interconnect studies: each
+machine keeps its exact intra-node topology (NVLink, PCIe, CPU buses)
+and attaches to a cluster fabric through host NICs and InfiniBand
+cables into one of three switch fabrics:
+
+* ``fat-tree`` — leaf switches over groups of nodes, a spine layer of
+  aggregated trunks on top (the classic HPC folded Clos).
+* ``rail`` — rail-optimized: one NIC per NUMA domain, each rail wired
+  to its own switch, a thin trunk bridging the rails.
+* ``dragonfly`` — per-group routers with all-to-all global links
+  between groups.
+
+A :class:`ClusterSpec` is a :class:`~repro.hw.systems.SystemSpec`:
+GPU/CPU/memory naming continues the single-machine conventions with
+global numbering (node ``k``'s GPUs are ``gpu{k*g}..``), so the
+runtime (:class:`~repro.runtime.context.Machine`), fault injector and
+observability stack work on clusters unchanged.  Fabric links are
+tagged :data:`~repro.hw.topology.TIER_INTER` so link telemetry can
+aggregate per tier.
+
+:class:`ClusterTopology` scopes route searches: an intra-machine route
+only walks that machine's vertices and a cross-machine route walks the
+two endpoint machines plus the fabric, keeping a cache-miss Dijkstra
+O(one machine + fabric) instead of O(whole cluster).  A scoped search
+skips out-of-scope edges before the deterministic tie-break counter
+advances, so single-machine routes are bit-identical to the standalone
+platform's.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.hw.links import LinkKind
+from repro.hw.systems import SystemSpec, system_by_name
+from repro.hw.topology import NodeKind, Topology, TIER_INTER
+from repro.sim.resources import Resource
+from repro.units import gb
+
+#: Supported fabric generator names.
+FABRICS = ("fat-tree", "rail", "dragonfly")
+
+#: Effective host-NIC rate (PCIe 4.0 x16 HCA behind the host bridge).
+NIC_BW = gb(24.0)
+#: Effective HDR InfiniBand cable rate per direction.
+IB_BW = gb(23.0)
+#: Aggregated switch-to-switch trunk (4x HDR cables bonded).
+TRUNK_BW = gb(92.0)
+
+#: Nodes per fat-tree leaf switch.
+FAT_TREE_LEAF_WIDTH = 4
+#: Spine switches above the leaf layer.
+FAT_TREE_SPINES = 2
+#: Nodes per dragonfly group (one router per group).
+DRAGONFLY_GROUP = 4
+
+
+class ClusterTopology(Topology):
+    """A topology partitioned into machines plus a shared fabric."""
+
+    def __init__(self, name: str = "cluster"):
+        super().__init__(name)
+        self._machine_vertices: List[Set[str]] = []
+        self._machine_of: Dict[str, int] = {}
+        self._fabric_vertices: Set[str] = set()
+        self._scope_cache: Dict[Tuple[int, int], Set[str]] = {}
+
+    # -- partition bookkeeping ---------------------------------------------
+    def begin_machine(self) -> int:
+        """Open a new machine partition; returns its index."""
+        self._machine_vertices.append(set())
+        return len(self._machine_vertices) - 1
+
+    def register_machine_vertex(self, machine: int, name: str) -> None:
+        """Assign a vertex to machine ``machine``'s partition."""
+        self._machine_vertices[machine].add(name)
+        self._machine_of[name] = machine
+
+    def register_fabric_vertex(self, name: str) -> None:
+        """Mark a vertex (NIC, switch, router) as part of the fabric."""
+        self._fabric_vertices.add(name)
+
+    def machine_of(self, name: str) -> Optional[int]:
+        """Machine index owning a vertex; ``None`` for fabric vertices."""
+        return self._machine_of.get(name)
+
+    # -- scoped routing ----------------------------------------------------
+    def _route_scope(self, src: str, dst: str) -> Optional[Set[str]]:
+        ms = self._machine_of.get(src)
+        md = self._machine_of.get(dst)
+        if ms is None or md is None:
+            return None
+        if ms == md:
+            return self._machine_vertices[ms]
+        key = (ms, md)
+        scope = self._scope_cache.get(key)
+        if scope is None:
+            scope = (self._machine_vertices[ms]
+                     | self._machine_vertices[md]
+                     | self._fabric_vertices)
+            self._scope_cache[key] = scope
+        return scope
+
+
+@dataclass
+class ClusterSpec(SystemSpec):
+    """A multi-node cluster presented as one big :class:`SystemSpec`."""
+
+    #: Number of machines in the cluster.
+    num_nodes: int = 1
+    #: GPUs per machine (node ``k`` owns ids ``k*g .. k*g+g-1``).
+    gpus_per_node: int = 0
+    #: NUMA domains per machine.
+    numa_per_node: int = 0
+    #: Fabric generator used (``"none"`` for a single node).
+    fabric: str = "none"
+    #: Catalog name of the per-node platform.
+    base_name: str = ""
+    #: The base platform's preferred GPU orders (node-local ids).
+    node_preferred: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    def node_of_gpu(self, gpu_id: int) -> int:
+        """Machine index owning global GPU ``gpu_id``."""
+        if not 0 <= gpu_id < self.num_gpus:
+            raise TopologyError(f"no GPU {gpu_id} on {self.name}")
+        return gpu_id // self.gpus_per_node
+
+    def gpu_ids_of_node(self, node: int) -> Tuple[int, ...]:
+        """Global GPU ids of machine ``node``, in id order."""
+        self._check_node(node)
+        base = node * self.gpus_per_node
+        return tuple(range(base, base + self.gpus_per_node))
+
+    def node_numa(self, node: int) -> int:
+        """Global index of machine ``node``'s first NUMA domain."""
+        self._check_node(node)
+        return node * self.numa_per_node
+
+    def node_cpu_name(self, node: int) -> str:
+        """Topology vertex of machine ``node``'s first NUMA domain."""
+        return f"cpu{self.node_numa(node)}"
+
+    def node_gpu_order(self, node: int, count: int) -> Tuple[int, ...]:
+        """The base platform's preferred order, as global ids of ``node``.
+
+        Mirrors :meth:`SystemSpec.preferred_gpu_set` within one
+        machine, so node-local sorts keep the paper-faithful GPU
+        choices (e.g. (0, 2, 4, 6) on a DGX A100 half-set).
+        """
+        self._check_node(node)
+        if count > self.gpus_per_node:
+            raise TopologyError(
+                f"node {node} has only {self.gpus_per_node} GPUs, "
+                f"{count} requested")
+        local = self.node_preferred.get(count, tuple(range(count)))
+        base = node * self.gpus_per_node
+        return tuple(base + i for i in local)
+
+    def counts(self) -> Dict[str, int]:
+        """Topology size counters for provenance stamping."""
+        return {
+            "cluster_nodes": self.num_nodes,
+            "gpus": self.num_gpus,
+            "vertices": len(self.topology.nodes),
+            "links": len(self.topology.edges),
+        }
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"no node {node} in {self.name} ({self.num_nodes} nodes)")
+
+
+# --------------------------------------------------------------------------
+# Machine grafting
+# --------------------------------------------------------------------------
+def _graft_machine(topo: ClusterTopology, spec: SystemSpec, index: int,
+                   gpu_offset: int, numa_offset: int) -> Dict[str, str]:
+    """Splice one freshly built machine into the cluster graph.
+
+    Vertices and resources are renamed in place (the spec is fresh, so
+    no other graph shares them): GPUs/CPUs/memories get global indices,
+    everything else a ``n{index}_`` prefix.  Edges are re-added in the
+    machine's insertion order, so a scoped route search visits them
+    exactly as the standalone machine would.
+    """
+    rename: Dict[str, str] = {}
+    for node in spec.topology.nodes:
+        name = node.name
+        if name.startswith("gpu"):
+            new = f"gpu{gpu_offset + int(name[3:])}"
+        elif name.startswith("cpu"):
+            new = f"cpu{numa_offset + int(name[3:])}"
+        else:
+            new = f"n{index}_{name}"
+        rename[name] = new
+        memory = node.memory
+        if memory is not None:
+            if memory.name.startswith("gmem"):
+                memory.name = f"gmem{gpu_offset + int(memory.name[4:])}"
+            elif memory.name.startswith("mem"):
+                memory.name = f"mem{numa_offset + int(memory.name[3:])}"
+            else:
+                memory.name = f"n{index}_{memory.name}"
+        attrs = dict(node.attrs)
+        if "numa" in attrs:
+            attrs["numa"] = numa_offset + int(attrs["numa"])  # type: ignore[arg-type]
+        topo.add_node(new, node.kind, memory=memory, **attrs)
+        topo.register_machine_vertex(index, new)
+    for edge in spec.topology.edges:
+        edge.resource.name = f"n{index}_{edge.resource.name}"
+        topo.add_edge(rename[edge.a], rename[edge.b], edge.resource,
+                      edge.kind)
+    return rename
+
+
+# --------------------------------------------------------------------------
+# Fabric generators
+# --------------------------------------------------------------------------
+def _add_nic(topo: ClusterTopology, node_index: int, rail: int,
+             numa_global: int) -> str:
+    """Attach one host NIC to a machine's NUMA domain; returns its name."""
+    name = f"n{node_index}_nic{rail}"
+    topo.add_node(name, NodeKind.SWITCH)
+    topo.register_fabric_vertex(name)
+    resource = Resource(f"{name}_link", capacity_fwd=NIC_BW,
+                        duplex_factor=0.95,
+                        latency_s=LinkKind.NIC.hop_latency_s)
+    topo.add_edge(f"cpu{numa_global}", name, resource, LinkKind.NIC,
+                  tier=TIER_INTER)
+    return name
+
+
+def _add_fabric_switch(topo: ClusterTopology, name: str) -> str:
+    topo.add_node(name, NodeKind.SWITCH)
+    topo.register_fabric_vertex(name)
+    return name
+
+
+def _ib_edge(topo: ClusterTopology, a: str, b: str,
+             bandwidth: float = IB_BW,
+             kind: LinkKind = LinkKind.INFINIBAND) -> None:
+    resource = Resource(f"{kind.value}_{a}_{b}", capacity_fwd=bandwidth,
+                        duplex_factor=0.95,
+                        latency_s=kind.hop_latency_s)
+    topo.add_edge(a, b, resource, kind, tier=TIER_INTER)
+
+
+def _fabric_fat_tree(topo: ClusterTopology, num_nodes: int,
+                     numa_per_node: int) -> None:
+    """Two-level folded Clos: node NICs -> leaf switches -> spines."""
+    n_leaves = math.ceil(num_nodes / FAT_TREE_LEAF_WIDTH)
+    for leaf in range(n_leaves):
+        _add_fabric_switch(topo, f"ft_leaf{leaf}")
+    for k in range(num_nodes):
+        nic = _add_nic(topo, k, 0, k * numa_per_node)
+        _ib_edge(topo, nic, f"ft_leaf{k // FAT_TREE_LEAF_WIDTH}")
+    if n_leaves > 1:
+        for spine in range(FAT_TREE_SPINES):
+            _add_fabric_switch(topo, f"ft_spine{spine}")
+        for leaf in range(n_leaves):
+            for spine in range(FAT_TREE_SPINES):
+                _ib_edge(topo, f"ft_leaf{leaf}", f"ft_spine{spine}",
+                         bandwidth=TRUNK_BW, kind=LinkKind.FABRIC_SWITCH)
+
+
+def _fabric_rail(topo: ClusterTopology, num_nodes: int,
+                 numa_per_node: int) -> None:
+    """Rail-optimized: one NIC per NUMA domain, one switch per rail.
+
+    Same-rail traffic crosses a single switch; cross-rail traffic pays
+    the thin aggregation trunk — the asymmetry rail-optimized designs
+    actually have.
+    """
+    rails = min(2, numa_per_node)
+    for rail in range(rails):
+        _add_fabric_switch(topo, f"rail{rail}")
+    for k in range(num_nodes):
+        for rail in range(rails):
+            nic = _add_nic(topo, k, rail, k * numa_per_node + rail)
+            _ib_edge(topo, nic, f"rail{rail}")
+    if rails > 1:
+        _ib_edge(topo, "rail0", "rail1", bandwidth=TRUNK_BW,
+                 kind=LinkKind.FABRIC_SWITCH)
+
+
+def _fabric_dragonfly(topo: ClusterTopology, num_nodes: int,
+                      numa_per_node: int) -> None:
+    """Dragonfly: per-group routers, all-to-all global links."""
+    n_groups = math.ceil(num_nodes / DRAGONFLY_GROUP)
+    for group in range(n_groups):
+        _add_fabric_switch(topo, f"dfly_r{group}")
+    for k in range(num_nodes):
+        nic = _add_nic(topo, k, 0, k * numa_per_node)
+        _ib_edge(topo, nic, f"dfly_r{k // DRAGONFLY_GROUP}")
+    for i in range(n_groups):
+        for j in range(i + 1, n_groups):
+            _ib_edge(topo, f"dfly_r{i}", f"dfly_r{j}",
+                     kind=LinkKind.FABRIC_SWITCH)
+
+
+_FABRIC_BUILDERS = {
+    "fat-tree": _fabric_fat_tree,
+    "rail": _fabric_rail,
+    "dragonfly": _fabric_dragonfly,
+}
+
+
+# --------------------------------------------------------------------------
+# Cluster construction
+# --------------------------------------------------------------------------
+def make_cluster(base: str, num_nodes: int,
+                 fabric: str = "fat-tree") -> ClusterSpec:
+    """Build a ``num_nodes``-machine cluster of catalog platform ``base``.
+
+    ``fabric`` picks the generator (:data:`FABRICS`); a single-node
+    cluster gets no fabric at all — its graph is the base machine with
+    renamed resources, which the degenerate-shape tests pin
+    bit-identical to the standalone platform.
+    """
+    if fabric not in FABRICS:
+        known = ", ".join(FABRICS)
+        raise TopologyError(f"unknown fabric {fabric!r} (known: {known})")
+    if not 1 <= num_nodes <= 64:
+        raise TopologyError(
+            f"cluster size must be in [1, 64] nodes, got {num_nodes}")
+    specs = [system_by_name(base) for _ in range(num_nodes)]
+    proto = specs[0]
+    gpus_per_node = proto.num_gpus
+    numa_per_node = len(proto.numa)
+    topo = ClusterTopology(f"{base}-x{num_nodes}-{fabric}")
+    numa = []
+    gpu_specs = {}
+    gpu_numa = {}
+    for k, spec in enumerate(specs):
+        topo.begin_machine()
+        _graft_machine(topo, spec, k, k * gpus_per_node, k * numa_per_node)
+        for node_spec in spec.numa:
+            numa.append(replace(node_spec,
+                                index=k * numa_per_node + node_spec.index))
+        for name in spec.gpu_names:
+            gid = k * gpus_per_node + int(name[3:])
+            gpu_specs[f"gpu{gid}"] = spec.gpu_specs[name]
+            gpu_numa[f"gpu{gid}"] = k * numa_per_node + spec.gpu_numa[name]
+    if num_nodes > 1:
+        _FABRIC_BUILDERS[fabric](topo, num_nodes, numa_per_node)
+    total = num_nodes * gpus_per_node
+    return ClusterSpec(
+        name=f"{base}-x{num_nodes}-{fabric}",
+        display_name=(f"{proto.display_name} x{num_nodes} ({fabric})"),
+        cpu=proto.cpu,
+        numa=numa,
+        topology=topo,
+        gpu_specs=gpu_specs,
+        gpu_numa=gpu_numa,
+        p2p_traverse_efficiency=proto.p2p_traverse_efficiency,
+        preferred_gpu_sets={total: tuple(range(total))},
+        num_nodes=num_nodes,
+        gpus_per_node=gpus_per_node,
+        numa_per_node=numa_per_node,
+        fabric=fabric if num_nodes > 1 else "none",
+        base_name=base,
+        node_preferred=dict(proto.preferred_gpu_sets),
+    )

@@ -26,6 +26,12 @@ class LinkKind(enum.Enum):
     INFINITY_FABRIC = "infinity_fabric"
     MEMORY = "memory"
     ONBOARD = "onboard"
+    #: Host-attached network interface (PCIe 4.0 x16 HCA, one per rail).
+    NIC = "nic"
+    #: InfiniBand HDR cable — NIC-to-switch or switch uplink.
+    INFINIBAND = "infiniband"
+    #: Port on a cluster fabric switch (leaf/spine/router crossbar).
+    FABRIC_SWITCH = "fabric_switch"
 
     @property
     def peak_bandwidth(self) -> float:
@@ -34,7 +40,10 @@ class LinkKind(enum.Enum):
         Sources: Section 2 of the paper (NVLink 2.0: 25 GB/s per link,
         NVLink 3.0: 25 GB/s per link with 12 links per GPU, PCIe 3.0 x16:
         16 GB/s, PCIe 4.0 x16: 32 GB/s) and Table 1 (X-Bus: 64 GB/s,
-        UPI: 62 GB/s, Infinity Fabric: 102 GB/s).
+        UPI: 62 GB/s, Infinity Fabric: 102 GB/s).  The cluster fabric
+        kinds follow published supercomputer-interconnect surveys: a
+        PCIe 4.0 x16 HCA (32 GB/s), HDR InfiniBand cables (25 GB/s per
+        direction), and a non-blocking switch crossbar (400 GB/s).
         """
         return {
             LinkKind.NVLINK2: gb(25.0),
@@ -47,6 +56,9 @@ class LinkKind(enum.Enum):
             LinkKind.INFINITY_FABRIC: gb(102.0),
             LinkKind.MEMORY: gb(170.0),
             LinkKind.ONBOARD: gb(1000.0),
+            LinkKind.NIC: gb(32.0),
+            LinkKind.INFINIBAND: gb(25.0),
+            LinkKind.FABRIC_SWITCH: gb(400.0),
         }[self]
 
     @property
@@ -70,6 +82,9 @@ class LinkKind(enum.Enum):
             LinkKind.INFINITY_FABRIC: 1.9 * US,
             LinkKind.MEMORY: 0.2 * US,
             LinkKind.ONBOARD: 0.1 * US,
+            LinkKind.NIC: 1.5 * US,
+            LinkKind.INFINIBAND: 0.6 * US,
+            LinkKind.FABRIC_SWITCH: 0.3 * US,
         }[self]
 
     @property

@@ -20,14 +20,20 @@ from __future__ import annotations
 
 import enum
 import heapq
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.hw.links import LinkKind
 from repro.sim.resources import Direction, Resource
 
 Hop = Tuple[Resource, Direction]
+
+#: Telemetry tier of links inside one machine (NVLink, PCIe, CPU buses).
+TIER_INTRA = "intra"
+#: Telemetry tier of the cluster fabric (NICs, InfiniBand, switches).
+TIER_INTER = "inter"
 
 
 class NodeKind(enum.Enum):
@@ -106,6 +112,75 @@ class Route:
     latency_s: float = 0.0
 
 
+class RouteTable:
+    """Precomputed route cache with hit statistics.
+
+    Routes are memoized by ``(src, dst, avoid)`` — the travel direction
+    is implied by the ordered pair, so ``(a, b)`` and ``(b, a)`` are
+    distinct entries.  The table exists because cluster-scale sorts
+    resolve the same handful of paths millions of times: a cache hit is
+    one dict probe, a miss pays the Dijkstra walk (its wall time is
+    accounted in :attr:`miss_wall_s`, which the ``--profile`` bench
+    breakdown reads to prove route lookup is off the hot path).
+
+    Link up/down events from :mod:`repro.faults` call
+    :meth:`invalidate`; dropping the whole table is semantically safe
+    because the resilient runtime overlays down links through ``avoid``
+    sets, but invalidation keeps the table from pinning Route objects
+    for dead link states forever.
+    """
+
+    __slots__ = ("_table", "hits", "misses", "invalidations", "miss_wall_s")
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[str, str, Optional[frozenset]], Route] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.miss_wall_s = 0.0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key: Tuple[str, str, Optional[frozenset]]
+               ) -> Optional[Route]:
+        """The cached route for ``key``, counting the hit/miss."""
+        route = self._table.get(key)
+        if route is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return route
+
+    def store(self, key: Tuple[str, str, Optional[frozenset]],
+              route: Route) -> None:
+        self._table[key] = route
+
+    def invalidate(self) -> None:
+        """Drop every cached route (topology or link-state change).
+
+        A flush of an already-empty table is free and not counted, so
+        the ``invalidations`` stat measures real cache churn rather
+        than topology construction (every ``add_edge`` invalidates).
+        """
+        if not self._table:
+            return
+        self._table.clear()
+        self.invalidations += 1
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for bench records and the ``--profile`` breakdown."""
+        total = self.hits + self.misses
+        return {
+            "routes_cached": len(self._table),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "invalidations": self.invalidations,
+            "miss_wall_s": self.miss_wall_s,
+        }
+
+
 class Topology:
     """The interconnect graph of one machine."""
 
@@ -114,8 +189,11 @@ class Topology:
         self._nodes: Dict[str, TopologyNode] = {}
         self._edges: List[Edge] = []
         self._adjacency: Dict[str, List[Edge]] = {}
-        self._route_cache: Dict[Tuple[str, str, Optional[frozenset]],
-                                Route] = {}
+        self.routes = RouteTable()
+        #: Telemetry tier per resource *name*; anything absent is
+        #: :data:`TIER_INTRA`.  Cluster builders tag fabric links
+        #: :data:`TIER_INTER` so observability can aggregate per tier.
+        self.tiers: Dict[str, str] = {}
 
     # -- construction ------------------------------------------------------
     def add_node(
@@ -134,7 +212,7 @@ class Topology:
         return node
 
     def add_edge(self, a: str, b: str, resource: Resource,
-                 kind: LinkKind) -> Edge:
+                 kind: LinkKind, tier: str = TIER_INTRA) -> Edge:
         """Connect two existing nodes with a shared resource."""
         for endpoint in (a, b):
             if endpoint not in self._nodes:
@@ -145,8 +223,23 @@ class Topology:
         self._edges.append(edge)
         self._adjacency[a].append(edge)
         self._adjacency[b].append(edge)
-        self._route_cache.clear()
+        if tier != TIER_INTRA:
+            self.tiers[resource.name] = tier
+        self.routes.invalidate()
         return edge
+
+    def invalidate_routes(self) -> None:
+        """Drop cached routes after a link-state change.
+
+        The fault injector calls this on every link down *and* up
+        window edge so stale paths never outlive the event that made
+        them wrong; the next :meth:`route` call recomputes on demand.
+        """
+        self.routes.invalidate()
+
+    def tier_of(self, resource_name: str) -> str:
+        """Telemetry tier of a link resource (by name)."""
+        return self.tiers.get(resource_name, TIER_INTRA)
 
     # -- lookups -----------------------------------------------------------
     def node(self, name: str) -> TopologyNode:
@@ -269,14 +362,17 @@ class Topology:
         if avoid is not None and not avoid:
             avoid = None
         key = (src, dst, avoid)
-        if key in self._route_cache:
-            return self._route_cache[key]
+        cached = self.routes.lookup(key)
+        if cached is not None:
+            return cached
+        began = time.perf_counter()
         if src == dst:
             raise TopologyError(f"source and destination are both {src!r}")
         src_node = self.node(src)
         dst_node = self.node(dst)
 
-        edge_path = self._shortest_edge_path(src, dst, avoid)
+        edge_path = self._shortest_edge_path(
+            src, dst, avoid, allowed=self._route_scope(src, dst))
         hops: List[Hop] = []
         if src_node.memory is not None:
             hops.append((src_node.memory, Direction.FWD))
@@ -305,8 +401,20 @@ class Topology:
                       bottleneck=bottleneck,
                       latency_s=sum(resource.latency_s
                                     for resource, _direction in hops))
-        self._route_cache[key] = route
+        self.routes.store(key, route)
+        self.routes.miss_wall_s += time.perf_counter() - began
         return route
+
+    def _route_scope(self, src: str, dst: str) -> Optional[Set[str]]:
+        """Vertices the path search may visit, or ``None`` for all.
+
+        Hook for subclasses: :class:`~repro.hw.cluster.ClusterTopology`
+        restricts intra-machine routes to the machine's own vertices
+        and cross-machine routes to both endpoint machines plus the
+        fabric, which keeps the Dijkstra walk O(one machine + fabric)
+        instead of O(whole cluster) on a cache miss.
+        """
+        return None
 
     def _walk_nodes(self, src: str, edge_path: Sequence[Edge]) -> List[str]:
         """Nodes a path departs from, one per edge."""
@@ -316,12 +424,17 @@ class Topology:
         return names
 
     def _shortest_edge_path(self, src: str, dst: str,
-                            avoid: Optional[frozenset] = None) -> List[Edge]:
+                            avoid: Optional[frozenset] = None,
+                            allowed: Optional[Set[str]] = None) -> List[Edge]:
         """Search over edges, honoring transit rules, widest-path tie-break.
 
         Dijkstra on the cost ``(hop count, -bottleneck width)`` so that
         among hop-minimal paths the one with the largest bottleneck
-        capacity wins deterministically.
+        capacity wins deterministically.  ``allowed`` optionally
+        restricts the visited vertex set (see :meth:`_route_scope`);
+        edges leading outside it are skipped before the tie-break
+        counter advances, so a scoped search visits vertices in exactly
+        the order an unscoped search over the sub-graph would.
         """
         best: Dict[str, Tuple[int, float]] = {src: (0, float("inf"))}
         parent: Dict[str, Tuple[str, Edge]] = {}
@@ -342,6 +455,8 @@ class Topology:
                 if avoid is not None and id(edge.resource) in avoid:
                     continue
                 there = edge.other(here)
+                if allowed is not None and there not in allowed:
+                    continue
                 if there in settled:
                     continue
                 cap = edge.resource.raw_capacity(edge.direction_from(here))

@@ -32,6 +32,7 @@ from repro.obs.telemetry import (
     link_report,
     link_series,
     sparkline,
+    tier_summary,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "link_series",
     "provenance",
     "sparkline",
+    "tier_summary",
 ]

@@ -32,23 +32,25 @@ from typing import Optional, Tuple
 from repro.bench.report import Table
 from repro.data import DISTRIBUTIONS, generate, key_dtype
 from repro.errors import ReproError
-from repro.hw import system_by_name
+from repro.hw import FABRICS, make_cluster, system_by_name
 from repro.obs.diff import diff_files, format_diff
 from repro.obs.telemetry import (
     engine_occupancy,
     link_report,
     link_series,
     sparkline,
+    tier_summary,
 )
 from repro.runtime import Machine
-from repro.sort import het_sort, p2p_sort, rp_sort
+from repro.sort import het_sort, hier_sort, p2p_sort, rp_sort
 
 #: Physical keys simulated per run; --keys scales them logically.
 PHYSICAL_KEYS = 500_000
 #: Physical keys with --quick (CI smoke: seconds, not minutes).
 QUICK_PHYSICAL_KEYS = 50_000
 
-_ALGORITHMS = {"p2p": p2p_sort, "het": het_sort, "rp": rp_sort}
+_ALGORITHMS = {"p2p": p2p_sort, "het": het_sort, "rp": rp_sort,
+               "hier": hier_sort}
 _SYSTEMS = ("ibm-ac922", "delta-d22x", "dgx-a100")
 
 
@@ -70,6 +72,13 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                         default="uniform")
     parser.add_argument("--gpus", type=_parse_gpu_ids, default=None,
                         help="comma-separated GPU ids, e.g. 0,2,4,6")
+    parser.add_argument("--nodes", type=int, default=1, metavar="N",
+                        help="cluster size: N > 1 builds an N-node "
+                             "cluster of --system and runs the "
+                             "hierarchical sort over its fabric")
+    parser.add_argument("--fabric", choices=FABRICS, default="fat-tree",
+                        help="cluster fabric generator with --nodes > 1 "
+                             "(default fat-tree)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--quick", action="store_true",
                         help="small physical arrays (CI smoke; simulated "
@@ -124,7 +133,11 @@ def _run_instrumented(args):
 
     Returns ``(machine, recorder, result)``.
     """
-    spec = system_by_name(args.system)
+    algorithm = "hier" if args.nodes > 1 else args.algorithm
+    if args.nodes > 1:
+        spec = make_cluster(args.system, args.nodes, fabric=args.fabric)
+    else:
+        spec = system_by_name(args.system)
     logical = float(args.keys)
     budget = QUICK_PHYSICAL_KEYS if args.quick else PHYSICAL_KEYS
     physical = max(1, min(budget, int(logical)))
@@ -134,8 +147,11 @@ def _run_instrumented(args):
     _install_faults(machine, spec, args)
     keys = generate(physical, args.distribution, key_dtype("int"),
                     seed=args.seed)
+    if algorithm == "hier":
+        result = hier_sort(machine, keys)
+        return machine, recorder, result
     gpu_ids = args.gpus
-    if gpu_ids is None and args.algorithm == "p2p":
+    if gpu_ids is None and algorithm == "p2p":
         count = 1
         while count * 2 <= spec.num_gpus:
             count *= 2
@@ -144,10 +160,10 @@ def _run_instrumented(args):
         from repro.recovery import SortSupervisor
 
         result = SortSupervisor(machine).sort(
-            keys, algorithm=args.algorithm, gpu_ids=gpu_ids)
+            keys, algorithm=algorithm, gpu_ids=gpu_ids)
     else:
-        result = _ALGORITHMS[args.algorithm](machine, keys,
-                                             gpu_ids=gpu_ids)
+        result = _ALGORITHMS[algorithm](machine, keys,
+                                        gpu_ids=gpu_ids)
     return machine, recorder, result
 
 
@@ -291,9 +307,26 @@ def cmd_links(args) -> int:
         start, end = window
         scope = f" during {args.phase} [{start:.3f}s, {end:.3f}s]"
     print(described)
-    print(f"hottest links{scope}:")
+    tier_of = machine.spec.topology.tier_of
     reports = link_report(recorder, start=start, end=end,
                           saturation_fraction=args.saturation)
+    tiers = tier_summary(reports, tier_of)
+    if args.tier:
+        reports = [r for r in reports if tier_of(r.link) == args.tier]
+        scope += f" ({args.tier}-node tier)"
+        if not reports:
+            print(f"no {args.tier}-tier link carried traffic in this "
+                  "window", file=sys.stderr)
+            return 1
+    if len(tiers) > 1:
+        # Cluster run: lead with the per-tier rollup so "fabric or
+        # machine?" is answered before the per-link table.
+        for tier, entry in sorted(tiers.items()):
+            print(f"  {tier}-node tier: {int(entry['links'])} link dirs, "
+                  f"{entry['bytes'] / 1e9:.1f} GB moved, "
+                  f"{entry['mean_utilization']:.1%} mean / "
+                  f"{entry['peak_utilization']:.1%} peak utilization")
+    print(f"hottest links{scope}:")
     series = link_series(recorder)
     horizon = end if end is not None else recorder.last_time
     table = Table(["link", "dir", "mean util", "peak util", "mean GB/s",
@@ -492,6 +525,10 @@ def main(argv=None) -> int:
     links.add_argument("--phase", default=None,
                        help="restrict the window to one phase "
                             "(e.g. Merge)")
+    links.add_argument("--tier", choices=("intra", "inter"), default=None,
+                       help="only links of one fabric tier: 'intra' "
+                            "(inside a machine) or 'inter' (cluster "
+                            "fabric: NICs, InfiniBand, switches)")
     links.add_argument("--saturation", type=float, default=0.95,
                        help="fraction of capacity counting as saturated")
     links.add_argument("--width", type=int, default=40,
@@ -523,6 +560,20 @@ def main(argv=None) -> int:
     if getattr(args, "service", None) is not None and args.service <= 0:
         parser.error(f"--service needs a positive job count, "
                      f"got {args.service}")
+    if getattr(args, "nodes", 1) > 1:
+        if args.algorithm not in ("p2p", "hier"):
+            parser.error(f"--nodes {args.nodes} runs the hierarchical "
+                         f"sort; --algorithm {args.algorithm} only works "
+                         "on one node")
+        if getattr(args, "supervised", False):
+            parser.error("--supervised does not run on clusters yet")
+        if getattr(args, "service", None) is not None:
+            parser.error("--service does not run on clusters yet")
+        if getattr(args, "gpus", None) is not None:
+            parser.error("--gpus does not apply to clusters: the "
+                         "hierarchical sort plans per-node GPU sets")
+    elif getattr(args, "algorithm", None) == "hier":
+        parser.error("--algorithm hier needs a cluster; add --nodes N")
     return args.handler(args)
 
 

@@ -60,13 +60,23 @@ def host_info() -> Dict[str, object]:
 
 
 def provenance(config: Dict[str, object], seed: Optional[int] = None,
-               cwd: Optional[str] = None) -> Dict[str, object]:
-    """The full provenance block for one benchmark record."""
+               cwd: Optional[str] = None,
+               topology: Optional[Dict[str, int]] = None) -> Dict[str, object]:
+    """The full provenance block for one benchmark record.
+
+    ``topology`` carries the size counters of the largest simulated
+    graph (node/GPU/vertex/link counts — see
+    :meth:`repro.hw.cluster.ClusterSpec.counts`).  Cluster records
+    stamp them so a throughput regression is attributable to a changed
+    topology size, not just an opaque config-hash mismatch.
+    """
     block: Dict[str, object] = {
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "seed": seed,
         "config_hash": config_hash(config),
         "host": host_info(),
     }
+    if topology is not None:
+        block["topology"] = dict(topology)
     block.update(git_revision(cwd))
     return block

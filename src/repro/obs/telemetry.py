@@ -224,6 +224,35 @@ def link_report(recorder: Recorder, start: float = 0.0,
     return reports
 
 
+def tier_summary(reports: List[LinkReport],
+                 tier_of) -> Dict[str, Dict[str, float]]:
+    """Aggregate link rollups per fabric tier.
+
+    ``tier_of`` maps a link resource name to its tier (see
+    :meth:`repro.hw.topology.Topology.tier_of` — ``"intra"`` for
+    in-machine links, ``"inter"`` for cluster-fabric links).  Per tier:
+    link-direction count, total GB moved, the byte-weighted mean
+    utilization and the hottest single direction's peak utilization —
+    the at-a-glance answer to "is the fabric or the machine the
+    bottleneck" on a cluster run.
+    """
+    tiers: Dict[str, Dict[str, float]] = {}
+    for report in reports:
+        entry = tiers.setdefault(tier_of(report.link), {
+            "links": 0.0, "bytes": 0.0, "mean_x_bytes": 0.0,
+            "peak_utilization": 0.0})
+        entry["links"] += 1
+        entry["bytes"] += report.bytes
+        entry["mean_x_bytes"] += report.mean_utilization * report.bytes
+        entry["peak_utilization"] = max(entry["peak_utilization"],
+                                        report.peak_utilization)
+    for entry in tiers.values():
+        entry["mean_utilization"] = (entry.pop("mean_x_bytes")
+                                     / entry["bytes"]
+                                     if entry["bytes"] else 0.0)
+    return tiers
+
+
 def engine_occupancy(recorder: Recorder, end: Optional[float] = None
                      ) -> Dict[str, float]:
     """Busy fraction per copy engine (slot held / window length)."""

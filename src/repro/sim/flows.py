@@ -206,10 +206,17 @@ class FlowNetwork:
         #: Whether a flow may already sit below its finish threshold
         #: (forces the next sweep even with no time elapsed).
         self._may_have_finished = False
+        #: Whether a fault factor may have changed since the last
+        #: reallocation (set by :meth:`requery_capacity`).  Gates the
+        #: ``refresh_faults`` sweep: on a healthy machine no key ever
+        #: needs re-reading, so the per-reallocation cost is one flag
+        #: test instead of an O(alive keys) Python loop.
+        self._faults_dirty = False
         #: Allocation statistics (for the ``simcore`` benchmark).
         self.full_reallocations = 0
         self.fast_starts = 0
         self.fast_finishes = 0
+        self.batched_starts = 0
         self.completion_events = 0
         #: Flows removed before completion (faults, timeouts, interrupts).
         self.aborted_flows = 0
@@ -261,6 +268,53 @@ class FlowNetwork:
             obs.flow_started(self, flow)
             obs.rates_changed(self)
         return flow
+
+    def start_flows(
+        self,
+        requests: Sequence[Tuple[Sequence[Hop], float,
+                                 Optional[float], str]],
+    ) -> List[Flow]:
+        """Start several flows at one instant with a *single* fill.
+
+        ``requests`` is a sequence of ``(route, size, rate_cap, label)``
+        tuples.  Semantically this equals N :meth:`start_flow` calls at
+        the same simulated instant — the final max-min allocation over
+        the combined flow set is identical — but the progressive fill
+        runs once instead of once per arrival.  The cross-node exchange
+        of the hierarchical sort launches whole waves of fabric flows
+        this way; without batching, a 64-node all-to-all round would
+        pay 63 intermediate fills whose rates are superseded within
+        the same instant.  Returns the flows in request order.
+        """
+        self._advance_all()
+        flows: List[Flow] = []
+        started: List[Flow] = []
+        for route, size, rate_cap, label in requests:
+            flow = Flow(self, route, size, rate_cap=rate_cap, label=label)
+            flows.append(flow)
+            if flow.size <= 0.0:
+                flow.finished_at = self.env.now
+                flow._rem = 0.0
+                flow.done.succeed(flow)
+                continue
+            if not flow.route and flow.rate_cap is None:
+                raise SimulationError(
+                    f"flow {label!r} has neither a route nor a rate cap; "
+                    "its rate would be unbounded")
+            self._insert(flow)
+            if flow.size <= flow._finish_threshold:
+                self._may_have_finished = True
+            started.append(flow)
+        if started:
+            self.batched_starts += 1
+            self._reallocate()
+        obs = self.obs
+        if obs is not None:
+            for flow in started:
+                obs.flow_started(self, flow)
+            if started:
+                obs.rates_changed(self)
+        return flows
 
     def transfer(self, route: Sequence[Hop], size: float,
                  rate_cap: Optional[float] = None, label: str = ""):
@@ -334,6 +388,7 @@ class FlowNetwork:
         setting a :meth:`~repro.sim.resources.Resource.set_fault_factor`
         degradation window.
         """
+        self._faults_dirty = True
         self._advance_all()
         if self._flows:
             self._reallocate()
@@ -571,8 +626,15 @@ class FlowNetwork:
             ft.remap_keys(lut)
         # Fault factors can change out-of-band (the injector); re-read
         # them so the cached capacities match what the reference would
-        # compute live.  O(alive keys), which is small.
-        kt.refresh_faults()
+        # compute live.  The injector's contract is to follow every
+        # set_fault_factor with requery_capacity, which raises the
+        # dirty flag — so a healthy run never pays the sweep, and a
+        # faulted one pays it once per capacity change, not once per
+        # reallocation.  (add_member reads the live factor at insert,
+        # so new keys are correct without it.)
+        if self._faults_dirty:
+            kt.refresh_faults()
+            self._faults_dirty = False
         act = ft.active_slots()
         n = len(act)
         if n == 0:

@@ -206,9 +206,17 @@ class KeyTable:
         #: members.
         self.partner = np.full(n, -1, dtype=np.int64)
         #: Whether capacity depends on load (duplex factor or a
-        #: non-trivial sharing curve): such keys take the Python
-        #: ``effective_capacity`` path in the fill.
+        #: non-trivial sharing curve) at all.
         self.sensitive = np.zeros(n, dtype=bool)
+        #: The resource's duplex factor (1.0 when none) — lets the fill
+        #: apply duplex-only sensitivity as one vectorized multiply.
+        self.duplex = np.ones(n)
+        #: Whether the key needs the Python ``effective_capacity`` path
+        #: in the fill: a non-trivial sharing curve or an overridden
+        #: method.  Duplex-only keys (the overwhelming majority on
+        #: cluster fabrics — every link is duplex-penalized, few carry
+        #: sharing curves) stay vectorized.
+        self.curved = np.zeros(n, dtype=bool)
         self.resources: List[object] = [None] * n
         self.dirbit = np.zeros(n, dtype=bool)
         #: Packed (id(resource) << 1 | direction) key -> slot.
@@ -223,12 +231,12 @@ class KeyTable:
         if n == len(self.alive):
             return
         for name in ("count", "cap_raw", "fault", "alive", "partner",
-                     "sensitive", "dirbit"):
+                     "sensitive", "duplex", "curved", "dirbit"):
             old = getattr(self, name)
             new = np.zeros(n, dtype=old.dtype)
             if name == "partner":
                 new[:] = -1
-            elif name == "fault":
+            elif name in ("fault", "duplex"):
                 new[:] = 1.0
             new[:len(old)] = old
             setattr(self, name, new)
@@ -251,10 +259,12 @@ class KeyTable:
             # Subclasses may override effective_capacity (tests model
             # pathological media that way); only the stock
             # load-insensitive implementation may be vectorized away.
-            self.sensitive[slot] = (
-                resource._load_sensitive
-                or type(resource).effective_capacity
-                is not Resource.effective_capacity)
+            overridden = (type(resource).effective_capacity
+                          is not Resource.effective_capacity)
+            self.sensitive[slot] = resource._load_sensitive or overridden
+            self.duplex[slot] = resource.duplex_factor
+            self.curved[slot] = (overridden
+                                 or not resource.sharing._trivial)
             self.resources[slot] = resource
             self.dirbit[slot] = bool(key & 1)
             other = self.slot_of.get(key ^ 1)
@@ -302,12 +312,12 @@ class KeyTable:
         lut[keep] = np.arange(len(keep))
         n = len(keep)
         for name in ("count", "cap_raw", "fault", "alive", "partner",
-                     "sensitive", "dirbit"):
+                     "sensitive", "duplex", "curved", "dirbit"):
             arr = getattr(self, name)
             arr[:n] = arr[keep]
             if name == "partner":
                 arr[n:self.top] = -1
-            elif name == "fault":
+            elif name in ("fault", "duplex"):
                 arr[n:self.top] = 1.0
             else:
                 arr[n:self.top] = 0
@@ -439,11 +449,19 @@ def water_fill_arrays(ft: FlowTable, kt: KeyTable,
     # Effective capacities under this load.  Load-insensitive keys are
     # raw capacity times the fault factor (multiplying by an exact 1.0
     # is the identity, so healthy resources round identically to the
-    # reference's skip).  Load-sensitive keys (duplex, sharing curves)
-    # take the same Python method the reference calls.
+    # reference's skip).  Duplex-only sensitive keys vectorize too:
+    # the reference multiplies the faulted capacity by duplex_factor
+    # while both directions are busy, then by the sharing factor — an
+    # exact 1.0 for trivial curves, another identity multiply it skips.
+    # Only curved keys (non-trivial sharing curve or an overridden
+    # effective_capacity) take the Python method the reference calls.
     cap = kt.cap_raw[alive] * kt.fault[alive]
-    sens = np.nonzero(kt.sensitive[alive])[0]
-    for i in sens:
+    sensitive = kt.sensitive[alive]
+    curved = kt.curved[alive]
+    dup = sensitive & ~curved & (counts > 0) & (n_other > 0)
+    if dup.any():
+        cap[dup] *= kt.duplex[alive[dup]]
+    for i in np.nonzero(curved)[0]:
         slot = alive[i]
         direction = Direction.REV if kt.dirbit[slot] else Direction.FWD
         cap[i] = kt.resources[slot].effective_capacity(

@@ -11,6 +11,7 @@
 
 from repro.sort.advisor import Plan, Recommendation, recommend
 from repro.sort.het import HetConfig, het_sort
+from repro.sort.hier import HierConfig, hier_sort
 from repro.sort.p2p import P2PConfig, p2p_sort
 from repro.sort.pivot import select_pivot, select_pivot_paper
 from repro.sort.gpu_set import best_gpu_order_for_p2p, preferred_gpu_ids
@@ -19,6 +20,7 @@ from repro.sort.result import SortResult
 
 __all__ = [
     "HetConfig",
+    "HierConfig",
     "Plan",
     "Recommendation",
     "P2PConfig",
@@ -26,6 +28,7 @@ __all__ = [
     "SortResult",
     "best_gpu_order_for_p2p",
     "het_sort",
+    "hier_sort",
     "p2p_sort",
     "preferred_gpu_ids",
     "recommend",

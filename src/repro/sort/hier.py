@@ -1,0 +1,424 @@
+"""Hierarchical sort: node-local P2P sort + cross-node fabric exchange.
+
+The paper's algorithms stop at one machine; this module scales them out
+to the multi-node clusters of :mod:`repro.hw.cluster`.  Three phases:
+
+1. **LocalSort** — every node runs the P2P sort pipeline (HtoD, device
+   sort, recursive merge with block swaps, DtoH) over its own GPUs and
+   its shard of the input, exactly as :func:`repro.sort.p2p.p2p_sort`
+   would on the standalone machine.  Nodes proceed concurrently.
+2. **Exchange** — deterministic sampled splitters partition every
+   node-local run into per-destination segments; the segments cross
+   the fabric in ``N - 1`` all-to-all waves (round ``r``: node ``k``
+   sends to node ``(k + r) % N``).  A healthy cluster launches each
+   wave as one batched flow set (:meth:`FlowNetwork.start_flows`), so
+   a 64-node wave pays a single progressive fill instead of 63
+   superseded intermediate ones; under an installed fault plan the
+   copies fall back to the per-copy resilient path with retries,
+   re-routes and watchdogs.
+3. **NodeMerge** — each node multiway-merges its own segment with the
+   received ones on the CPU (the HET sort's host-merge primitive), so
+   the global output is the concatenation of per-node merges.
+
+Degenerate shapes are exact: a 1-node cluster skips phases 2 and 3
+entirely and adds *zero* simulated events over the plain P2P sort —
+the degenerate-shape tests pin its duration bit-identical to
+:func:`~repro.sort.p2p.p2p_sort` on the standalone platform.
+
+As with distributed sort-merge systems, the input is assumed to start
+*partitioned across the nodes* (shard ``k`` in node ``k``'s host
+memory) and the output ends partitioned the same way; neither the
+initial scatter nor the final gather into the convenience output array
+is charged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SortError
+from repro.faults.policy import ResiliencePolicy
+from repro.hw.cluster import ClusterSpec
+from repro.runtime.buffer import HostBuffer
+from repro.runtime.context import Machine
+from repro.runtime.cpu_ops import cpu_multiway_merge
+from repro.runtime.kernels import sort_on_device
+from repro.runtime.memcpy import copy_async, span
+from repro.sort.gpu_set import surviving_gpu_ids
+from repro.sort.p2p import P2PConfig, _Chunk, _merge_chunks, _pad_value, _Stats
+from repro.sort.result import SortResult
+from repro.units import US
+
+
+@dataclass
+class HierConfig:
+    """Tunables of the hierarchical sort."""
+
+    #: Node-local phase configuration (the P2P sort's knobs apply
+    #: per-node: primitive, pivot policy, out-of-place swaps).
+    local: P2PConfig = field(default_factory=P2PConfig)
+    #: GPUs used per node; ``None`` takes the largest power of two the
+    #: node has (the P2P merge needs ``2^k`` chunks).
+    gpus_per_node: Optional[int] = None
+    #: Sorted-run samples each node contributes to splitter selection.
+    samples_per_node: int = 32
+    #: Latency of one remote sample read over the fabric.
+    splitter_probe_latency_s: float = 8 * US
+
+
+@dataclass
+class _NodePlan:
+    """Everything one node needs for its local phase."""
+
+    node: int
+    gpu_ids: Tuple[int, ...]
+    numa: int
+    shard_start: int
+    shard_stop: int
+    chunk: int
+    staging: HostBuffer
+    host_out: HostBuffer
+
+
+def _node_local_run(machine: Machine, plan: _NodePlan, config: P2PConfig,
+                    stats: _Stats):
+    """Process: one node's P2P pipeline (mirrors ``p2p_sort``'s run)."""
+    env = machine.env
+    g = len(plan.gpu_ids)
+    chunk = plan.chunk
+    dtype = plan.staging.dtype
+    chunks: List[_Chunk] = []
+    for gpu_id in plan.gpu_ids:
+        device = machine.device(gpu_id)
+        primary = device.alloc(chunk, dtype, label=f"chunk{gpu_id}")
+        aux = device.alloc(chunk, dtype, label=f"aux{gpu_id}")
+        chunks.append(_Chunk(device, primary, aux))
+
+    htod = []
+    for i, c in enumerate(chunks):
+        htod.append(env.process(copy_async(
+            machine, span(c.primary),
+            span(plan.staging, i * chunk, (i + 1) * chunk), phase="HtoD")))
+    yield env.all_of(htod)
+
+    sorts = [env.process(sort_on_device(
+        machine, span(c.primary), primitive=config.primitive, phase="Sort"))
+        for c in chunks]
+    yield env.all_of(sorts)
+
+    yield from _merge_chunks(machine, chunks, config, stats)
+
+    dtoh = [env.process(copy_async(
+        machine, span(plan.host_out, i * chunk, (i + 1) * chunk),
+        span(c.primary), phase="DtoH"))
+        for i, c in enumerate(chunks)]
+    yield env.all_of(dtoh)
+
+    for c in chunks:
+        for buffer in c.all_buffers():
+            buffer.free()
+
+
+def _select_splitters(runs: Sequence[np.ndarray], num_nodes: int,
+                      samples_per_node: int) -> np.ndarray:
+    """Regular-sampling splitters: deterministic for a given input.
+
+    Every node contributes ``samples_per_node`` evenly spaced elements
+    of its sorted run; the ``N - 1`` global splitters are evenly spaced
+    ranks of the merged sample set — the classic sample-sort bound on
+    per-node imbalance.
+    """
+    samples = []
+    for run in runs:
+        m = run.size
+        if m == 0:
+            continue
+        take = min(samples_per_node, m)
+        idx = (np.arange(1, take + 1) * m) // (take + 1)
+        samples.append(run[idx])
+    merged = np.sort(np.concatenate(samples), kind="stable")
+    ranks = (np.arange(1, num_nodes) * merged.size) // num_nodes
+    return merged[ranks]
+
+
+def _exchange_wave(machine: Machine, copies):
+    """Process: one all-to-all wave of host-to-host fabric copies.
+
+    ``copies`` is a list of ``(dst_buffer, src_buffer, start, stop,
+    src_cpu, dst_cpu)``.  Healthy cluster: resolve every route, charge
+    the wave's worst hop latency once, then launch the whole wave as a
+    single batched allocation — semantically N simultaneous copies,
+    one progressive fill.  Under faults, each copy runs the resilient
+    per-copy path instead (retries, re-routes, watchdog).
+    """
+    env = machine.env
+    if machine.faults is not None:
+        procs = [env.process(copy_async(
+            machine, span(dst), span(src, start, stop), phase="Exchange"))
+            for dst, src, start, stop, _s, _d in copies]
+        if procs:
+            yield env.all_of(procs)
+        return
+    topology = machine.spec.topology
+    started = env.now
+    requests = []
+    latency = 0.0
+    span_ids = []
+    for dst, src, start, stop, src_cpu, dst_cpu in copies:
+        route = topology.route(src_cpu, dst_cpu)
+        logical = (stop - start) * src.dtype.itemsize * machine.scale
+        requests.append((route.hops, logical, None,
+                         f"HtoH:{src_cpu}->{dst_cpu}"))
+        latency = max(latency, route.latency_s)
+        span_ids.append(machine.trace.allocate_id()
+                        if machine.obs is not None else None)
+    if latency:
+        yield env.timeout(latency)
+    flows = machine.net.start_flows(requests)
+    if machine.obs is not None:
+        for flow, span_id in zip(flows, span_ids):
+            machine.obs.attach_flow(flow, span_id)
+    yield env.all_of([flow.done for flow in flows])
+    for (dst, src, start, stop, _src_cpu, dst_cpu), span_id, request in zip(
+            copies, span_ids, requests):
+        dst.data[:] = src.data[start:stop]
+        machine.trace.record("Exchange", dst_cpu, started,
+                             bytes=request[1], id=span_id)
+
+
+def hier_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
+              config: Optional[HierConfig] = None,
+              resilience: Optional[ResiliencePolicy] = None) -> SortResult:
+    """Sort ``data`` across a multi-node cluster; returns the result.
+
+    ``machine`` must wrap a :class:`~repro.hw.cluster.ClusterSpec`
+    (:func:`~repro.hw.cluster.make_cluster`).  The input is sharded
+    contiguously across the nodes, each node P2P-sorts its shard on
+    its own GPUs, and the shards are exchanged and host-merged into
+    globally sorted per-node partitions.  The sorted keys come back
+    concatenated in ``result.output``.
+
+    ``resilience`` overrides the machine's policy.  Under an installed
+    fault plan each node re-plans its local sort over the largest
+    power-of-two prefix of its surviving GPUs, and exchange copies run
+    the resilient path.
+    """
+    config = config or HierConfig()
+    spec = machine.spec
+    if not isinstance(spec, ClusterSpec):
+        raise SortError(
+            f"hier_sort needs a ClusterSpec, got {type(spec).__name__}; "
+            "build one with repro.hw.make_cluster")
+    if resilience is not None:
+        machine.resilience = resilience
+    if isinstance(data, HostBuffer):
+        host_in = data
+    else:
+        host_in = machine.host_buffer(np.asarray(data))
+    n = len(host_in.data)
+    num_nodes = spec.num_nodes
+    if n < num_nodes:
+        raise SortError(
+            f"{n} keys cannot be sharded over {num_nodes} nodes")
+    dtype = host_in.dtype
+    itemsize = dtype.itemsize
+
+    per_node = config.gpus_per_node
+    if per_node is None:
+        per_node = 1 << int(math.log2(spec.gpus_per_node))
+    if per_node < 1 or per_node & (per_node - 1):
+        raise SortError(
+            f"gpus_per_node must be a power of two, got {per_node}")
+
+    # -- shard the input and plan every node's local phase -----------------
+    shard = -(-n // num_nodes)
+    plans: List[_NodePlan] = []
+    excluded: List[int] = []
+    for k in range(num_nodes):
+        start, stop = k * shard, min((k + 1) * shard, n)
+        ids = spec.node_gpu_order(k, per_node)
+        if machine.faults is not None:
+            survivors, dropped = surviving_gpu_ids(machine, ids)
+            excluded.extend(dropped)
+            if not survivors:
+                raise SortError(
+                    f"node {k} has no healthy GPUs left in {ids}")
+            if dropped:
+                keep = 1 << int(math.log2(len(survivors)))
+                ids = tuple(survivors[:keep])
+        g = len(ids)
+        shard_n = stop - start
+        chunk = -(-shard_n // g)
+        padded = chunk * g
+        for gpu_id in ids:
+            need = 2 * chunk * itemsize * machine.scale
+            device = machine.device(gpu_id)
+            if need > device.capacity_logical:
+                raise SortError(
+                    f"{device.name}: node shard chunk of {chunk} keys "
+                    f"needs {need / 1e9:.1f} GB, exceeding "
+                    f"{device.capacity_logical / 1e9:.1f} GB; shrink the "
+                    "input or grow the cluster")
+        numa = spec.node_numa(k)
+        padded_data = np.empty(padded, dtype=dtype)
+        padded_data[:shard_n] = host_in.data[start:stop]
+        padded_data[shard_n:] = _pad_value(dtype)
+        staging = machine.host_buffer(padded_data, numa=numa, pinned=True)
+        host_out = machine.host_buffer(np.empty(padded, dtype=dtype),
+                                       numa=numa, pinned=True)
+        plans.append(_NodePlan(node=k, gpu_ids=ids, numa=numa,
+                               shard_start=start, shard_stop=stop,
+                               chunk=chunk, staging=staging,
+                               host_out=host_out))
+
+    node_stats = [_Stats() for _ in range(num_nodes)]
+    stats_before = machine.resilience_stats.snapshot()
+    start_time = machine.env.now
+    root_id = None
+    if machine.obs is not None:
+        root_id = machine.trace.allocate_id()
+        machine.trace.push_parent(root_id)
+
+    merged_out: List[Optional[np.ndarray]] = [None] * num_nodes
+
+    def run():
+        env = machine.env
+        if num_nodes == 1:
+            # Degenerate cluster: the local sort *is* the global sort.
+            # Run it inline — no wrapper process, no splitters, no
+            # exchange, no host merge — so the event stream is exactly
+            # the plain P2P pipeline's.
+            plan = plans[0]
+            yield from _node_local_run(machine, plan, config.local,
+                                       node_stats[0])
+            merged_out[0] = plan.host_out.data[
+                :plan.shard_stop - plan.shard_start]
+            return
+        local = [env.process(_node_local_run(machine, plan, config.local,
+                                             node_stats[plan.node]))
+                 for plan in plans]
+        yield env.all_of(local)
+
+        # The sorted shard is the padded run's prefix: pads are
+        # dtype-max sentinels, interchangeable with any real maxima.
+        runs = [plan.host_out.data[:plan.shard_stop - plan.shard_start]
+                for plan in plans]
+        # Splitter selection reads every node's samples over the
+        # fabric; charged as latency-bound remote reads, like the P2P
+        # sort's pivot probes.
+        probes = num_nodes * config.samples_per_node
+        yield env.timeout(probes * config.splitter_probe_latency_s)
+        splitters = _select_splitters(runs, num_nodes,
+                                      config.samples_per_node)
+        bounds = [np.searchsorted(run, splitters, side="left")
+                  for run in runs]
+
+        def segment(src: int, dst: int) -> Tuple[int, int]:
+            lo = 0 if dst == 0 else int(bounds[src][dst - 1])
+            hi = (runs[src].size if dst == num_nodes - 1
+                  else int(bounds[src][dst]))
+            return lo, hi
+
+        # Receive buffers: node i's incoming segment from every other
+        # node, allocated in i's local host memory.
+        inbox: Dict[Tuple[int, int], HostBuffer] = {}
+        for dst in range(num_nodes):
+            for src in range(num_nodes):
+                if src == dst:
+                    continue
+                lo, hi = segment(src, dst)
+                if hi > lo:
+                    inbox[(src, dst)] = machine.host_buffer(
+                        hi - lo, dtype=dtype, numa=plans[dst].numa)
+
+        # All-to-all in N-1 waves; round r pairs node k with node
+        # (k + r) % N, so every wave is a perfect matching of
+        # disjoint source/destination nodes.
+        for r in range(1, num_nodes):
+            copies = []
+            for src in range(num_nodes):
+                dst = (src + r) % num_nodes
+                key = (src, dst)
+                if key not in inbox:
+                    continue
+                lo, hi = segment(src, dst)
+                copies.append((inbox[key], plans[src].host_out, lo, hi,
+                               spec.node_cpu_name(src),
+                               spec.node_cpu_name(dst)))
+            if copies:
+                yield from _exchange_wave(machine, copies)
+
+        merges = []
+        for dst in range(num_nodes):
+            parts = []
+            for src in range(num_nodes):
+                if src == dst:
+                    lo, hi = segment(src, dst)
+                    if hi > lo:
+                        parts.append(runs[src][lo:hi])
+                elif (src, dst) in inbox:
+                    parts.append(inbox[(src, dst)].data)
+            total = sum(part.size for part in parts)
+            out = np.empty(total, dtype=dtype)
+            merged_out[dst] = out
+            if total:
+                merges.append(env.process(cpu_multiway_merge(
+                    machine, out, parts, numa=plans[dst].numa,
+                    phase="NodeMerge")))
+        if merges:
+            yield env.all_of(merges)
+
+    try:
+        machine.run(run())
+    finally:
+        if root_id is not None:
+            machine.trace.pop_parent()
+            machine.trace.record("HierSort", "sort", start_time,
+                                 bytes=n * itemsize * machine.scale,
+                                 id=root_id)
+    duration = machine.env.now - start_time
+    output = np.concatenate([part for part in merged_out
+                             if part is not None and part.size])
+
+    recovery = machine.resilience_stats.delta(stats_before)
+    fault_downtime = (machine.faults.downtime_between(
+        start_time, machine.env.now)
+        if machine.faults is not None else 0.0)
+    degraded = bool(excluded or recovery.retries or recovery.reroutes
+                    or recovery.timeouts or fault_downtime > 0.0)
+
+    pivots: List[int] = []
+    p2p_bytes = 0.0
+    for stats in node_stats:
+        pivots.extend(stats.pivots)
+        p2p_bytes += stats.p2p_bytes
+    all_ids = tuple(gpu_id for plan in plans for gpu_id in plan.gpu_ids)
+    g = len(plans[0].gpu_ids)
+    phases = {name: value for name, value in
+              machine.trace.phase_durations().items()
+              if name in ("HtoD", "Sort", "Merge", "DtoH",
+                          "Exchange", "NodeMerge")}
+    return SortResult(
+        algorithm="hier",
+        system=spec.name,
+        gpu_ids=all_ids,
+        physical_keys=n,
+        logical_keys=n * machine.scale,
+        dtype=str(dtype),
+        duration=duration,
+        phase_durations=phases,
+        p2p_bytes=p2p_bytes,
+        merge_stages=2 * int(math.log2(g)) - 1 if g > 1 else 0,
+        pivots=tuple(pivots),
+        output=output,
+        degraded=degraded,
+        retries=recovery.retries,
+        reroutes=recovery.reroutes,
+        timeouts=recovery.timeouts,
+        fault_downtime=fault_downtime,
+        excluded_gpus=tuple(excluded),
+    )

@@ -1,0 +1,89 @@
+"""Tests of the multi-node cluster benchmark (``cluster``)."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import cluster
+from repro.bench.experiments.cluster import (
+    GATE_MIN_RATIO,
+    ScenarioResult,
+    _check_gate,
+    run_cluster,
+    run_scenario,
+)
+from repro.bench.harness import experiment_by_id
+from repro.errors import ReproError
+
+
+def test_registered_in_harness():
+    experiment = experiment_by_id("cluster")
+    assert experiment.runner is cluster.run_cluster_entry
+
+
+def test_scenario_counters_and_throughput():
+    result = run_scenario("dgx-a100", 2, "fat-tree")
+    assert result.nodes == 2
+    assert result.counts["gpus"] == 16
+    assert result.counts["cluster_nodes"] == 2
+    assert result.sim_s > 0
+    assert result.events > 0
+    assert result.sorted_gb_per_s > 0
+    assert result.events_per_sec > 0
+    # One batched all-to-all start per exchange wave (N - 1 waves).
+    assert result.batched_starts == 1
+    for key in ("hits", "misses", "hit_rate", "invalidations"):
+        assert key in result.routing
+
+
+def test_quick_sweep_record_structure(tmp_path):
+    json_path = tmp_path / "cluster.json"
+    table = run_cluster(quick=True, json_path=str(json_path))
+    # 3 fabrics x 1 node count on dgx + 2 other platforms.
+    assert len(table.rows) == 5
+    record = json.loads(json_path.read_text())
+    assert record["benchmark"] == "cluster"
+    assert "gate" not in record  # quick runs skip the 64-node gate
+    scenario = record["scenarios"]["dgx-a100-x4-fat-tree"]
+    assert scenario["nodes"] == 4
+    assert scenario["gpus"] == 32
+    assert scenario["events_per_sec"] > 0
+    # Provenance carries the largest graph's topology counts.
+    topology = record["provenance"]["topology"]
+    assert topology["cluster_nodes"] == 4
+    assert topology["gpus"] == 32
+    assert topology["links"] > 0
+
+
+def test_quick_default_path_does_not_clobber_committed_record(tmp_path,
+                                                              monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    run_cluster(quick=True, json_path="BENCH_cluster.json")
+    assert not (tmp_path / "BENCH_cluster.json").exists()
+
+
+def _synthetic(fabric, nodes, events_per_wall, links):
+    return ScenarioResult(
+        name=f"dgx-a100-x{nodes}-{fabric}", nodes=nodes, fabric=fabric,
+        counts={"gpus": 8 * nodes, "links": links, "vertices": 0,
+                "cluster_nodes": nodes},
+        sim_s=1.0, wall_s=1.0, logical_bytes=1e9,
+        events=int(events_per_wall), full_reallocations=0,
+        batched_starts=0, routing={})
+
+
+def test_gate_passes_on_sublinear_degradation():
+    results = [_synthetic("fat-tree", 4, 100_000, 100),
+               _synthetic("fat-tree", 64, 40_000, 700)]
+    gate = _check_gate(results)
+    fabrics = gate["fabrics"]
+    assert fabrics["fat-tree"]["events_ratio"] == pytest.approx(0.4)
+    assert fabrics["fat-tree"]["link_growth"] == pytest.approx(7.0)
+    assert gate["min_ratio"] == GATE_MIN_RATIO
+
+
+def test_gate_raises_below_min_ratio():
+    results = [_synthetic("rail", 4, 100_000, 100),
+               _synthetic("rail", 64, 10_000, 700)]
+    with pytest.raises(ReproError, match="scale-out gate failed on rail"):
+        _check_gate(results)

@@ -1,0 +1,179 @@
+"""Tests of cluster construction, scoped routing and the route cache."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.hw import (
+    FABRICS,
+    LinkKind,
+    TIER_INTER,
+    TIER_INTRA,
+    dgx_a100,
+    make_cluster,
+    system_by_name,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("fabric", FABRICS)
+    def test_four_node_dgx_builds(self, fabric):
+        spec = make_cluster("dgx-a100", 4, fabric=fabric)
+        assert spec.num_nodes == 4
+        assert spec.num_gpus == 32
+        assert spec.gpus_per_node == 8
+        assert spec.fabric == fabric
+        counts = spec.counts()
+        assert counts["cluster_nodes"] == 4
+        assert counts["gpus"] == 32
+        assert counts["links"] > 4 * len(dgx_a100().topology.edges)
+
+    def test_sixty_four_node_cluster_builds(self):
+        spec = make_cluster("ibm-ac922", 64, fabric="fat-tree")
+        assert spec.num_gpus == 256
+        assert len(spec.numa) == 128
+        # Node 63's hardware is present under global names.
+        spec.topology.node("gpu255")
+        spec.topology.node("cpu127")
+
+    def test_unknown_fabric_rejected(self):
+        with pytest.raises(TopologyError, match="dragonfly"):
+            make_cluster("dgx-a100", 4, fabric="torus")
+
+    @pytest.mark.parametrize("nodes", [0, 65])
+    def test_node_count_bounds(self, nodes):
+        with pytest.raises(TopologyError, match=r"\[1, 64\]"):
+            make_cluster("dgx-a100", nodes)
+
+    def test_single_node_cluster_has_no_fabric(self):
+        spec = make_cluster("dgx-a100", 1)
+        assert spec.fabric == "none"
+        base = dgx_a100()
+        assert len(spec.topology.nodes) == len(base.topology.nodes)
+        assert len(spec.topology.edges) == len(base.topology.edges)
+
+
+class TestSpecHelpers:
+    def test_gpu_and_numa_indexing(self):
+        spec = make_cluster("dgx-a100", 4)
+        assert spec.node_of_gpu(0) == 0
+        assert spec.node_of_gpu(31) == 3
+        assert spec.gpu_ids_of_node(2) == tuple(range(16, 24))
+        assert spec.node_numa(3) == 3 * spec.numa_per_node
+        assert spec.node_cpu_name(0) == "cpu0"
+        with pytest.raises(TopologyError):
+            spec.node_of_gpu(32)
+        with pytest.raises(TopologyError):
+            spec.gpu_ids_of_node(4)
+
+    def test_node_gpu_order_mirrors_base_preference(self):
+        base = dgx_a100()
+        spec = make_cluster("dgx-a100", 2)
+        for count in (2, 4, 8):
+            local = base.preferred_gpu_set(count)
+            assert spec.node_gpu_order(0, count) == local
+            assert spec.node_gpu_order(1, count) == tuple(
+                8 + i for i in local)
+
+    def test_gpu_numa_follows_the_node(self):
+        spec = make_cluster("ibm-ac922", 2)
+        base = system_by_name("ibm-ac922")
+        for name, numa in base.gpu_numa.items():
+            gid = int(name[3:])
+            assert spec.gpu_numa[f"gpu{gid + 4}"] == numa + 2
+
+
+class TestScopedRouting:
+    @pytest.mark.parametrize("base", ["dgx-a100", "ibm-ac922"])
+    def test_single_node_routes_bit_identical_to_standalone(self, base):
+        standalone = system_by_name(base)
+        cluster = make_cluster(base, 1)
+        pairs = [("cpu0", "gpu0"), ("gpu0", "gpu1"),
+                 ("gpu0", f"gpu{standalone.num_gpus - 1}"),
+                 ("cpu0", f"gpu{standalone.num_gpus - 1}")]
+        for src, dst in pairs:
+            a = standalone.topology.route(src, dst)
+            b = cluster.topology.route(src, dst)
+            assert [k for _, k in _edge_kinds(standalone, a)] == \
+                [k for _, k in _edge_kinds(cluster, b)]
+            assert a.bottleneck == b.bottleneck
+            assert a.latency_s == b.latency_s
+            assert len(a.hops) == len(b.hops)
+
+    def test_intra_node_route_identical_on_every_node(self):
+        spec = make_cluster("dgx-a100", 4, fabric="fat-tree")
+        base = dgx_a100()
+        reference = base.topology.route("cpu0", "gpu3")
+        for k in range(4):
+            route = spec.topology.route(spec.node_cpu_name(k),
+                                        f"gpu{8 * k + 3}")
+            assert route.bottleneck == reference.bottleneck
+            assert route.latency_s == reference.latency_s
+
+    @pytest.mark.parametrize("fabric", FABRICS)
+    def test_cross_node_route_crosses_the_fabric(self, fabric):
+        spec = make_cluster("dgx-a100", 4, fabric=fabric)
+        route = spec.topology.route("cpu0", spec.node_cpu_name(2))
+        names = [resource.name for resource, _ in route.hops]
+        tiers = {spec.topology.tier_of(name) for name in names}
+        assert TIER_INTER in tiers
+        assert any("nic" in name for name in names)
+        # The fabric caps cross-node bandwidth at the IB cable rate.
+        assert route.bottleneck <= 23.0e9
+
+    def test_machine_partition_bookkeeping(self):
+        spec = make_cluster("dgx-a100", 2)
+        topo = spec.topology
+        assert topo.machine_of("gpu0") == 0
+        assert topo.machine_of("gpu8") == 1
+        assert topo.machine_of("n0_nic0") is None
+
+    def test_tier_tagging(self):
+        spec = make_cluster("dgx-a100", 4, fabric="rail")
+        topo = spec.topology
+        assert topo.tier_of("n0_nic0_link") == TIER_INTER
+        assert topo.tier_of("n0_nvswitch_port_gpu0") == TIER_INTRA
+        inter = [name for name, tier in topo.tiers.items()
+                 if tier == TIER_INTER]
+        assert len(inter) > 4
+
+
+class TestRouteTable:
+    def test_lookup_hits_after_first_miss(self):
+        spec = make_cluster("dgx-a100", 2)
+        table = spec.topology.routes
+        first = spec.topology.route("cpu0", "gpu9")
+        assert table.misses >= 1
+        hits = table.hits
+        second = spec.topology.route("cpu0", "gpu9")
+        assert second is first
+        assert table.hits == hits + 1
+
+    def test_invalidation_clears_and_counts(self):
+        spec = make_cluster("dgx-a100", 2)
+        topo = spec.topology
+        topo.route("cpu0", "gpu0")
+        assert len(topo.routes) >= 1
+        topo.invalidate_routes()
+        assert len(topo.routes) == 0
+        assert topo.routes.invalidations >= 1
+
+    def test_stats_shape(self):
+        spec = make_cluster("dgx-a100", 2)
+        spec.topology.route("cpu0", "gpu1")
+        stats = spec.topology.routes.stats()
+        for key in ("routes_cached", "hits", "misses", "hit_rate",
+                    "invalidations", "miss_wall_s"):
+            assert key in stats
+
+
+def _edge_kinds(spec, route):
+    """(resource name, LinkKind) per hop, resolved via the edge list."""
+    by_resource = {}
+    for edge in spec.topology.edges:
+        by_resource[edge.resource.name] = edge.kind
+    out = []
+    for resource, _direction in route.hops:
+        kind = by_resource.get(resource.name)
+        if isinstance(kind, LinkKind):
+            out.append((resource.name, kind))
+    return out

@@ -7,12 +7,14 @@ import pytest
 from repro.obs.events import EngineAcquire, EngineRelease, LinkRate
 from repro.obs.recorder import FlowRecord, Recorder
 from repro.obs.telemetry import (
+    LinkReport,
     LinkSeries,
     engine_occupancy,
     flow_count_series,
     link_report,
     link_series,
     sparkline,
+    tier_summary,
 )
 
 
@@ -183,3 +185,31 @@ class TestFlowCountSeries:
         recorder.flows.extend([a, b, in_flight])
         assert flow_count_series(recorder) == [
             (0.0, 1), (1.0, 3), (2.0, 2), (3.0, 1)]
+
+
+class TestTierSummary:
+    @staticmethod
+    def _report(link, peak, mean, bytes_):
+        return LinkReport(link=link, direction="a->b", peak=peak,
+                          mean=mean, capacity=100.0, bytes=bytes_,
+                          saturated_s=0.0)
+
+    def test_rollup_per_tier(self):
+        tier_of = lambda name: "inter" if "nic" in name else "intra"
+        reports = [
+            self._report("n0_nic0_link", peak=90.0, mean=50.0, bytes_=3e9),
+            self._report("n1_nic0_link", peak=60.0, mean=30.0, bytes_=1e9),
+            self._report("nvlink_0_1", peak=40.0, mean=20.0, bytes_=2e9),
+        ]
+        tiers = tier_summary(reports, tier_of)
+        assert set(tiers) == {"inter", "intra"}
+        inter = tiers["inter"]
+        assert inter["links"] == 2
+        assert inter["bytes"] == pytest.approx(4e9)
+        assert inter["peak_utilization"] == pytest.approx(0.9)
+        # Byte-weighted mean: (0.5 * 3 + 0.3 * 1) / 4.
+        assert inter["mean_utilization"] == pytest.approx(0.45)
+        assert tiers["intra"]["links"] == 1
+
+    def test_empty_reports(self):
+        assert tier_summary([], lambda name: "intra") == {}
