@@ -24,7 +24,7 @@ simulated metrics).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.bench.report import Table, write_bench_record
@@ -81,6 +81,11 @@ class LoadPoint:
     p99_latency_s: float
     mean_queue_wait_s: float
     peak_queue: int
+    #: Episode metrics snapshot (per-tenant latency histograms,
+    #: rejection counters) from :attr:`ServiceReport.metrics`.  Nested,
+    #: so ``repro.obs diff`` ignores it — the flat numbers above stay
+    #: the comparison surface.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def rejection_rate(self) -> float:
@@ -102,6 +107,7 @@ class LoadPoint:
             "p99_latency_s": self.p99_latency_s,
             "mean_queue_wait_s": self.mean_queue_wait_s,
             "peak_queue": self.peak_queue,
+            "metrics": dict(self.metrics),
         }
 
 
@@ -183,7 +189,8 @@ def run_load_point(system: str, load: float, jobs: int,
         p50_latency_s=report.p50_latency_s,
         p99_latency_s=report.p99_latency_s,
         mean_queue_wait_s=report.mean_queue_wait_s,
-        peak_queue=report.peak_queue)
+        peak_queue=report.peak_queue,
+        metrics=report.metrics)
 
 
 def run_breaker_scenario(system: str, jobs: int,

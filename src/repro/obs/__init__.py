@@ -14,6 +14,15 @@ The subsystem has three layers:
   comparison, and the ``python -m repro.obs`` command line.
 """
 
+from repro.obs.critpath import (
+    CriticalPath,
+    InFlight,
+    Segment,
+    critical_path,
+    fault_windows_of,
+    job_critical_path,
+    tenant_rollup,
+)
 from repro.obs.diff import DiffResult, diff_files, diff_records, format_diff
 from repro.obs.jobs import job_labels, job_trace
 from repro.obs.metrics import (
@@ -21,9 +30,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    prometheus_text,
+)
+from repro.obs.postmortem import (
+    build_bundle,
+    load_bundle,
+    render_bundle,
+    write_bundle,
 )
 from repro.obs.provenance import config_hash, git_revision, provenance
-from repro.obs.recorder import FlowRecord, Recorder
+from repro.obs.recorder import FlowRecord, Recorder, RingConfig
 from repro.obs.telemetry import (
     LinkReport,
     LinkSeries,
@@ -37,26 +53,39 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "Counter",
+    "CriticalPath",
     "DiffResult",
     "FlowRecord",
     "Gauge",
     "Histogram",
+    "InFlight",
     "LinkReport",
     "LinkSeries",
     "MetricsRegistry",
     "Recorder",
+    "RingConfig",
+    "Segment",
+    "build_bundle",
     "config_hash",
+    "critical_path",
     "diff_files",
     "diff_records",
     "engine_occupancy",
+    "fault_windows_of",
     "flow_count_series",
     "format_diff",
     "git_revision",
+    "job_critical_path",
     "job_labels",
     "job_trace",
     "link_report",
     "link_series",
+    "load_bundle",
+    "prometheus_text",
     "provenance",
+    "render_bundle",
     "sparkline",
+    "tenant_rollup",
     "tier_summary",
+    "write_bundle",
 ]

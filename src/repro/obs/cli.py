@@ -1,25 +1,43 @@
 """The ``python -m repro.obs`` command line: profile a simulated run.
 
-Four subcommands over one instrumented-workload runner:
+Subcommands over one instrumented-workload runner:
 
 ``timeline``
     Run a sort with observability on and write the full Perfetto /
     Chrome trace JSON — nested phase→flow slices, per-link bandwidth
     counter tracks, fault markers.
 
-``timeline`` and ``summary`` also run whole *service episodes*:
-``--service N`` offers N jobs through :class:`~repro.serve.SortService`
-at estimated capacity, and ``--job tenant/id`` narrows the output to
-one job's spans (see :mod:`repro.obs.jobs`).
+``timeline``, ``summary`` and ``critical-path`` also run whole
+*service episodes*: ``--service N`` offers N jobs through
+:class:`~repro.serve.SortService` at estimated capacity, and
+``--job tenant/id`` narrows the output to one job's spans (see
+:mod:`repro.obs.jobs`).
 ``links``
     Top-N hottest links (peak utilization), with time-weighted mean
     bandwidth, saturation windows and an ASCII sparkline per link.
 ``summary``
     Phase × actor × link rollup plus engine occupancy and the key
     counters of the run.
+``critical-path``
+    The blocking chain that determined the run's wall time (see
+    :mod:`repro.obs.critpath`): every critical segment attributed to
+    {kernel, link+tier, host, engine-wait, fault, queue-wait} with
+    rollups per category/phase/tier — and per tenant on ``--service``
+    episodes.
+``metrics``
+    Run a workload and print the recorder's metrics registry in
+    Prometheus text exposition format.
+``postmortem``
+    Render a saved post-mortem bundle (see
+    :mod:`repro.obs.postmortem`) — no simulation, pure reading.
 ``diff``
     Compare two ``BENCH_*.json`` records and flag regressions beyond a
     threshold; exits non-zero when any directed metric regressed.
+
+Every workload verb accepts ``--flight-recorder`` (bounded ring
+buffers instead of unbounded event lists), ``--max-replans`` and
+``--postmortem-dir`` (dump a bundle when a supervised run or service
+job dies, or the breaker quarantines GPUs).
 """
 
 from __future__ import annotations
@@ -103,6 +121,17 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--service", type=int, default=None, metavar="N",
                         help="instead of one sort, run a service episode "
                              "offering N jobs at estimated capacity")
+    parser.add_argument("--flight-recorder", action="store_true",
+                        help="bound the recorder with ring buffers "
+                             "(always-on mode: capped per-kind event "
+                             "retention, running aggregates)")
+    parser.add_argument("--max-replans", type=int, default=None,
+                        metavar="N",
+                        help="override the supervisor's replan budget "
+                             "(0 = first mid-phase failure is terminal)")
+    parser.add_argument("--postmortem-dir", default=None, metavar="DIR",
+                        help="dump post-mortem bundles here on terminal "
+                             "failures / breaker quarantine")
 
 
 def _install_faults(machine, spec, args) -> None:
@@ -128,10 +157,51 @@ def _install_faults(machine, spec, args) -> None:
         machine.install_faults(plan)
 
 
+class _FailedRun(Exception):
+    """A supervised workload died terminally; carries the run context.
+
+    ``critical-path`` still renders the blocking chain up to the
+    failure; other verbs report the error (and any bundle paths) and
+    exit non-zero.
+    """
+
+    def __init__(self, machine, recorder, error: BaseException,
+                 postmortems, failed_phase=None, failed_phase_started=None):
+        super().__init__(str(error))
+        self.machine = machine
+        self.recorder = recorder
+        self.error = error
+        self.postmortems = list(postmortems)
+        #: Phase executing at death (and its start), when known.
+        self.failed_phase = failed_phase
+        self.failed_phase_started = failed_phase_started
+
+
+def _make_recorder(args):
+    """A configured recorder when --flight-recorder asks for one."""
+    if getattr(args, "flight_recorder", False):
+        from repro.obs.recorder import Recorder, RingConfig
+
+        return Recorder(ring=RingConfig())
+    return None
+
+
+def _supervisor_config(args):
+    """The supervisor template honouring the CLI failure knobs."""
+    from repro.recovery import SupervisorConfig
+
+    config = SupervisorConfig(
+        postmortem_dir=getattr(args, "postmortem_dir", None))
+    if getattr(args, "max_replans", None) is not None:
+        config.max_replans = args.max_replans
+    return config
+
+
 def _run_instrumented(args):
     """Run the requested sort with observability on.
 
-    Returns ``(machine, recorder, result)``.
+    Returns ``(machine, recorder, result)``; a terminal supervised
+    failure raises :class:`_FailedRun` with the same context.
     """
     algorithm = "hier" if args.nodes > 1 else args.algorithm
     if args.nodes > 1:
@@ -143,7 +213,7 @@ def _run_instrumented(args):
     physical = max(1, min(budget, int(logical)))
     scale = max(1.0, logical / physical)
     machine = Machine(spec, scale=scale, fast_functional=True)
-    recorder = machine.enable_observability()
+    recorder = machine.enable_observability(_make_recorder(args))
     _install_faults(machine, spec, args)
     keys = generate(physical, args.distribution, key_dtype("int"),
                     seed=args.seed)
@@ -157,10 +227,19 @@ def _run_instrumented(args):
             count *= 2
         gpu_ids = spec.preferred_gpu_set(count)
     if getattr(args, "supervised", False):
+        from repro.errors import SortError
         from repro.recovery import SortSupervisor
 
-        result = SortSupervisor(machine).sort(
-            keys, algorithm=algorithm, gpu_ids=gpu_ids)
+        supervisor = SortSupervisor(machine, _supervisor_config(args))
+        try:
+            result = supervisor.sort(keys, algorithm=algorithm,
+                                     gpu_ids=gpu_ids)
+        except SortError as exc:
+            raise _FailedRun(machine, recorder, exc,
+                             supervisor.postmortems,
+                             failed_phase=supervisor.failed_phase,
+                             failed_phase_started=(
+                                 supervisor.failed_phase_started)) from exc
     else:
         result = _ALGORITHMS[algorithm](machine, keys,
                                         gpu_ids=gpu_ids)
@@ -198,7 +277,7 @@ def _run_service(args):
             / (reference.duration * len(reference.gpu_ids)))
 
     machine = Machine(spec, scale=scale, fast_functional=True)
-    recorder = machine.enable_observability()
+    recorder = machine.enable_observability(_make_recorder(args))
     _install_faults(machine, spec, args)
     workload = WorkloadSpec(
         jobs=args.service,
@@ -211,8 +290,15 @@ def _run_service(args):
         machine,
         tenants=[Tenant(name) for name in workload.tenants],
         config=ServiceConfig(gpu_rate_keys_per_s=rate,
-                             distribution=args.distribution))
+                             distribution=args.distribution,
+                             supervisor=_supervisor_config(args),
+                             postmortem_dir=getattr(args,
+                                                    "postmortem_dir",
+                                                    None)))
     report = service.run(generate_jobs(workload))
+    if service.postmortems:
+        for path in service.postmortems:
+            print(f"  post-mortem bundle: {path}", file=sys.stderr)
     return machine, recorder, report
 
 
@@ -488,6 +574,187 @@ def _cmd_summary_service(args) -> int:
     return 0
 
 
+def _print_critical_path(path, top: int, tiers: bool = True) -> None:
+    """Terminal rendering of one :class:`~repro.obs.critpath.CriticalPath`."""
+    label = f" of {path.label}" if path.label else ""
+    print(f"critical path{label}: {path.wall:.6f} s wall over "
+          f"[{path.start:.6f} s, {path.end:.6f} s], "
+          f"{len(path.segments)} segments summing {path.covered:.6f} s")
+    table = Table(["dur s", "share", "category", "phase", "actor",
+                   "detail", "window"],
+                  title=f"longest critical segments (top {top})")
+    for seg in sorted(path.segments, key=lambda s: -s.duration)[:top]:
+        share = seg.duration / path.wall if path.wall else 0.0
+        table.add_row(
+            f"{seg.duration:.6f}", f"{share:5.1%}", seg.category,
+            seg.phase or "-", seg.actor or "-",
+            (seg.detail + (f" [{seg.tier}]" if seg.tier else ""))
+            or "-",
+            f"[{seg.start:.4f}, {seg.end:.4f}]")
+    table.print()
+    rollups = [("category", path.by_category()),
+               ("phase", path.by_phase())]
+    if tiers and path.by_tier():
+        rollups.append(("tier", path.by_tier()))
+    for name, totals in rollups:
+        parts = ", ".join(
+            f"{key}={seconds:.6f}s ({seconds / path.wall:.1%})"
+            for key, seconds in totals.items()) or "-"
+        print(f"  by {name}: {parts}")
+    dominant = path.dominant_phase()
+    if dominant:
+        print(f"  dominant phase: {dominant}")
+
+
+def cmd_critical_path(args) -> int:
+    import json
+
+    from repro.obs.critpath import (
+        critical_path,
+        fault_windows_of,
+        job_critical_path,
+        tenant_rollup,
+    )
+
+    if args.service is not None:
+        machine, recorder, report = _run_service(args)
+        print(_describe_service(machine, report))
+        print()
+        tier_of = machine.spec.topology.tier_of
+        faults = fault_windows_of(machine)
+        if args.job:
+            job = _job_result(report, args.job)
+            if job is None:
+                known = ", ".join(sorted(r.spec.label
+                                         for r in report.results))
+                print(f"no job {args.job!r} in this episode "
+                      f"(jobs: {known})", file=sys.stderr)
+                return 1
+            try:
+                path = job_critical_path(machine.trace, recorder, job,
+                                         tier_of=tier_of,
+                                         fault_windows=faults)
+            except ReproError as exc:
+                print(str(exc), file=sys.stderr)
+                return 1
+            _print_critical_path(path, args.top)
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    json.dump(path.to_dict(), handle, indent=2)
+                print(f"  critical path written to {args.json}")
+            return 0
+        paths = []
+        for result in report.results:
+            if result.started_s is None:
+                continue
+            try:
+                paths.append(job_critical_path(
+                    machine.trace, recorder, result, tier_of=tier_of,
+                    fault_windows=faults))
+            except ReproError:
+                continue
+        jobs_table = Table(
+            ["job", "wall s", "dominant", "kernel", "link", "waits"],
+            title="per-job critical paths (detail with --job tenant/id)")
+        for path in paths:
+            categories = path.by_category()
+            waits = sum(categories.get(kind, 0.0) for kind in
+                        ("queue-wait", "engine-wait", "fault"))
+            jobs_table.add_row(
+                path.label, f"{path.wall:.3f}",
+                path.dominant_phase() or "-",
+                f"{categories.get('kernel', 0.0):.3f}",
+                f"{categories.get('link', 0.0):.3f}",
+                f"{waits:.3f}")
+        jobs_table.print()
+        tenants = tenant_rollup(paths)
+        tenant_table = Table(
+            ["tenant", "critical s", "kernel", "link", "host",
+             "queue-wait", "engine-wait", "fault"],
+            title="critical seconds per tenant")
+        for tenant, entry in tenants.items():
+            tenant_table.add_row(
+                tenant, f"{entry['total']:.3f}",
+                *(f"{entry.get(kind, 0.0):.3f}" for kind in
+                  ("kernel", "link", "host", "queue-wait",
+                   "engine-wait", "fault")))
+        tenant_table.print()
+        if args.json:
+            payload = {"jobs": [path.to_dict() for path in paths],
+                       "tenants": tenants}
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"  critical paths written to {args.json}")
+        return 0
+
+    code = 0
+    end = None
+    in_flight = None
+    try:
+        machine, recorder, result = _run_instrumented(args)
+        print(_describe_run(machine, result))
+    except _FailedRun as failed:
+        from repro.obs.critpath import InFlight
+
+        machine, recorder = failed.machine, failed.recorder
+        print(f"run FAILED: {type(failed.error).__name__}: "
+              f"{failed.error}", file=sys.stderr)
+        for path in failed.postmortems:
+            print(f"  post-mortem bundle: {path}", file=sys.stderr)
+        print("critical path up to the failure:")
+        code = 1
+        end = machine.env.now
+        if (failed.failed_phase is not None
+                and failed.failed_phase_started is not None):
+            in_flight = InFlight(phase=failed.failed_phase,
+                                 start=failed.failed_phase_started)
+    print()
+    path = critical_path(machine.trace, recorder,
+                         end=end,
+                         tier_of=machine.spec.topology.tier_of,
+                         fault_windows=fault_windows_of(machine, end=end),
+                         in_flight=in_flight)
+    _print_critical_path(path, args.top)
+    if recorder is not None and recorder.ring is not None:
+        stats = recorder.ring_stats()
+        print(f"  flight recorder: {stats['events_retained']} events "
+              f"retained, {stats['evicted_total']} evicted")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(path.to_dict(), handle, indent=2)
+        print(f"  critical path written to {args.json}")
+    return code
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs.metrics import prometheus_text
+
+    try:
+        if args.service is not None:
+            machine, recorder, _report = _run_service(args)
+        else:
+            machine, recorder, _result = _run_instrumented(args)
+    except _FailedRun as failed:
+        # The registry survives the failure; export what was measured.
+        recorder = failed.recorder
+        print(f"run FAILED: {type(failed.error).__name__}: "
+              f"{failed.error}", file=sys.stderr)
+    sys.stdout.write(prometheus_text(recorder.metrics.snapshot()))
+    return 0
+
+
+def cmd_postmortem(args) -> int:
+    from repro.obs.postmortem import load_bundle, render_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_bundle(bundle, top=args.top))
+    return 0
+
+
 def cmd_diff(args) -> int:
     try:
         result = diff_files(args.old, args.new, threshold=args.threshold)
@@ -544,6 +811,32 @@ def main(argv=None) -> int:
                          help="with --service: roll up only this job")
     summary.set_defaults(handler=cmd_summary)
 
+    critpath = commands.add_parser(
+        "critical-path",
+        help="the blocking chain that determined the run's wall time")
+    _add_workload_args(critpath)
+    critpath.add_argument("--top", type=int, default=12,
+                          help="critical segments to show (default 12)")
+    critpath.add_argument("--job", default=None, metavar="TENANT/ID",
+                          help="with --service: one job's chain "
+                               "(queue wait included)")
+    critpath.add_argument("--json", default=None, metavar="PATH",
+                          help="also write the chain as JSON")
+    critpath.set_defaults(handler=cmd_critical_path)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a workload and print Prometheus text exposition")
+    _add_workload_args(metrics)
+    metrics.set_defaults(handler=cmd_metrics)
+
+    postmortem = commands.add_parser(
+        "postmortem", help="render a saved post-mortem bundle")
+    postmortem.add_argument("bundle", help="bundle JSON path")
+    postmortem.add_argument("--top", type=int, default=10,
+                            help="segments/windows to show (default 10)")
+    postmortem.set_defaults(handler=cmd_postmortem)
+
     diff = commands.add_parser(
         "diff", help="compare two BENCH_*.json records")
     diff.add_argument("old")
@@ -574,7 +867,19 @@ def main(argv=None) -> int:
                          "hierarchical sort plans per-node GPU sets")
     elif getattr(args, "algorithm", None) == "hier":
         parser.error("--algorithm hier needs a cluster; add --nodes N")
-    return args.handler(args)
+    if (getattr(args, "max_replans", None) is not None
+            and args.max_replans < 0):
+        parser.error(f"--max-replans must be >= 0, got {args.max_replans}")
+    try:
+        return args.handler(args)
+    except _FailedRun as failed:
+        # Verbs that can use a dead run's state catch this themselves;
+        # for the rest, report the failure (and where the bundle went).
+        print(f"run FAILED: {type(failed.error).__name__}: "
+              f"{failed.error}", file=sys.stderr)
+        for path in failed.postmortems:
+            print(f"  post-mortem bundle: {path}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,528 @@
+"""Critical-path attribution: *which* work determined the wall time.
+
+The paper's core question — which phase and which interconnect gates a
+multi-GPU sort — has so far been answered by eyeballing timelines.
+This module answers it mechanically: walk the completed span tree
+backwards from the finish and extract the **blocking chain**, the
+sequence of activities that had to complete, one after another, for the
+run to end when it did.  Every instant of wall time lands in exactly
+one :class:`Segment`, so the segments *partition* the window — their
+durations sum to the wall time, which makes the rollups ("62% of this
+sort was the inter-node fabric") trustworthy rather than impressionistic.
+
+The walk is purely temporal, which is exact for the barrier-phased
+sorts this repo runs: at any time ``t`` the blocking activity is the
+longest-running span still active at ``t`` (the *long pole*); its start
+is the next decision point.  Where no work span covers ``t`` the chain
+records a wait, classified as ``queue-wait`` (top level), ``engine-wait``
+(inside a copy span with no flow moving — DMA-slot contention, retry
+backoff, parked on a down link) or ``fault`` (overlapping an injected
+fault window).
+
+Attribution of each critical segment:
+
+==============  ========================================================
+category        meaning / ``detail``
+==============  ========================================================
+``kernel``      a compute span on a GPU blocked the run; detail = phase
+``host``        a CPU-side span (NUMA merge, host sort) blocked the run
+``link``        a flow under a copy span blocked it; detail = the
+                flow's bottleneck link, ``tier`` = intra/inter when a
+                ``tier_of`` mapping is supplied
+``engine-wait``  a copy span was blocking but no child flow was moving
+``fault``       a wait overlapping an injected fault window; detail =
+                ``kind@target``
+``queue-wait``  wall time with no work span at all (scheduler gaps,
+                per-job queueing)
+==============  ========================================================
+
+Everything here is post-processing over an immutable trace — it can
+run mid-simulation (post-mortem bundles snapshot the chain up to the
+failure instant) or after the run completed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.trace import Span, Trace
+
+#: Span actors that mark orchestration, not resource work: the root
+#: sort markers and supervisor/job bookkeeping spans.
+_MARKER_ACTORS = ("sort", "supervisor")
+
+#: Tolerance for "covers this instant" comparisons, in simulated
+#: seconds; well below any modeled latency.
+_EPS = 1e-15
+
+
+@dataclass(frozen=True)
+class InFlight:
+    """A phase still executing at the end of the window.
+
+    Spans are recorded on *completion*, so when a run dies mid-phase
+    the dying phase has no span yet — passing its name and start time
+    here puts it on the critical path anyway, refined by the live
+    (unretired) flows the recorder still tracks: flow-covered stretches
+    become ``link`` segments, uncovered stretches ``engine-wait``.
+    """
+
+    phase: str
+    start: float
+    actor: str = ""
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One critical-path interval with its attribution."""
+
+    start: float
+    end: float
+    #: ``kernel`` / ``host`` / ``link`` / ``engine-wait`` / ``fault`` /
+    #: ``queue-wait``.
+    category: str
+    #: Phase of the blocking span ("" for top-level waits).
+    phase: str
+    #: Actor of the blocking span (GPU/CPU name; "" for top-level waits).
+    actor: str
+    #: Category-specific refinement: link name, fault ``kind@target``...
+    detail: str = ""
+    #: Fabric tier of a ``link`` segment (``intra``/``inter``) when the
+    #: caller supplied a tier mapping.
+    tier: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        """Length of the segment in simulated seconds."""
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view."""
+        return {"start": self.start, "end": self.end,
+                "duration": self.duration, "category": self.category,
+                "phase": self.phase, "actor": self.actor,
+                "detail": self.detail, "tier": self.tier}
+
+
+@dataclass
+class CriticalPath:
+    """The blocking chain of one run (or one job inside a run).
+
+    ``segments`` are time-ascending and partition ``[start, end]``
+    exactly: every instant belongs to one segment, so
+    ``sum(s.duration) == end - start`` up to float associativity.
+    """
+
+    start: float
+    end: float
+    segments: List[Segment]
+    label: str = ""
+
+    @property
+    def wall(self) -> float:
+        """Wall time of the window the chain explains."""
+        return self.end - self.start
+
+    @property
+    def covered(self) -> float:
+        """Sum of segment durations (== wall, by construction)."""
+        return sum(s.duration for s in self.segments)
+
+    def validate(self, rel_tol: float = 1e-9) -> None:
+        """Assert the partition invariant; raises ``ValueError`` if
+        segments do not sum to the wall time or are not contiguous."""
+        if not self.segments:
+            if self.wall > rel_tol:
+                raise ValueError(f"empty chain over {self.wall}s window")
+            return
+        tol = max(abs(self.wall), 1.0) * rel_tol
+        if abs(self.covered - self.wall) > tol:
+            raise ValueError(
+                f"critical path covers {self.covered}s of a "
+                f"{self.wall}s window")
+        cursor = self.start
+        for seg in self.segments:
+            if abs(seg.start - cursor) > tol:
+                raise ValueError(
+                    f"chain gap/overlap at {cursor}s: next segment "
+                    f"starts at {seg.start}s")
+            cursor = seg.end
+        if abs(cursor - self.end) > tol:
+            raise ValueError(f"chain ends at {cursor}s, window at "
+                             f"{self.end}s")
+
+    # -- rollups -----------------------------------------------------------
+    def _rollup(self, key) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for seg in self.segments:
+            name = key(seg)
+            if name is None:
+                continue
+            totals[name] = totals.get(name, 0.0) + seg.duration
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def by_category(self) -> Dict[str, float]:
+        """Critical seconds per category, largest first."""
+        return self._rollup(lambda s: s.category)
+
+    def by_phase(self) -> Dict[str, float]:
+        """Critical seconds per phase (waits land under ``(wait)``)."""
+        return self._rollup(lambda s: s.phase or "(wait)")
+
+    def by_actor(self) -> Dict[str, float]:
+        """Critical seconds per actor (GPU/CPU), largest first."""
+        return self._rollup(lambda s: s.actor or None)
+
+    def by_tier(self) -> Dict[str, float]:
+        """Critical seconds per fabric tier (``link`` segments only)."""
+        return self._rollup(lambda s: s.tier)
+
+    def by_detail(self) -> Dict[str, float]:
+        """Critical seconds per detail (links, fault kinds)."""
+        return self._rollup(lambda s: s.detail or None)
+
+    @property
+    def dominant(self) -> Optional[Segment]:
+        """The single longest critical segment."""
+        return max(self.segments, key=lambda s: s.duration, default=None)
+
+    def dominant_phase(self) -> Optional[str]:
+        """The phase holding the most critical seconds."""
+        phases = self.by_phase()
+        return next(iter(phases)) if phases else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable view (bundles, ``--json`` exports)."""
+        return {
+            "label": self.label,
+            "start": self.start,
+            "end": self.end,
+            "wall_s": self.wall,
+            "segments": [seg.to_dict() for seg in self.segments],
+            "by_category": self.by_category(),
+            "by_phase": self.by_phase(),
+            "by_tier": self.by_tier(),
+            "by_actor": self.by_actor(),
+        }
+
+
+def _blocking_chain(items: Sequence[Tuple[float, float, object]],
+                    t0: float, t1: float
+                    ) -> List[Tuple[float, float, object]]:
+    """The backward blocking walk over ``(start, end, payload)`` items.
+
+    Returns time-ascending ``(start, end, payload-or-None)`` triples
+    partitioning ``[t0, t1]``; ``None`` marks a wait (no item active).
+    At each cursor the blocker is the *earliest-started* item still
+    active — the long pole — found in O(log n) via a prefix-max-end
+    index over the items sorted by start.
+    """
+    clipped = []
+    for start, end, payload in items:
+        lo, hi = max(start, t0), min(end, t1)
+        if hi > lo:
+            clipped.append((lo, hi, payload))
+    if t1 <= t0:
+        return []
+    if not clipped:
+        return [(t0, t1, None)]
+    clipped.sort(key=lambda item: (item[0], item[1]))
+    starts = [item[0] for item in clipped]
+    prefix_max_end: List[float] = []
+    best = float("-inf")
+    for _start, end, _payload in clipped:
+        if end > best:
+            best = end
+        prefix_max_end.append(best)
+
+    chain: List[Tuple[float, float, object]] = []
+    t = t1
+    while t > t0 + _EPS:
+        idx = bisect_left(starts, t)        # items with start < t
+        if idx == 0:
+            chain.append((t0, t, None))
+            break
+        i = bisect_left(prefix_max_end, t, 0, idx)
+        if i >= idx:
+            # Nothing started-before-t is still running: a wait back to
+            # the latest completion.
+            gap_to = max(prefix_max_end[idx - 1], t0)
+            chain.append((gap_to, t, None))
+            t = gap_to
+            continue
+        start, _end, payload = clipped[i]
+        cut = max(start, t0)
+        chain.append((cut, t, payload))
+        t = cut
+    chain.reverse()
+    return chain
+
+
+def _work_spans(trace: Trace) -> List[Span]:
+    """Spans representing resource work (no roots/markers/faults)."""
+    work = []
+    for span in trace.spans:
+        if span.end <= span.start:
+            continue
+        if span.phase == "Replan" or span.phase.startswith("Fault:"):
+            continue
+        actor = span.actor
+        if actor in _MARKER_ACTORS or actor.startswith("job:"):
+            continue
+        work.append(span)
+    return work
+
+
+def fault_windows_of(machine, end: Optional[float] = None
+                     ) -> List[Tuple[str, str, float, float]]:
+    """``(kind, target, start, end)`` windows from the fault timeline.
+
+    Still-open windows are clipped to ``end`` (default: now).
+    """
+    if machine.faults is None:
+        return []
+    horizon = end if end is not None else machine.env.now
+    windows = []
+    for record in machine.faults.timeline:
+        close = record.end if record.end is not None else horizon
+        # Keep zero-width windows: a kill that opened at the horizon
+        # (i.e. at the death instant) is exactly what a post-mortem
+        # needs to show, and the wait-splitting midpoint test never
+        # matches an empty interval.
+        if close >= record.start:
+            windows.append((record.kind, record.target, record.start,
+                            close))
+    return windows
+
+
+def _wait_segments(start: float, end: float, category: str, phase: str,
+                   actor: str,
+                   faults: Sequence[Tuple[str, str, float, float]]
+                   ) -> List[Segment]:
+    """A wait interval, split where injected fault windows overlap it."""
+    cuts = {start, end}
+    for _kind, _target, lo, hi in faults:
+        if lo < end and hi > start:
+            cuts.add(max(lo, start))
+            cuts.add(min(hi, end))
+    edges = sorted(cuts)
+    segments = []
+    for lo, hi in zip(edges, edges[1:]):
+        if hi <= lo:
+            continue
+        mid = (lo + hi) / 2.0
+        hit = next(((kind, target) for kind, target, flo, fhi in faults
+                    if flo <= mid < fhi), None)
+        if hit is not None:
+            segments.append(Segment(lo, hi, "fault", phase, actor,
+                                    detail=f"{hit[0]}@{hit[1]}"))
+        else:
+            segments.append(Segment(lo, hi, category, phase, actor))
+    return segments
+
+
+def _coalesce(segments: List[Segment]) -> List[Segment]:
+    """Merge adjacent segments with identical attribution."""
+    merged: List[Segment] = []
+    for seg in segments:
+        if (merged
+                and merged[-1].category == seg.category
+                and merged[-1].phase == seg.phase
+                and merged[-1].actor == seg.actor
+                and merged[-1].detail == seg.detail
+                and merged[-1].tier == seg.tier
+                and abs(merged[-1].end - seg.start) <= _EPS):
+            merged[-1] = Segment(merged[-1].start, seg.end, seg.category,
+                                 seg.phase, seg.actor, seg.detail,
+                                 seg.tier)
+        else:
+            merged.append(seg)
+    return merged
+
+
+def _link_capacities(recorder) -> Dict[str, float]:
+    """Last-known capacity per link name (max over directions)."""
+    if recorder is None:
+        return {}
+    capacities: Dict[str, float] = {}
+    for (name, _direction), total in recorder.link_totals().items():
+        capacity = total["capacity"]
+        if capacity > capacities.get(name, 0.0):
+            capacities[name] = capacity
+    return capacities
+
+
+def _bottleneck_link(links: Sequence[str],
+                     capacities: Dict[str, float]) -> str:
+    """The route's lowest-capacity link (first hop wins ties)."""
+    best = None
+    best_cap = float("inf")
+    for name in links:
+        cap = capacities.get(name, float("inf"))
+        if cap < best_cap:
+            best, best_cap = name, cap
+    return best if best is not None else (links[0] if links else "")
+
+
+def _flow_actor(label: str) -> str:
+    """Destination actor of a flow from its ``phase:src->dst`` label."""
+    if "->" in label:
+        return label.rsplit("->", 1)[-1]
+    return ""
+
+
+def critical_path(trace: Trace, recorder=None, *,
+                  start: Optional[float] = None,
+                  end: Optional[float] = None,
+                  tier_of: Optional[Callable[[str], str]] = None,
+                  fault_windows: Optional[Sequence[Tuple[str, str, float,
+                                                         float]]] = None,
+                  label: str = "",
+                  in_flight: Optional[InFlight] = None) -> CriticalPath:
+    """Extract the blocking chain of a completed (or failing) run.
+
+    ``trace`` supplies the span tree; ``recorder`` (optional) refines
+    copy spans into per-link flow segments and engine waits.  ``start``
+    and ``end`` bound the window (default: the work spans' extent).
+    ``tier_of`` maps link names to fabric tiers for the per-tier
+    rollup; ``fault_windows`` (see :func:`fault_windows_of`) classifies
+    waits overlapping injected faults.  ``in_flight`` (needs an
+    explicit ``end``) marks a phase still executing at the window's
+    end — see :class:`InFlight`.
+
+    The returned path's segments partition ``[start, end]`` exactly —
+    see :meth:`CriticalPath.validate`.
+    """
+    work = _work_spans(trace)
+    faults = list(fault_windows or ())
+    items: List[Tuple[float, float, object]] = \
+        [(s.start, s.end, s) for s in work]
+    if (in_flight is not None and end is not None
+            and end > in_flight.start):
+        items.append((in_flight.start, end, in_flight))
+    if not items:
+        t0 = start if start is not None else 0.0
+        t1 = end if end is not None else t0
+        waits = (_wait_segments(t0, t1, "queue-wait", "", "", faults)
+                 if t1 > t0 else [])
+        return CriticalPath(t0, t1, waits, label=label)
+    t0 = start if start is not None else min(lo for lo, _hi, _p in items)
+    t1 = end if end is not None else max(hi for _lo, hi, _p in items)
+
+    flows_by_span: Dict[int, List[object]] = {}
+    all_flow_items: List[Tuple[float, float, object]] = []
+    if recorder is not None:
+        for record in recorder.flows:
+            if record.parent_span is not None:
+                flows_by_span.setdefault(record.parent_span,
+                                         []).append(record)
+            flow_end = record.end if record.end is not None else t1
+            if flow_end > record.start:
+                all_flow_items.append((record.start, flow_end, record))
+    capacities = _link_capacities(recorder)
+
+    segments: List[Segment] = []
+    chain = _blocking_chain(items, t0, t1)
+    for seg_start, seg_end, span in chain:
+        if span is None:
+            segments.extend(_wait_segments(seg_start, seg_end,
+                                           "queue-wait", "", "", faults))
+            continue
+        if isinstance(span, InFlight):
+            # The dying phase: its spans never closed, so refine by the
+            # flows that moved during it (live, retired or aborted).
+            for flo, fhi, record in _blocking_chain(all_flow_items,
+                                                    seg_start, seg_end):
+                if record is None:
+                    segments.extend(_wait_segments(
+                        flo, fhi, "engine-wait", span.phase, span.actor,
+                        faults))
+                else:
+                    link = _bottleneck_link(record.links, capacities)
+                    tier = tier_of(link) if (tier_of and link) else None
+                    segments.append(Segment(
+                        flo, fhi, "link", span.phase,
+                        _flow_actor(record.label) or span.actor,
+                        detail=link, tier=tier))
+            continue
+        child_flows = flows_by_span.get(span.id, ()) if span.id else ()
+        if child_flows:
+            flow_items = []
+            for record in child_flows:
+                flow_end = (record.end if record.end is not None
+                            else t1)
+                flow_items.append((record.start, flow_end, record))
+            for flo, fhi, record in _blocking_chain(flow_items,
+                                                    seg_start, seg_end):
+                if record is None:
+                    segments.extend(_wait_segments(
+                        flo, fhi, "engine-wait", span.phase, span.actor,
+                        faults))
+                else:
+                    link = _bottleneck_link(record.links, capacities)
+                    tier = tier_of(link) if (tier_of and link) else None
+                    segments.append(Segment(flo, fhi, "link", span.phase,
+                                            span.actor, detail=link,
+                                            tier=tier))
+        else:
+            category = "host" if "cpu" in span.actor else "kernel"
+            segments.append(Segment(seg_start, seg_end, category,
+                                    span.phase, span.actor,
+                                    detail=span.phase))
+    path = CriticalPath(t0, t1, _coalesce(segments), label=label)
+    path.validate()
+    return path
+
+
+def job_critical_path(trace: Trace, recorder, job_result, *,
+                      tier_of: Optional[Callable[[str], str]] = None,
+                      fault_windows: Optional[Sequence] = None
+                      ) -> CriticalPath:
+    """The blocking chain of one service job, queue wait included.
+
+    ``job_result`` is the job's :class:`~repro.serve.job.JobResult`;
+    its spans are recovered with :func:`repro.obs.jobs.job_trace` and
+    the window starts at submission, so queueing shows up as a leading
+    ``queue-wait`` segment and the wall equals the job's latency.
+    """
+    from repro.errors import ServiceError
+    from repro.obs.jobs import job_trace
+
+    label = job_result.spec.label
+    if job_result.started_s is None:
+        raise ServiceError(
+            f"job {label!r} never ran ({job_result.status}); no "
+            "critical path to extract")
+    filtered, root = job_trace(trace, label, job_result.gpu_ids)
+    path = critical_path(filtered, recorder, start=root.start,
+                         end=root.end, tier_of=tier_of,
+                         fault_windows=fault_windows,
+                         label=label)
+    submitted = job_result.submitted_s
+    if submitted is not None and root.start > submitted + _EPS:
+        waits = _wait_segments(submitted, root.start, "queue-wait", "",
+                               f"job:{label}",
+                               list(fault_windows or ()))
+        path = CriticalPath(submitted, path.end,
+                            waits + path.segments, label=label)
+        path.validate()
+    return path
+
+
+def tenant_rollup(paths: Sequence[CriticalPath]
+                  ) -> Dict[str, Dict[str, float]]:
+    """Per-tenant critical seconds by category, over per-job paths.
+
+    Job labels are ``tenant/id``; each path contributes its rollup to
+    its tenant's totals (plus a ``total`` key).
+    """
+    tenants: Dict[str, Dict[str, float]] = {}
+    for path in paths:
+        tenant = path.label.split("/", 1)[0] if path.label else "(none)"
+        entry = tenants.setdefault(tenant, {"total": 0.0})
+        entry["total"] += path.wall
+        for category, seconds in path.by_category().items():
+            entry[category] = entry.get(category, 0.0) + seconds
+    return dict(sorted(tenants.items()))

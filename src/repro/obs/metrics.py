@@ -112,21 +112,28 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile from the bucket boundaries.
 
-        Returns the upper bound of the bucket containing the quantile
-        (``max`` for the overflow bucket) — coarse, but monotone and
-        allocation-free, which is all a progress report needs.
+        Returns the upper bound of the bucket containing the quantile,
+        clamped into ``[min, max]`` so the estimate never leaves the
+        observed range — coarse, but monotone and allocation-free,
+        which is all a progress report needs.  Edge cases: an empty
+        histogram answers 0.0 for every quantile; ``q=0.0`` is the
+        observed minimum and ``q=1.0`` the observed maximum exactly.
         """
         if not 0.0 <= q <= 1.0:
             raise ReproError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
         target = q * self.count
         seen = 0
         for index, count in enumerate(self.counts):
             seen += count
             if seen >= target and count:
                 if index < len(self.bounds):
-                    return self.bounds[index]
+                    return min(self.bounds[index], self.max)
                 return self.max
         return self.max
 
@@ -191,3 +198,53 @@ class MetricsRegistry:
 #: counts) should pass explicit bounds.
 DEFAULT_BOUNDS = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
                   1000.0]
+
+
+def _prom_name(name: str) -> str:
+    """Mangle a registry name into the Prometheus charset.
+
+    Legal metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; everything
+    else (dots, dashes, slashes) becomes an underscore.
+    """
+    mangled = "".join(c if (c.isascii() and (c.isalnum() or c in "_:"))
+                      else "_" for c in name)
+    if not mangled or mangled[0].isdigit():
+        mangled = "_" + mangled
+    return mangled
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text
+    exposition format.
+
+    Counters get a ``_total`` suffix, histograms expand to cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, and gauge
+    extremes are exported as companion ``_min``/``_max`` gauges.  The
+    output ends with a newline, as the format requires.
+    """
+    lines: List[str] = []
+    for name, metric in sorted(snapshot.items()):
+        kind = metric.get("type")
+        prom = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {prom}_total counter")
+            lines.append(f"{prom}_total {metric['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {metric['value']}")
+            if metric.get("min") is not None:
+                lines.append(f"{prom}_min {metric['min']}")
+            if metric.get("max") is not None:
+                lines.append(f"{prom}_max {metric['max']}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in metric.get("buckets", {}).items():
+                cumulative += count
+                le = "+Inf" if bound == "inf" else bound
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+            count = metric.get("count", 0)
+            mean = metric.get("mean", 0.0)
+            lines.append(f"{prom}_sum {mean * count}")
+            lines.append(f"{prom}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""

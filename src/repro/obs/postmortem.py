@@ -1,0 +1,236 @@
+"""Post-mortem bundles: a provenance-stamped snapshot of a failing run.
+
+When a supervised sort gives up (:class:`~repro.errors.RecoveryError`
+after exhausting replans, or a terminal
+:class:`~repro.errors.SortError`) or the service's circuit breaker
+quarantines hardware, the interesting state — the recent event stream,
+the fault timeline, the blocking chain up to the failure instant — is
+about to become unreachable.  This module freezes it into a single
+JSON *bundle* that ``python -m repro.obs postmortem`` can render later,
+on a different machine, with no access to the original run.
+
+A bundle is self-contained and versioned:
+
+* ``provenance`` — commit/dirty flag, config hash over the failure
+  context, host facts (same block BENCH records carry);
+* ``error`` — exception type and message, plus the phase that was
+  executing when the run died;
+* ``critical_path`` — the blocking chain up to the failure instant
+  (see :mod:`repro.obs.critpath`), so the first question — *what was
+  the run doing, and what was it waiting on* — is answered offline;
+* ``fault_timeline`` — every injected fault window, closed or still
+  open at failure time;
+* ``recent_events`` — the tail of the (possibly ring-bounded) event
+  stream, newest last;
+* ``metrics`` / ``link_totals`` / ``engine_busy`` / ``ring`` — the
+  aggregate rollups, which survive flight-recorder eviction even when
+  the raw events did not.
+
+Writing a bundle never raises into the failing run: the dump happens
+while the original exception is propagating, and a post-mortem that
+dies while reporting a death helps nobody — failures are swallowed
+(the path is simply not produced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.obs.critpath import InFlight, critical_path, fault_windows_of
+from repro.obs.provenance import provenance
+
+#: Schema version stamped into every bundle.
+BUNDLE_VERSION = 1
+
+#: Default tail length of the event stream embedded in a bundle.
+DEFAULT_MAX_EVENTS = 400
+
+
+def build_bundle(machine, error: BaseException, *,
+                 phase: Optional[str] = None,
+                 phase_started: Optional[float] = None,
+                 label: Optional[str] = None,
+                 kind: str = "failure",
+                 max_events: int = DEFAULT_MAX_EVENTS) -> Dict[str, object]:
+    """Snapshot ``machine``'s observable state around ``error``.
+
+    ``phase`` names the phase executing at failure time (with
+    ``phase_started``, its start time — that puts the dying phase on
+    the critical path even though its spans never closed); ``label``
+    the failing job (service runs); ``kind`` distinguishes
+    ``"failure"`` bundles from ``"quarantine"`` ones.  Works with or
+    without an attached recorder — the critical path only needs the
+    span trace.
+    """
+    now = machine.env.now
+    recorder = machine.obs
+    faults = fault_windows_of(machine, end=now)
+    context = {
+        "kind": kind,
+        "error": type(error).__name__,
+        "phase": phase,
+        "label": label,
+    }
+    bundle: Dict[str, object] = {
+        "bundle_version": BUNDLE_VERSION,
+        "kind": kind,
+        "at_s": now,
+        "system": machine.spec.name,
+        "label": label,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "phase": phase,
+        },
+        "provenance": provenance(context),
+        "fault_timeline": [
+            {"kind": fk, "target": target, "start": start, "end": end}
+            for fk, target, start, end in faults],
+    }
+    in_flight = (InFlight(phase=phase, start=phase_started)
+                 if phase is not None and phase_started is not None
+                 else None)
+    tier_of = getattr(machine.spec.topology, "tier_of", None)
+    try:
+        path = critical_path(machine.trace, recorder, end=now,
+                             tier_of=tier_of,
+                             fault_windows=faults,
+                             label=label or "",
+                             in_flight=in_flight)
+        bundle["critical_path"] = path.to_dict()
+    except (ReproError, ValueError):
+        bundle["critical_path"] = None
+    if recorder is not None:
+        events = recorder.events[-max_events:] if max_events > 0 else []
+        bundle["recent_events"] = [event.to_dict() for event in events]
+        bundle["metrics"] = recorder.metrics.snapshot()
+        bundle["ring"] = recorder.ring_stats()
+        bundle["link_totals"] = {
+            f"{link}:{direction}": totals
+            for (link, direction), totals
+            in sorted(recorder.link_totals(end=now).items())}
+        bundle["engine_busy"] = recorder.engine_busy(end=now)
+    else:
+        bundle["recent_events"] = []
+        bundle["metrics"] = {}
+        bundle["ring"] = {"enabled": False}
+        bundle["link_totals"] = {}
+        bundle["engine_busy"] = {}
+    return bundle
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe slug of a label."""
+    return "".join(c if c.isalnum() or c in "-_" else "-"
+                   for c in text) or "run"
+
+
+def write_bundle(bundle: Dict[str, object], directory: str) -> str:
+    """Write ``bundle`` under ``directory`` and return its path.
+
+    The name is deterministic given the bundle — kind, label slug and
+    the failure's simulated time — so re-running a seeded scenario
+    overwrites rather than accumulates.
+    """
+    os.makedirs(directory, exist_ok=True)
+    label = _slug(str(bundle.get("label") or "run"))
+    at_ms = int(round(float(bundle.get("at_s", 0.0)) * 1e3))
+    name = f"postmortem-{bundle.get('kind', 'failure')}-{label}-{at_ms}ms.json"
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(bundle, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def load_bundle(path: str) -> Dict[str, object]:
+    """Read a bundle back; raises :class:`ReproError` on malformed input."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            bundle = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read post-mortem bundle {path}: {exc}") \
+            from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"malformed post-mortem bundle {path}: {exc}") \
+            from exc
+    if not isinstance(bundle, dict) or "bundle_version" not in bundle:
+        raise ReproError(f"{path} is not a post-mortem bundle "
+                         "(missing bundle_version)")
+    return bundle
+
+
+def render_bundle(bundle: Dict[str, object], top: int = 10) -> str:
+    """Human-readable report of a bundle for the terminal."""
+    lines: List[str] = []
+    error = bundle.get("error") or {}
+    lines.append(f"post-mortem [{bundle.get('kind', 'failure')}] on "
+                 f"{bundle.get('system', '?')} at "
+                 f"t={float(bundle.get('at_s', 0.0)):.6f}s")
+    if bundle.get("label"):
+        lines.append(f"  job: {bundle['label']}")
+    lines.append(f"  error: {error.get('type', '?')}: "
+                 f"{error.get('message', '')}")
+    if error.get("phase"):
+        lines.append(f"  failing phase: {error['phase']}")
+    prov = bundle.get("provenance") or {}
+    commit = prov.get("commit")
+    if commit:
+        dirty = " (dirty)" if prov.get("dirty") else ""
+        lines.append(f"  commit: {str(commit)[:12]}{dirty}")
+
+    faults = bundle.get("fault_timeline") or []
+    if faults:
+        lines.append("")
+        lines.append(f"fault timeline ({len(faults)} windows):")
+        for window in faults[-top:]:
+            lines.append(
+                f"  {window['kind']:<16} {window['target']:<14} "
+                f"[{window['start']:.6f}s .. {window['end']:.6f}s]")
+
+    path = bundle.get("critical_path")
+    if path:
+        lines.append("")
+        lines.append(f"critical path ({path['wall_s']:.6f}s wall, "
+                     f"{len(path['segments'])} segments):")
+        by_category = path.get("by_category") or {}
+        for category, seconds in by_category.items():
+            share = seconds / path["wall_s"] if path["wall_s"] else 0.0
+            lines.append(f"  {category:<12} {seconds:>12.6f}s  "
+                         f"{share:>6.1%}")
+        lines.append("  hottest segments:")
+        segments = sorted(path.get("segments") or [],
+                          key=lambda s: -s["duration"])[:top]
+        for seg in segments:
+            what = seg["phase"] or seg["category"]
+            where = seg["actor"] or "-"
+            detail = f" via {seg['detail']}" if seg.get("detail") else ""
+            lines.append(
+                f"    {seg['duration']:>10.6f}s  {seg['category']:<12} "
+                f"{what:<16} on {where}{detail}")
+        by_phase = path.get("by_phase") or {}
+        if by_phase:
+            dominant = next(iter(by_phase))
+            lines.append(f"  dominant phase: {dominant} "
+                         f"({by_phase[dominant]:.6f}s critical)")
+
+    ring = bundle.get("ring") or {}
+    if ring.get("enabled"):
+        lines.append("")
+        lines.append(
+            f"flight recorder: {ring.get('events_retained', 0)} events "
+            f"retained, {ring.get('evicted_total', 0)} evicted")
+    events = bundle.get("recent_events") or []
+    if events:
+        counts: Dict[str, int] = {}
+        for event in events:
+            counts[event.get("kind", "?")] = \
+                counts.get(event.get("kind", "?"), 0) + 1
+        summary = ", ".join(f"{kind}={count}" for kind, count
+                            in sorted(counts.items()))
+        lines.append("")
+        lines.append(f"recent events ({len(events)}): {summary}")
+    return "\n".join(lines)

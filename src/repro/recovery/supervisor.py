@@ -82,6 +82,11 @@ class SupervisorConfig:
     #: global trace parent stack is left untouched — the stack assumes
     #: one sort at a time, which concurrent service jobs violate.
     job_label: Optional[str] = None
+    #: Directory for post-mortem bundles: when set, a terminal
+    #: :class:`~repro.errors.SortError` / RecoveryError dumps a
+    #: provenance-stamped JSON snapshot (recent events, fault timeline,
+    #: critical path up to the failure) there before propagating.
+    postmortem_dir: Optional[str] = None
 
 
 class SortSupervisor:
@@ -94,6 +99,12 @@ class SortSupervisor:
         self.rec = RecoveryStats()
         self.checkpoints: List[PhaseCheckpoint] = []
         self.excluded: tuple = ()
+        #: Paths of post-mortem bundles dumped by this supervisor.
+        self.postmortems: List[str] = []
+        #: Phase executing (and its start time) when a terminal
+        #: :class:`~repro.errors.SortError` escaped, else ``None``.
+        self.failed_phase: Optional[str] = None
+        self.failed_phase_started: Optional[float] = None
 
     @property
     def pool(self) -> WorkspacePool:
@@ -211,9 +222,13 @@ class SortSupervisor:
                 machine.trace.push_parent(root_id)
 
         deadline_hit = False
+        failing_phase: Optional[str] = None
+        phase_started: Optional[float] = None
         try:
             while driver.queue:
                 name = driver.queue[0]
+                failing_phase = name
+                phase_started = env.now
                 try:
                     yield from self._run_phase(name, driver.body(name),
                                                deadline)
@@ -229,6 +244,14 @@ class SortSupervisor:
                     break
                 except (DeviceFaultError, TransferError) as exc:
                     self._replan(driver, name, exc)
+        except SortError as exc:
+            # Terminal failures (RecoveryError after exhausting replans,
+            # no-survivors SortError): freeze a post-mortem bundle while
+            # the state around the death is still reachable.
+            self.failed_phase = failing_phase
+            self.failed_phase_started = phase_started
+            self._dump_postmortem(exc, failing_phase, phase_started)
+            raise
         finally:
             driver.cleanup()
             if root_id is not None:
@@ -279,6 +302,26 @@ class SortSupervisor:
         )
 
     # -- internals ---------------------------------------------------------
+    def _dump_postmortem(self, exc: BaseException,
+                         phase: Optional[str],
+                         phase_started: Optional[float] = None) -> None:
+        """Write a failure bundle if the config asks for one.
+
+        Never raises: the original exception is mid-flight and a
+        reporting failure must not mask it.
+        """
+        directory = self.config.postmortem_dir
+        if directory is None:
+            return
+        from repro.obs.postmortem import build_bundle, write_bundle
+        try:
+            bundle = build_bundle(self.machine, exc, phase=phase,
+                                  phase_started=phase_started,
+                                  label=self.config.job_label)
+            self.postmortems.append(write_bundle(bundle, directory))
+        except Exception:  # noqa: BLE001 - reporting must not mask exc
+            pass
+
     def _actor(self) -> str:
         """Span actor for this run's supervisor-level trace records."""
         if self.config.job_label is not None:

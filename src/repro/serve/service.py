@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.data import generate
 from repro.errors import AdmissionRejected, ReproError, ServiceError
+from repro.obs.metrics import MetricsRegistry
 from repro.recovery.supervisor import SortSupervisor, SupervisorConfig
 from repro.runtime.context import Machine
 from repro.serve.admission import AdmissionController
@@ -61,6 +62,10 @@ class ServiceConfig:
     shutdown_grace_s: Optional[float] = None
     #: Data distribution of generated job inputs.
     distribution: str = "uniform"
+    #: Directory for post-mortem bundles: passed through to every job's
+    #: supervisor (terminal job failures dump there) and used by the
+    #: service itself when the circuit breaker quarantines GPUs.
+    postmortem_dir: Optional[str] = None
 
 
 class SortService:
@@ -84,6 +89,8 @@ class SortService:
         self.admission = AdmissionController(
             self.queue, self.estimate_service_s)
         self.results: List[JobResult] = []
+        #: Paths of post-mortem bundles dumped during the episode.
+        self.postmortems: List[str] = []
         #: job_id -> the job's running process.
         self._running: Dict[int, object] = {}
         self._arrivals_done = False
@@ -240,7 +247,8 @@ class SortService:
             remaining = spec.deadline_s - (started - pending.submitted_s)
         supervisor = SortSupervisor(self.machine, replace(
             self.config.supervisor, deadline_s=remaining,
-            pool=tenant.pool, job_label=spec.label))
+            pool=tenant.pool, job_label=spec.label,
+            postmortem_dir=self.config.postmortem_dir))
         status, reason, sort_result = "completed", None, None
         try:
             sort_result = yield from supervisor.sort_async(
@@ -253,9 +261,12 @@ class SortService:
         except ReproError as exc:
             status, reason = "failed", type(exc).__name__
         finished = env.now
+        self.postmortems.extend(supervisor.postmortems)
         self.scheduler.release(placement)
-        self.breaker.observe_job(self.machine, placement.gpu_ids,
-                                 started, finished)
+        newly_quarantined = self.breaker.observe_job(
+            self.machine, placement.gpu_ids, started, finished)
+        if newly_quarantined:
+            self._dump_quarantine(newly_quarantined, spec, status, reason)
         tenant.gpu_seconds += (finished - started) * len(placement.gpu_ids)
         if status == "completed":
             tenant.completed += 1
@@ -266,6 +277,28 @@ class SortService:
             sort=sort_result))
         self._running.pop(spec.job_id, None)
         self._dispatch()
+
+    def _dump_quarantine(self, gpu_ids, spec: JobSpec,
+                         status: str, reason: Optional[str]) -> None:
+        """Freeze a quarantine bundle when the breaker trips.
+
+        Never raises: quarantine is a degraded-but-alive state and a
+        reporting failure must not take the service down with it.
+        """
+        if self.config.postmortem_dir is None:
+            return
+        from repro.obs.postmortem import build_bundle, write_bundle
+        error = ServiceError(
+            f"circuit breaker quarantined GPUs {sorted(gpu_ids)} after "
+            f"job {spec.label} finished {status}"
+            + (f" ({reason})" if reason else ""))
+        try:
+            bundle = build_bundle(self.machine, error, label=spec.label,
+                                  kind="quarantine")
+            self.postmortems.append(
+                write_bundle(bundle, self.config.postmortem_dir))
+        except Exception:  # noqa: BLE001 - reporting must not hurt serving
+            pass
 
     # -- drain / shutdown --------------------------------------------------
     def _drain_driver(self):
@@ -310,12 +343,22 @@ class SortService:
             self._done.succeed()
 
     def _report(self, start: float, end: float) -> "ServiceReport":
-        return ServiceReport.build(
+        report = ServiceReport.build(
             results=list(self.results), start_s=start, end_s=end,
             peak_queue=self.peak_queue,
             quarantined=tuple(sorted(self.breaker.quarantined)),
             tenants={name: tenant.snapshot()
                      for name, tenant in sorted(self.tenants.items())})
+        # Per-tenant latency/rejection metrics land both in a local
+        # registry (embedded in the report, and from there in BENCH
+        # records) and, when observability is on, in the recorder's
+        # registry so ``repro.obs metrics`` exports them too.
+        local = MetricsRegistry()
+        report.populate_metrics(local)
+        if self.machine.obs is not None:
+            report.populate_metrics(self.machine.obs.metrics)
+        report.metrics = local.snapshot()
+        return report
 
 
 @dataclass
@@ -335,6 +378,9 @@ class ServiceReport:
     p50_latency_s: float = 0.0
     p99_latency_s: float = 0.0
     mean_queue_wait_s: float = 0.0
+    #: Snapshot of the episode's service metrics (per-tenant latency
+    #: histograms, rejection counters — see :meth:`populate_metrics`).
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     @classmethod
     def build(cls, results, start_s, end_s, peak_queue, quarantined,
@@ -362,6 +408,32 @@ class ServiceReport:
             p99_latency_s=(float(np.percentile(latencies, 99))
                            if latencies else 0.0),
             mean_queue_wait_s=(float(np.mean(waits)) if waits else 0.0))
+
+    def populate_metrics(self, registry: "MetricsRegistry") -> None:
+        """Feed the episode's outcomes into a metrics registry.
+
+        Per job: a ``service.jobs.<status>`` counter; per tenant:
+        latency and queue-wait histograms over completed jobs and one
+        rejection counter per typed reason.  Episode-level gauges carry
+        the peak queue depth and quarantine count.
+        """
+        for result in self.results:
+            tenant = result.spec.tenant
+            registry.counter(f"service.jobs.{result.status}").inc()
+            if result.status == "rejected":
+                registry.counter(
+                    f"service.tenant.{tenant}.rejections."
+                    f"{result.reason}").inc()
+            elif result.status == "completed":
+                registry.histogram(
+                    f"service.tenant.{tenant}.latency_s").observe(
+                        result.latency_s)
+                registry.histogram(
+                    f"service.tenant.{tenant}.queue_wait_s").observe(
+                        result.queue_wait_s)
+        registry.gauge("service.peak_queue").set(self.peak_queue)
+        registry.gauge("service.quarantined_gpus").set(
+            len(self.quarantined))
 
     @property
     def completed(self) -> int:
@@ -393,5 +465,6 @@ class ServiceReport:
             "peak_queue": self.peak_queue,
             "quarantined": list(self.quarantined),
             "tenants": self.tenants,
+            "metrics": self.metrics,
             "jobs": [result.to_json() for result in self.results],
         }

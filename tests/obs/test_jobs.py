@@ -76,3 +76,58 @@ class TestJobTrace:
         machine, report = episode
         with pytest.raises(ServiceError, match="acme/0"):
             job_trace(machine.trace, "acme/99", (0, 1))
+
+
+class TestReplanMidPhase:
+    """A job that loses a GPU mid-phase still extracts cleanly."""
+
+    def _run(self, fail_at=None):
+        from repro.faults import FaultPlan
+        from repro.faults.events import GpuFail
+
+        machine = Machine(ibm_ac922(), scale=1e5, fast_functional=True)
+        machine.enable_observability()
+        if fail_at is not None:
+            machine.install_faults(FaultPlan(events=(
+                GpuFail(at=fail_at, gpu=0),)))
+        jobs = [JobSpec(job_id=0, tenant="acme", arrival_s=0.0,
+                        keys=16384, gpus=machine.spec.num_gpus,
+                        algorithm="p2p", seed=5)]
+        report = SortService(machine).run(jobs)
+        return machine, report.results[0]
+
+    @pytest.fixture(scope="class")
+    def replanned(self):
+        # Probe the clean run's window, then kill a gang GPU midway.
+        _machine, clean = self._run()
+        midpoint = (clean.started_s + clean.finished_s) / 2.0
+        machine, result = self._run(fail_at=midpoint)
+        assert result.status == "completed"
+        assert result.sort.replans >= 1, "fault missed the job"
+        return machine, result
+
+    def test_replan_marker_is_attributed_to_the_job(self, replanned):
+        machine, result = replanned
+        trace, _root = job_trace(machine.trace, "acme/0",
+                                 result.gpu_ids)
+        replans = [s for s in trace.spans if s.phase == "Replan"]
+        assert replans
+        assert all(s.actor == "job:acme/0" for s in replans)
+
+    def test_dead_gpus_pre_failure_spans_are_kept(self, replanned):
+        machine, result = replanned
+        trace, root = job_trace(machine.trace, "acme/0",
+                                result.gpu_ids)
+        dead = [s for s in trace.spans if s.actor == "gpu0"]
+        assert dead, "spans from before the failure were dropped"
+        assert all(s.end <= root.end + 1e-9 for s in dead)
+
+    def test_extraction_still_brackets_every_span(self, replanned):
+        machine, result = replanned
+        trace, root = job_trace(machine.trace, "acme/0",
+                                result.gpu_ids)
+        phases = {s.phase for s in trace.spans}
+        assert "SupervisedSort" in phases
+        for span in trace.spans:
+            assert span.start >= root.start - 1e-9
+            assert span.end <= root.end + 1e-9

@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    prometheus_text,
 )
 
 
@@ -90,6 +91,70 @@ class TestHistogram:
 
     def test_empty_quantile_is_zero(self):
         assert Histogram("h", bounds=[1.0]).quantile(0.5) == 0.0
+        assert Histogram("h", bounds=[1.0]).quantile(0.0) == 0.0
+        assert Histogram("h", bounds=[1.0]).quantile(1.0) == 0.0
+
+    def test_extreme_quantiles_return_observed_extremes(self):
+        histogram = Histogram("h", bounds=DEFAULT_BOUNDS)
+        for value in (0.2, 0.4, 0.9):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.2
+        assert histogram.quantile(1.0) == 0.9
+
+    def test_single_bucket_quantile_never_exceeds_max(self):
+        # All mass in one bucket: the bucket's upper bound may overshoot
+        # the largest observation, so the estimate must clamp to max.
+        histogram = Histogram("h", bounds=[100.0])
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        for q in (0.1, 0.5, 0.99):
+            assert histogram.quantile(q) == 3.0
+
+    def test_overflow_bucket_quantile_clamps_to_max(self):
+        histogram = Histogram("h", bounds=[1.0])
+        histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 5.0
+
+
+class TestPrometheusText:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("flows.started").inc(3)
+        registry.gauge("queue.depth").set(2.0)
+        registry.gauge("queue.depth").set(5.0)
+        registry.histogram("latency_s", bounds=[0.1, 1.0]).observe(0.05)
+        registry.histogram("latency_s").observe(0.5)
+        registry.histogram("latency_s").observe(3.0)
+        return registry.snapshot()
+
+    def test_counters_get_total_suffix(self):
+        text = prometheus_text(self._snapshot())
+        assert "flows_started_total 3.0" in text
+        assert "# TYPE flows_started_total counter" in text
+
+    def test_gauges_carry_min_max_companions(self):
+        text = prometheus_text(self._snapshot())
+        assert "queue_depth 5.0" in text
+        assert "queue_depth_min 2.0" in text
+        assert "queue_depth_max 5.0" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(self._snapshot())
+        assert 'latency_s_bucket{le="0.1"} 1' in text
+        assert 'latency_s_bucket{le="1.0"} 2' in text
+        assert 'latency_s_bucket{le="+Inf"} 3' in text
+        assert "latency_s_count 3" in text
+        assert "latency_s_sum" in text
+
+    def test_names_are_mangled_to_the_legal_charset(self):
+        registry = MetricsRegistry()
+        registry.counter("1weird metric-name!").inc()
+        text = prometheus_text(registry.snapshot())
+        assert "_1weird_metric_name__total 1.0" in text
+
+    def test_output_ends_with_newline(self):
+        assert prometheus_text(self._snapshot()).endswith("\n")
+        assert prometheus_text({}) == ""
 
 
 class TestRegistry:

@@ -1,0 +1,125 @@
+"""Flight-recorder mode: bounded ring buffers with exact aggregates.
+
+Always-on observability must hold two properties at once: the raw
+event stream stays *bounded* (per-kind caps, tail eviction) while the
+derived aggregates — per-link bytes/peak/saturation, per-engine busy
+time — stay *exact*, because they are folded in at emit time and so
+survive the eviction of the events they summarize.  Eviction must also
+never orphan state the live run still needs: FlowStart events of
+in-flight flows and FaultOpen events of still-open windows are pinned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw import dgx_a100
+from repro.obs.recorder import Recorder, RingConfig
+from repro.runtime import Machine
+from repro.sort import p2p_sort
+
+#: A deliberately tiny ring so a single sort overflows every kind.
+TINY = RingConfig(default_cap=64, completed_flows=16, compact_batch=8)
+
+
+def _sorted_run(ring):
+    machine = Machine(dgx_a100(), scale=1)
+    recorder = machine.enable_observability(
+        Recorder(ring=ring) if ring is not None else None)
+    data = np.random.default_rng(11).integers(
+        0, 1 << 24, size=65536).astype(np.int32)
+    result = p2p_sort(machine, data)
+    return machine, recorder, result
+
+
+@pytest.fixture(scope="module")
+def bounded_and_not():
+    machine_r, ring_rec, result_r = _sorted_run(TINY)
+    machine_u, flat_rec, result_u = _sorted_run(None)
+    return (machine_r, ring_rec, result_r), (machine_u, flat_rec, result_u)
+
+
+class TestBounded:
+    def test_event_counts_respect_caps(self, bounded_and_not):
+        (_m, recorder, _r), _ = bounded_and_not
+        counts: dict = {}
+        for event in recorder.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        for kind, count in counts.items():
+            assert count <= TINY.cap_for(kind) + TINY.compact_batch, (
+                f"{kind} retained {count} events past its cap")
+
+    def test_completed_flow_records_are_trimmed(self, bounded_and_not):
+        (_m, recorder, _r), _ = bounded_and_not
+        done = [f for f in recorder.flows if f.end is not None]
+        assert len(done) <= TINY.completed_flows + TINY.compact_batch
+        assert recorder.evicted_flows > 0
+
+    def test_ring_stats_account_for_evictions(self, bounded_and_not):
+        (_m, recorder, _r), (_mu, flat, _ru) = bounded_and_not
+        stats = recorder.ring_stats()
+        assert stats["enabled"]
+        assert stats["evicted_total"] > 0
+        assert (stats["events_retained"] + stats["evicted_total"]
+                == len(flat.events))
+        assert not flat.ring_stats()["enabled"]
+
+
+class TestAggregatesSurviveEviction:
+    def test_link_totals_match_unbounded_recorder(self, bounded_and_not):
+        (_m, recorder, _r), (_mu, flat, _ru) = bounded_and_not
+        ringed, full = recorder.link_totals(), flat.link_totals()
+        assert set(ringed) == set(full)
+        for key in full:
+            for field in ("bytes", "peak", "capacity", "saturated_s"):
+                assert ringed[key][field] == pytest.approx(
+                    full[key][field]), f"{key}.{field} diverged"
+
+    def test_engine_busy_matches_unbounded_recorder(self, bounded_and_not):
+        (_m, recorder, _r), (_mu, flat, _ru) = bounded_and_not
+        assert recorder.engine_busy() == pytest.approx(flat.engine_busy())
+
+    def test_metrics_match_unbounded_recorder(self, bounded_and_not):
+        (_m, recorder, _r), (_mu, flat, _ru) = bounded_and_not
+        assert recorder.metrics.snapshot() == flat.metrics.snapshot()
+
+
+class TestDeterminism:
+    def test_ring_mode_is_bit_identical_in_simulated_time(
+            self, bounded_and_not):
+        (machine_r, _rec, result_r), (machine_u, _flat, result_u) = \
+            bounded_and_not
+        assert result_r.duration == result_u.duration
+        assert machine_r.env.now == machine_u.env.now
+        assert np.array_equal(result_r.output, result_u.output)
+        spans_r = [(s.phase, s.actor, s.start, s.end)
+                   for s in machine_r.trace.spans]
+        spans_u = [(s.phase, s.actor, s.start, s.end)
+                   for s in machine_u.trace.spans]
+        assert spans_r == spans_u
+
+
+class TestPinning:
+    def test_live_flow_starts_survive_compaction(self, env, net):
+        from repro.sim.resources import Direction, Resource
+
+        recorder = Recorder(ring=RingConfig(default_cap=4,
+                                            compact_batch=2))
+        net.obs = recorder
+        shared = Resource("shared", 100.0)
+        # One huge flow stays live while many short ones churn the ring.
+        net.start_flow([(shared, Direction.FWD)], 1e6, label="whale")
+
+        def churn():
+            for i in range(40):
+                net.start_flow([(shared, Direction.FWD)], 1.0,
+                               label=f"minnow{i}")
+                yield env.timeout(0.01)
+
+        env.process(churn())
+        env.run(until=0.5)
+        starts = [e for e in recorder.events if e.kind == "flow_start"]
+        assert any(e.label == "whale" for e in starts), (
+            "compaction evicted the FlowStart of a live flow")
+        assert recorder.ring_stats()["evicted_total"] > 0
