@@ -136,6 +136,71 @@ class RecoveryScenarioResult:
         }
 
 
+@dataclass
+class ClusterScenarioResult:
+    """Outcome of one cluster-tier fault scenario.
+
+    Baseline is a clean hierarchical sort on the same cluster; the
+    faulted run loses nodes, a fabric switch, or a flapping NIC link
+    mid-run and recovers elastically.  ``recovery_cost_s`` is the
+    absolute slowdown (the price of the replanned epochs), and the
+    degraded throughput is ``clean_s / faulted_s`` of the clean one.
+    """
+
+    name: str
+    nodes: int
+    fabric: str
+    kind: str              # "node-down" | "switch-down" | "link-flap"
+    failed_nodes: int
+    failed_switches: int
+    clean_s: float
+    faulted_s: float
+    degraded: bool
+    replans: int
+    waves_replayed: int
+    checkpoints: int
+    checkpoints_restored: int
+    retries: int
+    reroutes: int
+    fault_downtime_s: float
+    excluded_nodes: Tuple[int, ...]
+    sorted_ok: bool
+
+    @property
+    def overhead_pct(self) -> float:
+        if self.clean_s <= 0:
+            return 0.0
+        return 100.0 * (self.faulted_s - self.clean_s) / self.clean_s
+
+    @property
+    def recovery_cost_s(self) -> float:
+        return self.faulted_s - self.clean_s
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "algorithm": "hier",
+            "nodes": self.nodes,
+            "fabric": self.fabric,
+            "kind": self.kind,
+            "failed_nodes": self.failed_nodes,
+            "failed_switches": self.failed_switches,
+            "clean_s": self.clean_s,
+            "faulted_s": self.faulted_s,
+            "overhead_pct": self.overhead_pct,
+            "recovery_cost_s": self.recovery_cost_s,
+            "degraded": self.degraded,
+            "replans": self.replans,
+            "waves_replayed": self.waves_replayed,
+            "checkpoints": self.checkpoints,
+            "checkpoints_restored": self.checkpoints_restored,
+            "retries": self.retries,
+            "reroutes": self.reroutes,
+            "fault_downtime_s": self.fault_downtime_s,
+            "excluded_nodes": list(self.excluded_nodes),
+            "sorted_ok": self.sorted_ok,
+        }
+
+
 def _sort(algorithm: str, machine: Machine, data: np.ndarray):
     from repro.sort import het_sort, p2p_sort  # deferred: the sort stack
 
@@ -238,18 +303,107 @@ def run_recovery_scenario(algorithm: str, kind: str,
     )
 
 
+def run_cluster_scenario(nodes: int, kind: str, failed_nodes: int = 1,
+                         fabric: str = "fat-tree",
+                         seed: int = SEED) -> ClusterScenarioResult:
+    """One clean + one faulted hierarchical sort on a cluster.
+
+    ``kind`` picks the cluster-tier fault: ``node-down`` kills
+    ``failed_nodes`` nodes — the first mid-exchange, so the
+    wave-checkpointed ledger has durable deliveries to preserve, any
+    further ones earlier in the run; ``switch-down`` takes a fabric
+    spine out for a fifth of the clean duration (the redundant-path
+    fabrics reroute around it); ``link-flap`` cycles one NIC link
+    down/up three times, exercising the health-score hysteresis.
+    """
+    from repro.faults.events import LinkFlap, NodeDown, SwitchDown
+    from repro.hw.cluster import make_cluster
+    from repro.sort.hier import hier_sort
+
+    scale = BILLIONS * 1e9 / PHYSICAL_KEYS
+    data = generate(PHYSICAL_KEYS, "uniform", np.int32, seed=42)
+
+    clean_machine = Machine(make_cluster("dgx-a100", nodes, fabric=fabric),
+                            scale=scale, fast_functional=True)
+    clean = hier_sort(clean_machine, data)
+    exchange_tail = (clean.phase_durations.get("Exchange", 0.0)
+                     + clean.phase_durations.get("NodeMerge", 0.0))
+    mid_exchange = clean.duration - 0.5 * exchange_tail
+
+    events = []
+    failed_switches = 0
+    if kind == "node-down":
+        events.append(NodeDown(at=mid_exchange, node=1))
+        for extra in range(1, failed_nodes):
+            events.append(NodeDown(at=(0.3 + 0.1 * extra) * clean.duration,
+                                   node=1 + extra))
+    elif kind == "switch-down":
+        failed_switches = 1
+        switches = clean_machine.spec.topology.fabric_switches
+        spines = [s for s in switches if "spine" in s]
+        # A spine when the fabric has one (redundant paths: the
+        # exchange reroutes); otherwise the only leaf (a hard outage
+        # the copies wait out).
+        events.append(SwitchDown(at=0.4 * clean.duration,
+                                 switch=spines[0] if spines
+                                 else switches[0],
+                                 duration=0.2 * clean.duration))
+    elif kind == "link-flap":
+        machine_spec = clean_machine.spec
+        resource = machine_spec.node_nic_links(1)[0]
+        events.append(LinkFlap(at=0.3 * clean.duration, resource=resource,
+                               cycles=3,
+                               down_s=0.03 * clean.duration,
+                               up_s=0.05 * clean.duration))
+    else:
+        raise ValueError(f"unknown cluster scenario kind {kind!r}")
+
+    machine = Machine(make_cluster("dgx-a100", nodes, fabric=fabric),
+                      scale=scale, fast_functional=True)
+    machine.install_faults(FaultPlan(events=tuple(events), seed=seed))
+    result = hier_sort(machine, data)
+
+    sorted_ok = (result.output is not None
+                 and bool(np.all(np.diff(result.output) >= 0)))
+    name = f"cluster{nodes}-{kind}"
+    if kind == "node-down" and failed_nodes != 1:
+        name += f"-{failed_nodes}"
+    return ClusterScenarioResult(
+        name=name,
+        nodes=nodes,
+        fabric=fabric,
+        kind=kind,
+        failed_nodes=failed_nodes if kind == "node-down" else 0,
+        failed_switches=failed_switches,
+        clean_s=clean.duration,
+        faulted_s=result.duration,
+        degraded=result.degraded,
+        replans=result.replans,
+        waves_replayed=result.waves_replayed,
+        checkpoints=result.checkpoints,
+        checkpoints_restored=result.checkpoints_restored,
+        retries=result.retries,
+        reroutes=result.reroutes,
+        fault_downtime_s=result.fault_downtime,
+        excluded_nodes=result.excluded_nodes,
+        sorted_ok=sorted_ok,
+    )
+
+
 def run_resilience(quick: bool = False,
                    json_path: Optional[str] = "BENCH_resilience.json"
                    ) -> List[Table]:
     """Run the resilience suite and build its tables.
 
-    Two parts: plain sorts surviving fault plans of increasing
-    intensity, and supervised sorts recovering from targeted failures
-    (replan, speculation, deadline).  ``quick`` sweeps one intensity
-    per algorithm and runs only the replan recovery scenarios.  Both
+    Three parts: plain sorts surviving fault plans of increasing
+    intensity, supervised sorts recovering from targeted failures
+    (replan, speculation, deadline), and hierarchical sorts on
+    clusters losing nodes, fabric switches and NIC links mid-run.
+    ``quick`` sweeps one intensity per algorithm, runs only the replan
+    recovery scenarios, and only two 4-node cluster scenarios.  Both
     modes write ``json_path`` — the JSON record is the experiment's
-    artifact, not a by-product; the recovery scenarios add new
-    ``sup-*`` keys to its ``scenarios`` mapping.
+    artifact, not a by-product; the recovery and cluster scenarios add
+    ``sup-*`` and ``cluster*`` keys to its ``scenarios`` mapping.
     """
     intensities = [1.0] if quick else [0.5, 1.0, 2.0]
     results: List[ScenarioResult] = []
@@ -266,6 +420,18 @@ def run_resilience(quick: bool = False,
     recovery: List[RecoveryScenarioResult] = []
     for algorithm, kind in recovery_specs:
         recovery.append(run_recovery_scenario(algorithm, kind, seed=SEED))
+
+    if quick:
+        cluster_specs = [(4, "node-down", 1), (4, "switch-down", 1)]
+    else:
+        cluster_specs = [(4, "node-down", 1), (4, "node-down", 2),
+                         (4, "switch-down", 1), (4, "link-flap", 1),
+                         (16, "node-down", 1), (16, "switch-down", 1)]
+    cluster: List[ClusterScenarioResult] = []
+    for nodes, kind, failed_nodes in cluster_specs:
+        cluster.append(run_cluster_scenario(nodes, kind,
+                                            failed_nodes=failed_nodes,
+                                            seed=SEED))
 
     table = Table(
         ["scenario", "faults", "clean [s]", "faulted [s]", "overhead",
@@ -300,10 +466,25 @@ def run_resilience(quick: bool = False,
             rec.speculations, rec.speculative_wins,
             rec.completed_phases, outcome)
 
+    cluster_table = Table(
+        ["scenario", "clean [s]", "faulted [s]", "overhead", "replans",
+         "waves replayed", "restored", "retries", "reroutes",
+         "excluded nodes", "sorted"],
+        title="Cluster-tier faults (hierarchical sort, clean baseline "
+              "on the same cluster)")
+    for cl in cluster:
+        cluster_table.add_row(
+            cl.name, f"{cl.clean_s:.3f}", f"{cl.faulted_s:.3f}",
+            f"{cl.overhead_pct:+.1f}%", cl.replans, cl.waves_replayed,
+            cl.checkpoints_restored, cl.retries, cl.reroutes,
+            ",".join(str(k) for k in cl.excluded_nodes) or "-",
+            "yes" if cl.sorted_ok else "NO")
+
     if json_path:
         scenarios: Dict[str, object] = {r.name: r.to_json()
                                         for r in results}
         scenarios.update({r.name: r.to_json() for r in recovery})
+        scenarios.update({r.name: r.to_json() for r in cluster})
         record = {
             "benchmark": "resilience",
             "seed": SEED,
@@ -313,7 +494,7 @@ def run_resilience(quick: bool = False,
             "scenarios": scenarios,
         }
         write_bench_record(json_path, record, seed=SEED)
-    return [table, recovery_table]
+    return [table, recovery_table, cluster_table]
 
 
 #: Set by the command line's ``--quick`` flag before the registry runs.

@@ -65,6 +65,17 @@ class DeviceFaultError(ReproError):
     """A GPU failed hard (injected device fault); not retryable."""
 
 
+class NodeFaultError(DeviceFaultError):
+    """A whole cluster node died (injected ``NodeDown``); not retryable.
+
+    Subclasses :class:`DeviceFaultError` so every existing
+    non-retryable-failure path (the resilient copy loop, the
+    supervisor's replan trigger) treats a node loss exactly like a
+    device loss; the hierarchical sort additionally re-shards the dead
+    node's input over the survivors.
+    """
+
+
 class DeadlineExceededError(SortError):
     """A supervised sort ran past its deadline budget.
 

@@ -30,12 +30,15 @@ from repro.faults.events import (
     GpuFail,
     LinkDegradation,
     LinkDown,
+    LinkFlap,
+    NodeDown,
     StragglerGpu,
+    SwitchDown,
     TransientTransfer,
 )
 from repro.faults.injector import FaultInjector, FaultRecord
 from repro.faults.plan import FaultPlan
-from repro.faults.policy import ResiliencePolicy, ResilienceStats
+from repro.faults.policy import LinkHealth, ResiliencePolicy, ResilienceStats
 
 __all__ = [
     "CopyEngineStall",
@@ -46,8 +49,12 @@ __all__ = [
     "GpuFail",
     "LinkDegradation",
     "LinkDown",
+    "LinkFlap",
+    "LinkHealth",
+    "NodeDown",
     "ResiliencePolicy",
     "ResilienceStats",
     "StragglerGpu",
+    "SwitchDown",
     "TransientTransfer",
 ]

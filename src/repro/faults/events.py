@@ -13,6 +13,7 @@ All times are absolute simulated seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 
 @dataclass(frozen=True)
@@ -91,6 +92,59 @@ class GpuFail(FaultEvent):
     """
 
     gpu: int
+
+
+@dataclass(frozen=True)
+class NodeDown(FaultEvent):
+    """Hard, permanent loss of one cluster node from ``at`` onward.
+
+    The injector expands the node through the machine's
+    :class:`~repro.hw.cluster.ClusterSpec` into its whole fault domain:
+    every GPU of the node hard-fails (as if one :class:`GpuFail` per
+    GPU fired at ``at``), its NIC uplinks go down permanently, and
+    flows touching its host memories are killed with
+    :class:`~repro.errors.NodeFaultError`.  Requires a cluster spec —
+    installing a plan with a ``NodeDown`` on a single machine is a
+    plan bug and raises at install time.
+    """
+
+    node: int
+
+
+@dataclass(frozen=True)
+class SwitchDown(FaultEvent):
+    """A fabric switch is dead for a window: every attached link is down.
+
+    ``switch`` is either the switch's topology vertex name
+    (``"ft_spine0"``, ``"rail1"``, ``"dfly_r2"``) or its index into the
+    cluster topology's ordered fabric-switch list.  All attached links
+    enter one shared down window — crossing flows fail with
+    :class:`~repro.errors.TransientTransferError` and the route cache
+    is flushed **once** per edge (down and up), not once per attached
+    link — and fat-tree/rail fabrics reroute over their redundant
+    paths through the normal avoid-set machinery.
+    """
+
+    switch: Union[int, str]
+    duration: float
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """One link flapping: ``cycles`` repeated down/up windows.
+
+    Each cycle holds the link down for ``down_s`` seconds, then up for
+    ``up_s`` before the next cycle.  Every down edge feeds the
+    per-link health score in the injector; a link flapping past the
+    :class:`~repro.faults.policy.ResiliencePolicy` quarantine watermark
+    is avoided by new copies even while nominally up (hysteresis keeps
+    it quarantined until the score recovers).
+    """
+
+    resource: str
+    cycles: int
+    down_s: float
+    up_s: float
 
 
 @dataclass(frozen=True)

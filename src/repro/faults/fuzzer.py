@@ -32,7 +32,7 @@ from typing import Callable, Iterator, Optional
 import numpy as np
 
 from repro.errors import ReproError
-from repro.faults.events import GpuFail
+from repro.faults.events import GpuFail, LinkFlap, NodeDown, SwitchDown
 from repro.faults.plan import FaultPlan
 from repro.hw import dgx_a100
 from repro.runtime.context import Machine
@@ -43,6 +43,11 @@ LOGICAL_KEYS = 2e9
 #: Simulated-seconds span the fault windows are drawn over — roughly
 #: the duration of one sort at :data:`LOGICAL_KEYS`.
 HORIZON_S = 2.5
+#: Horizon of cluster cases: a 4-node hierarchical sort at
+#: :data:`LOGICAL_KEYS` finishes in ~0.35 simulated seconds.
+CLUSTER_HORIZON_S = 0.4
+#: Nodes of every cluster chaos case.
+CLUSTER_NODES = 4
 
 
 @dataclass(frozen=True)
@@ -50,10 +55,13 @@ class ChaosCase:
     """One deterministic fuzz case: workload plus fault plan."""
 
     seed: int
-    algorithm: str         # "p2p" | "het" | "rp"
+    algorithm: str         # "p2p" | "het" | "rp" | "hier"
     supervised: bool
     n: int                 # physical keys
     plan: FaultPlan
+    #: Cluster cases only: node count (0 = standalone machine).
+    nodes: int = 0
+    fabric: str = "fat-tree"
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,58 @@ def case_for_seed(seed: int) -> ChaosCase:
                      supervised=supervised, n=n, plan=plan)
 
 
+def case_for_cluster_seed(seed: int) -> ChaosCase:
+    """Derive a cluster chaos case: hierarchical sort under
+    node/switch/link-flap faults on a 4-node cluster.
+
+    On top of :meth:`FaultPlan.generate`'s link/straggler/transient
+    chaos the case mixes in up to two cluster-tier events — a
+    :class:`~repro.faults.events.NodeDown`, a
+    :class:`~repro.faults.events.SwitchDown` of a random fabric switch,
+    or a :class:`~repro.faults.events.LinkFlap` of a random NIC link.
+    Same seed, same case.
+    """
+    from repro.hw.cluster import make_cluster
+
+    rng = np.random.default_rng(seed ^ 0xC105)
+    fabric = ("fat-tree", "rail", "dragonfly")[int(rng.integers(3))]
+    spec = make_cluster("dgx-a100", CLUSTER_NODES, fabric=fabric)
+    n = int(rng.integers(8_000, 20_000))
+    intensity = float(rng.uniform(0.25, 1.0))
+    base = FaultPlan.generate(spec, seed, intensity=intensity,
+                              horizon=CLUSTER_HORIZON_S)
+    events = list(base.events)
+    switches = spec.topology.fabric_switches
+    nic_links = [name for node in range(CLUSTER_NODES)
+                 for name in spec.node_nic_links(node)]
+    for _ in range(int(rng.integers(0, 3))):
+        kind = int(rng.integers(3))
+        at = float(rng.uniform(0.05, 0.9) * CLUSTER_HORIZON_S)
+        if kind == 0:
+            events.append(NodeDown(
+                at=at, node=int(rng.integers(CLUSTER_NODES))))
+        elif kind == 1 and switches:
+            events.append(SwitchDown(
+                at=at,
+                switch=switches[int(rng.integers(len(switches)))],
+                duration=float(
+                    rng.uniform(0.02, 0.15) * CLUSTER_HORIZON_S)))
+        else:
+            events.append(LinkFlap(
+                at=at,
+                resource=nic_links[int(rng.integers(len(nic_links)))],
+                cycles=int(rng.integers(1, 4)),
+                down_s=float(
+                    rng.uniform(0.005, 0.03) * CLUSTER_HORIZON_S),
+                up_s=float(
+                    rng.uniform(0.005, 0.03) * CLUSTER_HORIZON_S)))
+    plan = FaultPlan(events=tuple(events),
+                     transient_failure_prob=base.transient_failure_prob,
+                     seed=seed)
+    return ChaosCase(seed=seed, algorithm="hier", supervised=False,
+                     n=n, plan=plan, nodes=CLUSTER_NODES, fabric=fabric)
+
+
 def _input_for(case: ChaosCase) -> np.ndarray:
     rng = np.random.default_rng(case.seed)
     return rng.integers(0, 2**62, size=case.n, dtype=np.int64)
@@ -103,11 +163,21 @@ def _input_for(case: ChaosCase) -> np.ndarray:
 def run_case(case: ChaosCase) -> Outcome:
     """Run one chaos case and classify what happened."""
     data = _input_for(case)
-    machine = Machine(dgx_a100(), scale=LOGICAL_KEYS / case.n,
+    if case.nodes:
+        from repro.hw.cluster import make_cluster
+
+        spec = make_cluster("dgx-a100", case.nodes, fabric=case.fabric)
+    else:
+        spec = dgx_a100()
+    machine = Machine(spec, scale=LOGICAL_KEYS / case.n,
                       fast_functional=True)
     machine.install_faults(case.plan)
     try:
-        if case.supervised:
+        if case.nodes:
+            from repro.sort.hier import hier_sort
+
+            result = hier_sort(machine, data)
+        elif case.supervised:
             from repro.recovery import SortSupervisor
 
             result = SortSupervisor(machine).sort(
@@ -182,7 +252,9 @@ def describe_case(case: ChaosCase) -> str:
     """A reproduction recipe for a (shrunken) failing case."""
     lines = [
         f"seed={case.seed} algorithm={case.algorithm} "
-        f"supervised={case.supervised} n={case.n}",
+        f"supervised={case.supervised} n={case.n}"
+        + (f" nodes={case.nodes} fabric={case.fabric}"
+           if case.nodes else ""),
         f"transient_failure_prob={case.plan.transient_failure_prob}",
     ]
     if case.plan.events:

@@ -29,16 +29,25 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.errors import DeviceFaultError, TransientTransferError
+from repro.errors import (
+    DeviceFaultError,
+    NodeFaultError,
+    TransientTransferError,
+)
 from repro.faults.events import (
     CopyEngineStall,
     GpuFail,
     LinkDegradation,
     LinkDown,
+    LinkFlap,
+    NodeDown,
     StragglerGpu,
+    SwitchDown,
     TransientTransfer,
 )
 from repro.faults.plan import FaultPlan
+from repro.faults.policy import LinkHealth
+from repro.hw.cluster import ClusterSpec
 from repro.sim.engine import Event, SimulationError
 from repro.sim.flows import Flow
 from repro.sim.resources import Resource
@@ -92,8 +101,21 @@ class FaultInjector:
         #: gpu id -> event fired the instant the GPU hard-fails (created
         #: lazily by :meth:`fail_event`; kernels race against it).
         self._fail_events: Dict[int, Event] = {}
+        #: Cluster nodes hard-lost so far (runtime view; the plan is the
+        #: truth for :meth:`failed_node_ids`).
+        self._dead_nodes: Set[int] = set()
+        #: id(resource) -> health score of every link the plan has ever
+        #: taken down (fed by all down windows: link down, switch down,
+        #: flaps).  Quarantined links are avoided like down links.
+        self.link_health: Dict[int, LinkHealth] = {}
         self._by_name = self._resource_catalog()
         self._rng = np.random.default_rng(plan.seed)
+        # Backoff jitter draws come from their own stream so enabling
+        # jitter never perturbs the per-flow transient-kill draws (the
+        # two would otherwise interleave and break replay comparisons
+        # across policies).
+        self._jitter_rng = np.random.default_rng(
+            (plan.seed if plan.seed is not None else 0) ^ 0x1177E4)
         # Resolve every symbolic target eagerly so a typo in a plan
         # fails at install time, not halfway through a chaos run.
         # Unknown names and out-of-range GPU ids are plan bugs, not
@@ -101,7 +123,7 @@ class FaultInjector:
         # (negative ids would otherwise silently hit Python's negative
         # indexing and fault the *wrong* GPU).
         for event in plan.events:
-            if isinstance(event, (LinkDegradation, LinkDown)):
+            if isinstance(event, (LinkDegradation, LinkDown, LinkFlap)):
                 self._resource(event.resource)
             elif isinstance(event, (CopyEngineStall, StragglerGpu, GpuFail)):
                 if not 0 <= event.gpu < machine.num_gpus:
@@ -109,6 +131,20 @@ class FaultInjector:
                         f"fault plan references unknown GPU {event.gpu} "
                         f"on {machine.spec.name} "
                         f"({machine.num_gpus} GPUs) in {event!r}")
+            elif isinstance(event, NodeDown):
+                spec = machine.spec
+                if not isinstance(spec, ClusterSpec):
+                    raise SimulationError(
+                        f"fault plan schedules {event!r} but "
+                        f"{spec.name} is a single machine, not a "
+                        f"cluster; NodeDown needs a ClusterSpec")
+                if event.node >= spec.num_nodes:
+                    raise SimulationError(
+                        f"fault plan references unknown node "
+                        f"{event.node} on {spec.name} "
+                        f"({spec.num_nodes} nodes) in {event!r}")
+            elif isinstance(event, SwitchDown):
+                self._switch_target(event.switch)
         for event in plan.events:
             self.env.process(self._drive(event))
 
@@ -132,6 +168,44 @@ class FaultInjector:
                 f"{self.machine.spec.name} (known: "
                 f"{', '.join(sorted(self._by_name))})") from None
 
+    def _switch_target(self, switch) -> Tuple[str, List[Resource]]:
+        """Resolve a :class:`SwitchDown` target to its attached links.
+
+        Accepts an index into the cluster topology's ordered
+        fabric-switch list or the switch's vertex name; returns the
+        name plus every distinct link resource attached to the switch.
+        """
+        topology = self.machine.spec.topology
+        switches = getattr(topology, "fabric_switches", ())
+        if not switches:
+            raise SimulationError(
+                f"fault plan schedules SwitchDown({switch!r}) but "
+                f"{self.machine.spec.name} has no fabric switches "
+                "(SwitchDown needs a cluster fabric)")
+        if isinstance(switch, int):
+            if not 0 <= switch < len(switches):
+                raise SimulationError(
+                    f"fault plan references fabric switch index "
+                    f"{switch} but {self.machine.spec.name} has "
+                    f"{len(switches)} switches "
+                    f"({', '.join(switches)})")
+            name = switches[switch]
+        else:
+            if switch not in switches:
+                raise SimulationError(
+                    f"fault plan names unknown fabric switch "
+                    f"{switch!r} on {self.machine.spec.name} (known: "
+                    f"{', '.join(switches)})")
+            name = switch
+        resources: List[Resource] = []
+        seen: Set[int] = set()
+        for edge in topology.edges:
+            if ((edge.a == name or edge.b == name)
+                    and id(edge.resource) not in seen):
+                seen.add(id(edge.resource))
+                resources.append(edge.resource)
+        return name, resources
+
     # -- queries used by the resilient runtime and the sorts ---------------
     @property
     def down_ids(self) -> Dict[int, int]:
@@ -151,10 +225,64 @@ class FaultInjector:
         return self._restored[rid]
 
     def failed_gpu_ids(self) -> Set[int]:
-        """GPUs hard-failed at or before the current simulated time."""
+        """GPUs hard-failed at or before the current simulated time.
+
+        A :class:`NodeDown` counts as one :class:`GpuFail` per GPU of
+        the node, so cluster sorts planning a working set see the whole
+        fault domain through this one query.
+        """
         now = self.env.now
-        return {event.gpu for event in self.plan.events
-                if isinstance(event, GpuFail) and event.at <= now}
+        failed = {event.gpu for event in self.plan.events
+                  if isinstance(event, GpuFail) and event.at <= now}
+        spec = self.machine.spec
+        if isinstance(spec, ClusterSpec):
+            for event in self.plan.events:
+                if isinstance(event, NodeDown) and event.at <= now:
+                    failed.update(spec.gpu_ids_of_node(event.node))
+        return failed
+
+    def failed_node_ids(self) -> Set[int]:
+        """Cluster nodes lost at or before the current simulated time."""
+        now = self.env.now
+        return {event.node for event in self.plan.events
+                if isinstance(event, NodeDown) and event.at <= now}
+
+    def check_host(self, numa: int) -> None:
+        """Raise :class:`~repro.errors.NodeFaultError` if the NUMA
+        domain's node is dead.
+
+        The host-side analogue of :meth:`check_device`: copies touching
+        a lost node's host memory fail fast instead of parking on NIC
+        links that will never come back.  A no-op on single machines.
+        """
+        if not self._dead_nodes:
+            return
+        spec = self.machine.spec
+        if not isinstance(spec, ClusterSpec):
+            return
+        node = spec.node_of_numa(numa)
+        if node in self._dead_nodes:
+            raise NodeFaultError(
+                f"node {node} of {spec.name} is down; host memory "
+                f"mem{numa} is unreachable")
+
+    def quarantined_ids(self) -> Set[int]:
+        """``id(resource)`` of every link currently quarantined.
+
+        Links whose health score fell below the policy's low watermark
+        (flapping links, repeatedly-downed switches).  The resilient
+        router treats these like down links *when a detour exists*;
+        quarantine is advisory and never strands a copy's only route.
+        """
+        if not self.link_health:
+            return set()
+        now = self.env.now
+        return {rid for rid, health in self.link_health.items()
+                if health.is_quarantined(now)}
+
+    def backoff_jitter_draw(self) -> float:
+        """One uniform [0, 1) draw from the seeded backoff-jitter stream."""
+        return float(self._jitter_rng.random())
 
     def is_failed(self, gpu: int) -> bool:
         """Whether ``gpu`` has hard-failed by now (runtime view)."""
@@ -263,12 +391,18 @@ class FaultInjector:
             yield from self._run_degradation(event)
         elif isinstance(event, LinkDown):
             yield from self._run_link_down(event)
+        elif isinstance(event, LinkFlap):
+            yield from self._run_link_flap(event)
+        elif isinstance(event, SwitchDown):
+            yield from self._run_switch_down(event)
         elif isinstance(event, CopyEngineStall):
             yield from self._run_engine_stall(event)
         elif isinstance(event, StragglerGpu):
             yield from self._run_straggler(event)
         elif isinstance(event, GpuFail):
             self._run_gpu_fail(event)
+        elif isinstance(event, NodeDown):
+            self._run_node_down(event)
         elif isinstance(event, TransientTransfer):
             self._run_transient(event)
         else:  # pragma: no cover - future event kinds
@@ -330,14 +464,42 @@ class FaultInjector:
         self._lift_factor(resource, event.factor)
         self._close(record)
 
-    def _run_link_down(self, event: LinkDown):
-        resource = self._resource(event.resource)
+    def _mark_down(self, resource: Resource) -> bool:
+        """Open one down window on ``resource`` (no cache flush here).
+
+        Returns ``True`` on a genuine up-to-down transition (first open
+        window), which is also the moment the link's health score takes
+        its hit.  Callers decide how to batch the route-cache flush.
+        """
         rid = id(resource)
-        record = self._open("link_down", resource.name)
         open_windows = self._down.get(rid, 0)
         self._down[rid] = open_windows + 1
-        if open_windows == 0:
-            self._restored[rid] = self.env.event()
+        if open_windows:
+            return False
+        self._restored[rid] = self.env.event()
+        health = self.link_health.get(rid)
+        if health is None:
+            health = self.link_health[rid] = LinkHealth(
+                self.machine.resilience, now=self.env.now)
+        health.record_down(self.env.now)
+        return True
+
+    def _mark_up(self, resource: Resource) -> bool:
+        """Close one down window; ``True`` when fully restored."""
+        rid = id(resource)
+        open_windows = self._down[rid] - 1
+        if open_windows:
+            self._down[rid] = open_windows
+            return False
+        del self._down[rid]
+        self._restored.pop(rid).succeed()
+        self.link_health[rid].record_up(self.env.now)
+        return True
+
+    def _run_link_down(self, event: LinkDown):
+        resource = self._resource(event.resource)
+        record = self._open("link_down", resource.name)
+        self._mark_down(resource)
         # Precomputed routes may cross the downed link; drop them so
         # the next lookup re-resolves against the live link state.
         self.machine.spec.topology.invalidate_routes()
@@ -346,15 +508,93 @@ class FaultInjector:
                 f"link {resource.name} went down under flow "
                 f"{flow.label!r}"))
         yield self.env.timeout(event.duration)
-        open_windows = self._down[rid] - 1
-        if open_windows:
-            self._down[rid] = open_windows
-        else:
-            del self._down[rid]
-            self._restored.pop(rid).succeed()
+        if self._mark_up(resource):
             # The link is back: cached avoid-set detours are stale too.
             self.machine.spec.topology.invalidate_routes()
         self._close(record)
+
+    def _run_link_flap(self, event: LinkFlap):
+        resource = self._resource(event.resource)
+        for cycle in range(event.cycles):
+            record = self._open("link_flap", resource.name)
+            self._mark_down(resource)
+            self.machine.spec.topology.invalidate_routes()
+            for flow in self.machine.net.flows_crossing(resource):
+                self.machine.net.abort_flow(flow, TransientTransferError(
+                    f"link {resource.name} flapped down under flow "
+                    f"{flow.label!r}"))
+            yield self.env.timeout(event.down_s)
+            if self._mark_up(resource):
+                self.machine.spec.topology.invalidate_routes()
+            self._close(record)
+            if cycle + 1 < event.cycles:
+                yield self.env.timeout(event.up_s)
+
+    def _run_switch_down(self, event: SwitchDown):
+        name, resources = self._switch_target(event.switch)
+        record = self._open("switch_down", name)
+        flushed = False
+        for resource in resources:
+            if self._mark_down(resource):
+                flushed = True
+        if flushed:
+            # One batched flush for the whole switch going dark, not
+            # one flush per attached link.
+            self.machine.spec.topology.invalidate_routes()
+        for resource in resources:
+            for flow in self.machine.net.flows_crossing(resource):
+                self.machine.net.abort_flow(flow, TransientTransferError(
+                    f"fabric switch {name} went down under flow "
+                    f"{flow.label!r}"))
+        yield self.env.timeout(event.duration)
+        restored = False
+        for resource in resources:
+            if self._mark_up(resource):
+                restored = True
+        if restored:
+            self.machine.spec.topology.invalidate_routes()
+        self._close(record)
+
+    def _run_node_down(self, event: NodeDown) -> None:
+        spec = self.machine.spec  # a ClusterSpec (validated at install)
+        node = event.node
+        if node in self._dead_nodes:
+            return
+        self._dead_nodes.add(node)
+        # Permanent: the timeline window stays open, the trace gets an
+        # instantaneous marker at the moment of death.
+        self._open("node_down", f"node{node}")
+        self.machine.trace.record("Fault:node_down", f"node{node}",
+                                  self.env.now, end=self.env.now)
+        # Every GPU of the node hard-fails: kernels racing fail_event
+        # die, check_device rejects new work, planners see the ids via
+        # failed_gpu_ids().
+        topology = spec.topology
+        dead_resources: List[Resource] = []
+        for gpu in spec.gpu_ids_of_node(node):
+            self._failed.add(gpu)
+            fail_event = self._fail_events.get(gpu)
+            if fail_event is not None and not fail_event.triggered:
+                fail_event.succeed()
+            memory = topology.node(self.machine.device(gpu).name).memory
+            if memory is not None:
+                dead_resources.append(memory)
+        # NIC uplinks go down permanently (their restored events never
+        # fire; check_host keeps new copies from parking on them).
+        flushed = False
+        for link_name in spec.node_nic_links(node):
+            resource = self._by_name[link_name]
+            dead_resources.append(resource)
+            if self._mark_down(resource):
+                flushed = True
+        if flushed:
+            self.machine.spec.topology.invalidate_routes()
+        for memory_name in spec.node_host_memories(node):
+            dead_resources.append(self._by_name[memory_name])
+        for resource in dead_resources:
+            for flow in self.machine.net.flows_crossing(resource):
+                self.machine.net.abort_flow(flow, NodeFaultError(
+                    f"node {node} died under flow {flow.label!r}"))
 
     def _run_engine_stall(self, event: CopyEngineStall):
         if event.direction not in ("in", "out", "both"):

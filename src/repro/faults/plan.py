@@ -24,7 +24,10 @@ from repro.faults.events import (
     GpuFail,
     LinkDegradation,
     LinkDown,
+    LinkFlap,
+    NodeDown,
     StragglerGpu,
+    SwitchDown,
     TransientTransfer,
 )
 from repro.sim.engine import SimulationError
@@ -77,6 +80,33 @@ def _validate_event(event: FaultEvent) -> None:
         raise SimulationError(
             f"engine stall direction must be 'in', 'out' or 'both', "
             f"got {event.direction!r} in {event!r}")
+    if isinstance(event, NodeDown):
+        if not isinstance(event.node, int) or event.node < 0:
+            raise SimulationError(
+                f"fault event references invalid node id {event.node!r} "
+                f"(ids are non-negative integers) in {event!r}")
+    if isinstance(event, SwitchDown):
+        if isinstance(event.switch, bool) or not (
+                (isinstance(event.switch, int) and event.switch >= 0)
+                or (isinstance(event.switch, str) and event.switch)):
+            raise SimulationError(
+                f"fault event references invalid switch {event.switch!r} "
+                f"(a non-negative fabric-switch index or a non-empty "
+                f"vertex name) in {event!r}")
+    if isinstance(event, LinkFlap):
+        if not event.resource or not isinstance(event.resource, str):
+            raise SimulationError(
+                f"fault event needs a non-empty resource name, got "
+                f"{event.resource!r} in {event!r}")
+        if not isinstance(event.cycles, int) or event.cycles < 1:
+            raise SimulationError(
+                f"link flap needs at least one down/up cycle, got "
+                f"{event.cycles!r} in {event!r}")
+        if event.down_s <= 0 or event.up_s <= 0:
+            raise SimulationError(
+                f"link flap windows must have positive down_s and up_s, "
+                f"got down_s={event.down_s!r} up_s={event.up_s!r} "
+                f"in {event!r}")
 
 
 @dataclass(frozen=True)
@@ -192,8 +222,9 @@ class FaultPlan:
         :class:`~repro.sim.engine.SimulationError`.
         """
         kinds = {kind.__name__: kind for kind in (
-            LinkDegradation, LinkDown, CopyEngineStall, StragglerGpu,
-            GpuFail, TransientTransfer)}
+            LinkDegradation, LinkDown, LinkFlap, CopyEngineStall,
+            StragglerGpu, GpuFail, NodeDown, SwitchDown,
+            TransientTransfer)}
         try:
             payload = json.loads(text)
         except json.JSONDecodeError as exc:

@@ -38,12 +38,93 @@ class ResiliencePolicy:
     #: A GPU whose active straggler slowdown is at least this factor is
     #: excluded from new sorts (treated like a failed device).
     straggler_exclude_factor: float = 4.0
+    #: Jitter fraction of the exponential backoff: retry ``k`` waits
+    #: ``backoff_s(k) * (1 + backoff_jitter * u)`` for a seeded uniform
+    #: draw ``u`` in [0, 1).  Zero (the default) keeps legacy timings
+    #: bit-identical; a positive value de-synchronizes the retry storms
+    #: a flapping link otherwise produces.
+    backoff_jitter: float = 0.0
+    #: Multiplicative health penalty per down edge of a link (every
+    #: down window opening multiplies the link's score by this).
+    health_down_factor: float = 0.5
+    #: Linear health regained per simulated second a link stays up.
+    health_recovery_per_s: float = 0.1
+    #: Low watermark: a link whose score falls below this is
+    #: quarantined — new copies avoid it like a down link (when a
+    #: detour exists; quarantine never strands an only route).
+    health_quarantine_below: float = 0.2
+    #: High watermark releasing a quarantined link.  Keeping it well
+    #: above the low watermark is the hysteresis: a link must earn
+    #: sustained uptime back, not just blip over the cut line.
+    health_restore_above: float = 0.7
 
-    def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry number ``attempt`` (1-based)."""
+    def backoff_s(self, attempt: int, jitter: float = 0.0) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``jitter`` is a uniform draw in [0, 1) (or 0 for none); the
+        policy's :attr:`backoff_jitter` scales how much of it applies.
+        """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
-        return self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        base = (self.backoff_base_s
+                * self.backoff_multiplier ** (attempt - 1))
+        if jitter and self.backoff_jitter:
+            base *= 1.0 + self.backoff_jitter * jitter
+        return base
+
+
+class LinkHealth:
+    """Per-link health score with quarantine hysteresis.
+
+    Maintained by the fault injector for every link it has ever taken
+    down: each down edge multiplies the score by the policy's
+    ``health_down_factor``; time spent up earns it back linearly at
+    ``health_recovery_per_s``.  The score trips quarantine below the
+    low watermark and releases it only above the (higher) restore
+    watermark — a flapping link stays quarantined through its brief
+    up windows instead of being retried into every flap.
+    """
+
+    def __init__(self, policy: "ResiliencePolicy", now: float = 0.0):
+        self.policy = policy
+        self.score = 1.0
+        self.quarantined = False
+        #: Down edges recorded so far (diagnostics / tests).
+        self.down_edges = 0
+        self._up_since: Optional[float] = now
+
+    def _recover_to(self, now: float) -> None:
+        if self._up_since is not None and now > self._up_since:
+            self.score = min(
+                1.0, self.score + self.policy.health_recovery_per_s
+                * (now - self._up_since))
+            self._up_since = now
+        if (self.quarantined
+                and self.score >= self.policy.health_restore_above):
+            self.quarantined = False
+
+    def record_down(self, now: float) -> None:
+        """A down window opened on the link at ``now``."""
+        self._recover_to(now)
+        self._up_since = None
+        self.down_edges += 1
+        self.score *= self.policy.health_down_factor
+        if self.score < self.policy.health_quarantine_below:
+            self.quarantined = True
+
+    def record_up(self, now: float) -> None:
+        """The link's last down window closed at ``now``."""
+        self._up_since = now
+
+    def current(self, now: float) -> float:
+        """The score at ``now`` (applies pending up-time recovery)."""
+        self._recover_to(now)
+        return self.score
+
+    def is_quarantined(self, now: float) -> bool:
+        """Whether the link is quarantined at ``now`` (hysteresis)."""
+        self._recover_to(now)
+        return self.quarantined
 
 
 @dataclass

@@ -70,6 +70,7 @@ class ClusterTopology(Topology):
         self._machine_vertices: List[Set[str]] = []
         self._machine_of: Dict[str, int] = {}
         self._fabric_vertices: Set[str] = set()
+        self._fabric_switches: List[str] = []
         self._scope_cache: Dict[Tuple[int, int], Set[str]] = {}
 
     # -- partition bookkeeping ---------------------------------------------
@@ -86,6 +87,21 @@ class ClusterTopology(Topology):
     def register_fabric_vertex(self, name: str) -> None:
         """Mark a vertex (NIC, switch, router) as part of the fabric."""
         self._fabric_vertices.add(name)
+
+    def register_fabric_switch(self, name: str) -> None:
+        """Record a *switch* vertex (leaf/spine/rail/router, not a NIC).
+
+        Switches keep their registration order, so a
+        :class:`~repro.faults.events.SwitchDown` can target them by a
+        stable integer index as well as by name.
+        """
+        if name not in self._fabric_switches:
+            self._fabric_switches.append(name)
+
+    @property
+    def fabric_switches(self) -> Tuple[str, ...]:
+        """Fabric switch vertex names, in registration order."""
+        return tuple(self._fabric_switches)
 
     def machine_of(self, name: str) -> Optional[int]:
         """Machine index owning a vertex; ``None`` for fabric vertices."""
@@ -162,6 +178,40 @@ class ClusterSpec(SystemSpec):
         local = self.node_preferred.get(count, tuple(range(count)))
         base = node * self.gpus_per_node
         return tuple(base + i for i in local)
+
+    def node_of_numa(self, numa: int) -> int:
+        """Machine index owning global NUMA domain ``numa``."""
+        if not (self.numa_per_node > 0
+                and 0 <= numa < self.num_nodes * self.numa_per_node):
+            raise TopologyError(f"no NUMA domain {numa} on {self.name}")
+        return numa // self.numa_per_node
+
+    def node_host_memories(self, node: int) -> Tuple[str, ...]:
+        """Host-memory resource names of machine ``node``'s NUMA domains."""
+        self._check_node(node)
+        names = []
+        for numa in range(node * self.numa_per_node,
+                          (node + 1) * self.numa_per_node):
+            vertex = self.topology.node(f"cpu{numa}")
+            if vertex.memory is not None:
+                names.append(vertex.memory.name)
+        return tuple(names)
+
+    def node_nic_links(self, node: int) -> Tuple[str, ...]:
+        """NIC uplink resource names of machine ``node``, in rail order.
+
+        These are the node's only edges into the fabric, so taking them
+        all down (a :class:`~repro.faults.events.NodeDown`) unreaches
+        the node from every other machine.
+        """
+        self._check_node(node)
+        names = []
+        for edge in self.topology.edges:
+            if (edge.kind is LinkKind.NIC
+                    and edge.resource.name.startswith(f"n{node}_nic")
+                    and edge.resource.name not in names):
+                names.append(edge.resource.name)
+        return tuple(names)
 
     def counts(self) -> Dict[str, int]:
         """Topology size counters for provenance stamping."""
@@ -241,6 +291,7 @@ def _add_nic(topo: ClusterTopology, node_index: int, rail: int,
 def _add_fabric_switch(topo: ClusterTopology, name: str) -> str:
     topo.add_node(name, NodeKind.SWITCH)
     topo.register_fabric_vertex(name)
+    topo.register_fabric_switch(name)
     return name
 
 

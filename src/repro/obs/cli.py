@@ -116,8 +116,12 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
                              "--supervised to trace a replanned run)")
     parser.add_argument("--kill-at", type=float, default=0.5,
                         metavar="T",
-                        help="simulated time of the --kill-gpu failure "
-                             "(default 0.5)")
+                        help="simulated time of the --kill-gpu / "
+                             "--kill-node failure (default 0.5)")
+    parser.add_argument("--kill-node", type=int, default=None,
+                        metavar="NODE",
+                        help="kill this whole cluster node mid-run "
+                             "(all GPUs + NIC links; needs --nodes > 1)")
     parser.add_argument("--service", type=int, default=None, metavar="N",
                         help="instead of one sort, run a service episode "
                              "offering N jobs at estimated capacity")
@@ -140,6 +144,10 @@ def _install_faults(machine, spec, args) -> None:
         from repro.faults.events import GpuFail
 
         fault_events.append(GpuFail(at=args.kill_at, gpu=args.kill_gpu))
+    if getattr(args, "kill_node", None) is not None:
+        from repro.faults.events import NodeDown
+
+        fault_events.append(NodeDown(at=args.kill_at, node=args.kill_node))
     if args.faults > 0 or fault_events:
         from repro.faults.plan import FaultPlan
 
@@ -218,7 +226,22 @@ def _run_instrumented(args):
     keys = generate(physical, args.distribution, key_dtype("int"),
                     seed=args.seed)
     if algorithm == "hier":
-        result = hier_sort(machine, keys)
+        from repro.errors import SortError
+        from repro.sort import HierConfig
+
+        config = HierConfig(
+            postmortem_dir=getattr(args, "postmortem_dir", None))
+        if getattr(args, "max_replans", None) is not None:
+            config.max_node_replans = args.max_replans
+        try:
+            result = hier_sort(machine, keys, config=config)
+        except SortError as exc:
+            raise _FailedRun(
+                machine, recorder, exc,
+                getattr(exc, "postmortems", ()) or (),
+                failed_phase=getattr(exc, "failing_phase", None),
+                failed_phase_started=getattr(
+                    exc, "failing_phase_started", None)) from exc
         return machine, recorder, result
     gpu_ids = args.gpus
     if gpu_ids is None and algorithm == "p2p":
@@ -865,8 +888,14 @@ def main(argv=None) -> int:
         if getattr(args, "gpus", None) is not None:
             parser.error("--gpus does not apply to clusters: the "
                          "hierarchical sort plans per-node GPU sets")
+        if (getattr(args, "kill_node", None) is not None
+                and not 0 <= args.kill_node < args.nodes):
+            parser.error(f"--kill-node {args.kill_node} is outside the "
+                         f"{args.nodes}-node cluster")
     elif getattr(args, "algorithm", None) == "hier":
         parser.error("--algorithm hier needs a cluster; add --nodes N")
+    elif getattr(args, "kill_node", None) is not None:
+        parser.error("--kill-node needs a cluster; add --nodes N")
     if (getattr(args, "max_replans", None) is not None
             and args.max_replans < 0):
         parser.error(f"--max-replans must be >= 0, got {args.max_replans}")

@@ -23,10 +23,13 @@ See ``docs/RESILIENCE.md`` for the recovery state machine.
 """
 
 from repro.recovery.checkpoint import PhaseCheckpoint, RecoveryStats
+from repro.recovery.cluster import Contribution, ExchangeLedger
 from repro.recovery.supervisor import SortSupervisor, SupervisorConfig
 from repro.recovery.tasks import TaskGroup
 
 __all__ = [
+    "Contribution",
+    "ExchangeLedger",
     "PhaseCheckpoint",
     "RecoveryStats",
     "SortSupervisor",

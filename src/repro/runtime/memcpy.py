@@ -138,12 +138,15 @@ def copy_async(machine: "Machine", dst: Span, src: Span,
     payload = src.view.copy()
 
     if machine.faults is not None:
-        # New copies touching a hard-failed GPU raise immediately: the
-        # device's memory is gone, so neither reading from nor writing
-        # to it can be retried into success.
+        # New copies touching a hard-failed GPU (or the host memory of
+        # a dead cluster node) raise immediately: the memory is gone,
+        # so neither reading from nor writing to it can be retried into
+        # success.
         for buffer in (src.buffer, dst.buffer):
             if isinstance(buffer, DeviceBuffer):
                 machine.faults.check_device(buffer.device)
+            elif isinstance(buffer, HostBuffer):
+                machine.faults.check_host(buffer.numa)
 
     if kind == "DtoD":
         device = src.buffer.device
@@ -184,31 +187,68 @@ def _resolve_route(machine: "Machine", src_node: str, dst_node: str):
     cap applies — graceful degradation, not teleportation).  With no
     detour (or re-routing disabled), park until the first blocking link
     is restored and resolve again.
+
+    Quarantined links (health score under the policy's low watermark —
+    flapping links, mostly) are avoided the same way, but only ever
+    advisorily: a copy whose sole route crosses a quarantined-but-up
+    link takes it rather than park, and a copy blocked by a genuinely
+    down link still reroutes over quarantined links when nothing
+    cleaner exists.
     """
     topology = machine.spec.topology
     faults = machine.faults
     env = machine.env
     while True:
         route = topology.route(src_node, dst_node)
-        if faults is None or not faults.down_ids:
+        if faults is None or (not faults.down_ids
+                              and not faults.link_health):
             return route
         down = faults.down_ids
+        quarantined = faults.quarantined_ids()
         blocked = [id(resource) for resource, _direction in route.hops
                    if id(resource) in down]
-        if not blocked:
+        shunned = any(id(resource) in quarantined
+                      for resource, _direction in route.hops)
+        if not blocked and not shunned:
             return route
         if machine.resilience.reroute:
             try:
                 detour = topology.route(src_node, dst_node,
-                                        avoid=frozenset(down))
+                                        avoid=frozenset(down)
+                                        | quarantined)
             except TopologyError:
                 detour = None
+            if detour is None and blocked and quarantined:
+                # Quarantine is advisory: never let it turn a routable
+                # copy into a parked one.
+                try:
+                    detour = topology.route(src_node, dst_node,
+                                            avoid=frozenset(down))
+                except TopologyError:
+                    detour = None
             if detour is not None:
                 machine.resilience_stats.reroutes += 1
                 return detour
+        if not blocked:
+            # Only quarantined (but up) links in the way and no clean
+            # detour: take the direct route rather than wait on links
+            # that are not actually down.
+            return route
         parked_at = env.now
         yield faults.restored_event(blocked[0])
         machine.resilience_stats.link_wait_s += env.now - parked_at
+
+
+def _jitter_draw(machine: "Machine", policy) -> float:
+    """One seeded jitter draw, or 0 when jitter is off (no stream use).
+
+    Guarded so the default (``backoff_jitter == 0``) policy never
+    consumes a random number — legacy faulted timelines replay
+    bit-identically whether or not jitter support exists.
+    """
+    if policy.backoff_jitter and machine.faults is not None:
+        return machine.faults.backoff_jitter_draw()
+    return 0.0
 
 
 def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
@@ -252,12 +292,15 @@ def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
         attempt = 0
         while True:
             if faults is not None:
-                # A device can die between retry attempts (backoff) —
-                # re-check before resubmitting so the copy fails with
-                # the non-retryable DeviceFaultError, not another flow.
+                # A device (or whole node) can die between retry
+                # attempts (backoff) — re-check before resubmitting so
+                # the copy fails with the non-retryable fault error,
+                # not another flow.
                 for buffer in (src.buffer, dst.buffer):
                     if isinstance(buffer, DeviceBuffer):
                         faults.check_device(buffer.device)
+                    elif isinstance(buffer, HostBuffer):
+                        faults.check_host(buffer.numa)
             route = yield from _resolve_route(machine, src_node, dst_node)
             rate_cap = None
             if kind == "PtoP" and route.host_traversing:
@@ -307,13 +350,15 @@ def _routed_copy(machine: "Machine", dst: Span, src: Span, kind: str,
                 if attempt > policy.max_retries:
                     raise
                 stats.retries += 1
-                yield env.timeout(policy.backoff_s(attempt))
+                yield env.timeout(policy.backoff_s(
+                    attempt, _jitter_draw(machine, policy)))
             except CopyTimeoutError:
                 attempt += 1
                 if not policy.retry_on_timeout or attempt > policy.max_retries:
                     raise
                 stats.retries += 1
-                yield env.timeout(policy.backoff_s(attempt))
+                yield env.timeout(policy.backoff_s(
+                    attempt, _jitter_draw(machine, policy)))
             except BaseException:
                 # Interrupt or any non-retryable failure: take the flow
                 # out of the network before unwinding.

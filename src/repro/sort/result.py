@@ -57,6 +57,12 @@ class SortResult:
     #: GPUs dropped from the requested set (failed or straggling past
     #: the policy's exclusion factor).
     excluded_gpus: Tuple[int, ...] = ()
+    #: Hierarchical sorts only: cluster nodes dropped from the run
+    #: (dead at planning time or lost mid-run and re-planned around).
+    excluded_nodes: Tuple[int, ...] = ()
+    #: Hierarchical sorts only: exchange waves re-executed after a
+    #: transient wave failure or a node-loss repair pass.
+    waves_replayed: int = 0
     #: Supervised sorts only: times the supervisor re-planned the run
     #: after a mid-phase device/transfer failure.
     replans: int = 0
@@ -104,8 +110,12 @@ class SortResult:
                      f"downtime={self.fault_downtime:.3f}s"
                      + (f" excluded={self.excluded_gpus}"
                         if self.excluded_gpus else "")
+                     + (f" excluded_nodes={self.excluded_nodes}"
+                        if self.excluded_nodes else "")
                      + (f" replans={self.replans}"
                         if self.replans else "")
+                     + (f" waves_replayed={self.waves_replayed}"
+                        if self.waves_replayed else "")
                      + (f" speculative_wins={self.speculative_wins}"
                         if self.speculative_wins else "") + "]")
         if self.deadline_exceeded:

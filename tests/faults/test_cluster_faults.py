@@ -1,0 +1,268 @@
+"""Cluster-tier fault injection: node death, switch outages, flapping.
+
+Covers the injector's expansion of :class:`NodeDown` into a node's
+whole fault domain, the **one batched route flush per switch edge**
+contract under switch down/up bursts, warmed-cache rerouting around a
+dead switch on the redundant fabrics, and the per-link health score
+with quarantine hysteresis that keeps flapping links out of new
+routes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import NodeFaultError
+from repro.faults import FaultPlan
+from repro.faults.events import LinkFlap, NodeDown, SwitchDown
+from repro.faults.policy import LinkHealth, ResiliencePolicy
+from repro.hw import dgx_a100, make_cluster
+from repro.runtime import Machine
+from repro.runtime.memcpy import copy_async, span
+from repro.sim.engine import SimulationError
+
+SCALE = 1e6  # 8 KB physical -> 8 GB logical: copies take ~0.3 sim-s
+
+
+def _cross_copy(machine: Machine, src_gpu: int, dst_gpu: int,
+                n: int = 1000):
+    src = machine.device(src_gpu).alloc(n, np.int64, label="src")
+    dst = machine.device(dst_gpu).alloc(n, np.int64, label="dst")
+    src.data[:] = np.arange(n, dtype=np.int64)
+
+    def run():
+        yield from copy_async(machine, span(dst), span(src))
+
+    machine.run(run())
+    return src, dst
+
+
+class TestNodeDownExpansion:
+    def test_node_down_fails_every_gpu_and_nic_of_the_node(self):
+        machine = Machine(make_cluster("dgx-a100", 2), scale=SCALE)
+        machine.install_faults(FaultPlan(events=(
+            NodeDown(at=0.0, node=1),)))
+
+        def run():
+            yield machine.env.timeout(0.001)
+
+        machine.run(run())
+        injector = machine.faults
+        assert injector.failed_node_ids() == {1}
+        assert set(machine.spec.gpu_ids_of_node(1)) \
+            <= injector.failed_gpu_ids()
+        # Every NIC uplink of the node is permanently down.
+        for name in machine.spec.node_nic_links(1):
+            resource = injector._by_name[name]
+            assert id(resource) in injector.down_ids
+
+    def test_check_host_raises_for_a_dead_node(self):
+        spec = make_cluster("dgx-a100", 2)
+        machine = Machine(spec, scale=SCALE)
+        machine.install_faults(FaultPlan(events=(
+            NodeDown(at=0.0, node=0),)))
+
+        def run():
+            yield machine.env.timeout(0.001)
+
+        machine.run(run())
+        with pytest.raises(NodeFaultError):
+            machine.faults.check_host(spec.node_numa(0))
+        machine.faults.check_host(spec.node_numa(1))  # survivor is fine
+
+    def test_node_down_needs_a_cluster(self):
+        machine = Machine(dgx_a100())
+        with pytest.raises(SimulationError, match="ClusterSpec"):
+            machine.install_faults(FaultPlan(events=(
+                NodeDown(at=0.0, node=0),)))
+
+    def test_unknown_node_rejected_at_install(self):
+        machine = Machine(make_cluster("dgx-a100", 2))
+        with pytest.raises(SimulationError, match="unknown node"):
+            machine.install_faults(FaultPlan(events=(
+                NodeDown(at=0.0, node=7),)))
+
+    def test_unknown_switch_rejected_at_install(self):
+        machine = Machine(make_cluster("dgx-a100", 4))
+        with pytest.raises(SimulationError, match="ft_spine9"):
+            machine.install_faults(FaultPlan(events=(
+                SwitchDown(at=0.0, switch="ft_spine9", duration=0.1),)))
+
+    def test_switch_down_needs_a_fabric(self):
+        machine = Machine(dgx_a100())
+        with pytest.raises(SimulationError, match="no fabric switches"):
+            machine.install_faults(FaultPlan(events=(
+                SwitchDown(at=0.0, switch=0, duration=0.1),)))
+
+
+class TestBatchedRouteFlush:
+    """Satellite: one route-table flush per switch *edge*, not per link."""
+
+    def test_switch_down_flushes_once_per_edge(self):
+        # rail0 on a 4-node rail fabric has four attached NIC links;
+        # taking the switch down must flush the warmed table exactly
+        # once on the down edge and once on restore.
+        machine = Machine(make_cluster("dgx-a100", 4, fabric="rail"),
+                          scale=SCALE)
+        topo = machine.spec.topology
+        topo.route("gpu0", "gpu8")  # warm (flushes are no-ops when empty)
+        machine.install_faults(FaultPlan(events=(
+            SwitchDown(at=0.0, switch="rail0", duration=0.001),)))
+
+        def run():
+            # Re-warm mid-window so the restore-edge flush has a
+            # non-empty table to count against (flushing an empty
+            # table is a no-op).
+            yield machine.env.timeout(0.0005)
+            topo.route("gpu0", "gpu16")
+            yield machine.env.timeout(0.01)
+
+        machine.run(run())
+        assert topo.routes.invalidations == 2
+
+    def test_switch_burst_flushes_twice_per_window(self):
+        machine = Machine(make_cluster("dgx-a100", 4, fabric="rail"),
+                          scale=SCALE)
+        topo = machine.spec.topology
+        topo.route("gpu0", "gpu8")
+        machine.install_faults(FaultPlan(events=tuple(
+            SwitchDown(at=0.01 * k, switch="rail0", duration=0.002)
+            for k in range(3))))
+
+        def run():
+            # Keep the table warm across the burst: re-route once
+            # inside every down window and once after every restore,
+            # so each of the six edges flushes a non-empty table.
+            for k in range(3):
+                yield machine.env.timeout(0.01 * k + 0.001
+                                          - machine.env.now)
+                topo.route("gpu0", "gpu16")
+                yield machine.env.timeout(0.004)
+                topo.route("gpu0", "gpu16")
+            yield machine.env.timeout(0.1 - machine.env.now)
+
+        machine.run(run())
+        assert topo.routes.invalidations == 6
+
+    def test_node_down_flushes_once_for_all_nic_links(self):
+        machine = Machine(make_cluster("dgx-a100", 2, fabric="rail"),
+                          scale=SCALE)
+        topo = machine.spec.topology
+        topo.route("gpu0", "gpu8")
+        assert len(machine.spec.node_nic_links(1)) > 1
+        machine.install_faults(FaultPlan(events=(
+            NodeDown(at=0.0, node=1),)))
+
+        def run():
+            yield machine.env.timeout(0.001)
+
+        machine.run(run())
+        assert topo.routes.invalidations == 1
+
+
+class TestSwitchDownReroute:
+    """Warmed-cache rerouting around a dead switch on every fabric."""
+
+    @pytest.mark.parametrize("fabric,nodes,switch,src,dst", [
+        # Fat-tree: spine0 dies; the leaf0 -> leaf1 route detours
+        # through spine1.
+        ("fat-tree", 8, "ft_spine0", 0, 32),
+        # Rail: rail0 dies; traffic shifts to the nodes' rail1 NICs.
+        ("rail", 4, "rail0", 0, 8),
+    ])
+    def test_redundant_fabrics_reroute(self, fabric, nodes, switch,
+                                       src, dst):
+        machine = Machine(make_cluster("dgx-a100", nodes, fabric=fabric),
+                          scale=SCALE)
+        topo = machine.spec.topology
+        clean = topo.route(f"gpu{src}", f"gpu{dst}")
+        assert any(switch in r.name for r, _ in clean.hops)
+        machine.install_faults(FaultPlan(events=(
+            SwitchDown(at=0.0, switch=switch, duration=0.001),)))
+        a, b = _cross_copy(machine, src, dst)
+        assert np.array_equal(b.data, a.data)
+        assert machine.resilience_stats.reroutes >= 1
+        assert topo.routes.invalidations == 2
+
+    def test_dragonfly_router_outage_is_waited_out(self):
+        # A dragonfly node hangs off exactly one router, so a dead
+        # router strands its nodes: no redundant path exists and the
+        # copy must wait for the restore edge instead of rerouting.
+        machine = Machine(make_cluster("dgx-a100", 16,
+                                       fabric="dragonfly"), scale=SCALE)
+        topo = machine.spec.topology
+        clean = topo.route("gpu0", "gpu32")
+        assert any("dfly_r1" in r.name for r, _ in clean.hops)
+        machine.install_faults(FaultPlan(events=(
+            SwitchDown(at=0.0, switch="dfly_r1", duration=0.001),)))
+        a, b = _cross_copy(machine, 0, 32)
+        assert np.array_equal(b.data, a.data)
+        assert machine.resilience_stats.reroutes == 0
+        assert machine.env.now > 0.001  # the outage window was waited out
+
+
+class TestLinkHealth:
+    """Unit tests of the health score + quarantine hysteresis."""
+
+    def _policy(self):
+        return ResiliencePolicy()
+
+    def test_score_decays_per_down_edge(self):
+        health = LinkHealth(self._policy())
+        assert health.current(0.0) == 1.0
+        health.record_down(0.0)
+        assert health.current(0.0) == pytest.approx(0.5)
+        health.record_up(0.1)
+        health.record_down(0.1)
+        assert health.current(0.1) == pytest.approx(0.25, abs=0.03)
+        assert health.down_edges == 2
+
+    def test_quarantine_trips_below_low_watermark(self):
+        health = LinkHealth(self._policy())
+        for _ in range(3):  # 1.0 -> 0.5 -> 0.25 -> 0.125 < 0.2
+            health.record_down(0.0)
+            health.record_up(0.0)
+        assert health.is_quarantined(0.0)
+
+    def test_hysteresis_holds_through_brief_up_windows(self):
+        policy = self._policy()
+        health = LinkHealth(policy)
+        for _ in range(3):
+            health.record_down(0.0)
+            health.record_up(0.0)
+        # Linear recovery: released only once the score clears the
+        # *higher* restore watermark, not the quarantine one.
+        trip = (policy.health_quarantine_below - health.current(0.0)) \
+            / policy.health_recovery_per_s
+        assert health.is_quarantined(trip + 0.01)
+        release = (policy.health_restore_above - 0.125) \
+            / policy.health_recovery_per_s
+        assert not health.is_quarantined(release + 0.01)
+        assert health.current(1e9) == 1.0  # capped
+
+    def test_flapping_link_is_quarantined_by_the_injector(self):
+        machine = Machine(make_cluster("dgx-a100", 2), scale=SCALE)
+        link = machine.spec.node_nic_links(1)[0]
+        machine.install_faults(FaultPlan(events=(
+            LinkFlap(at=0.0, resource=link, cycles=4,
+                     down_s=0.0005, up_s=0.0005),)))
+
+        def run():
+            yield machine.env.timeout(0.004)
+
+        machine.run(run())
+        injector = machine.faults
+        rid = id(injector._by_name[link])
+        assert injector.link_health[rid].down_edges == 4
+        assert rid in injector.quarantined_ids()
+
+    def test_backoff_jitter_is_seeded_and_bounded(self):
+        plans = [FaultPlan(events=(), seed=3), FaultPlan(events=(), seed=3)]
+        draws = []
+        for plan in plans:
+            machine = Machine(make_cluster("dgx-a100", 2))
+            machine.install_faults(plan)
+            draws.append([machine.faults.backoff_jitter_draw()
+                          for _ in range(8)])
+        assert draws[0] == draws[1]  # same seed, same stream
+        assert all(0.0 <= d <= 1.0 for d in draws[0])
+        assert len(set(draws[0])) > 1

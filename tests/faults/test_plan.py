@@ -6,10 +6,13 @@ from repro.faults import (
     FaultPlan,
     LinkDegradation,
     LinkDown,
+    LinkFlap,
+    NodeDown,
     StragglerGpu,
+    SwitchDown,
     TransientTransfer,
 )
-from repro.hw import dgx_a100
+from repro.hw import dgx_a100, make_cluster
 from repro.sim.engine import SimulationError
 
 
@@ -97,6 +100,62 @@ class TestJsonRoundTrip:
         text = plan.to_json().replace('"duration": 0.05',
                                       '"duration": -1.0')
         with pytest.raises(SimulationError):
+            FaultPlan.from_json(text)
+
+
+class TestClusterEventKinds:
+    """Satellite: JSON round-trip + validation of the cluster-tier kinds."""
+
+    def _plan(self) -> FaultPlan:
+        return FaultPlan(events=(
+            NodeDown(at=0.1, node=2),
+            SwitchDown(at=0.2, switch="ft_spine0", duration=0.05),
+            SwitchDown(at=0.3, switch=1, duration=0.02),
+            LinkFlap(at=0.4, resource="infiniband_n1_nic0_ft_leaf0",
+                     cycles=3, down_s=0.01, up_s=0.02),
+        ), seed=17)
+
+    def test_cluster_kinds_round_trip(self):
+        plan = self._plan()
+        loaded = FaultPlan.from_json(plan.to_json())
+        assert loaded == plan
+        assert loaded.events == plan.events
+
+    def test_cluster_generate_round_trips(self):
+        spec = make_cluster("dgx-a100", 4, fabric="rail")
+        plan = FaultPlan.generate(spec, seed=9, intensity=2.0,
+                                  horizon=0.4)
+        assert len(plan) > 0
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(SimulationError, match="invalid node"):
+            FaultPlan(events=(NodeDown(at=0.0, node=-1),))
+
+    def test_bad_switch_rejected(self):
+        with pytest.raises(SimulationError, match="invalid switch"):
+            FaultPlan(events=(SwitchDown(at=0.0, switch="",
+                                         duration=0.1),))
+        with pytest.raises(SimulationError, match="invalid switch"):
+            FaultPlan(events=(SwitchDown(at=0.0, switch=-3,
+                                         duration=0.1),))
+
+    def test_zero_cycle_flap_rejected(self):
+        with pytest.raises(SimulationError, match="cycle"):
+            FaultPlan(events=(LinkFlap(at=0.0, resource="x", cycles=0,
+                                       down_s=0.01, up_s=0.01),))
+
+    def test_nonpositive_flap_window_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            FaultPlan(events=(LinkFlap(at=0.0, resource="x", cycles=1,
+                                       down_s=0.0, up_s=0.01),))
+
+    def test_hand_edited_flap_still_validates(self):
+        plan = FaultPlan(events=(
+            LinkFlap(at=0.0, resource="x", cycles=2,
+                     down_s=0.01, up_s=0.02),))
+        text = plan.to_json().replace('"cycles": 2', '"cycles": 0')
+        with pytest.raises(SimulationError, match="cycle"):
             FaultPlan.from_json(text)
 
 

@@ -142,9 +142,24 @@ class TestNodeScopedRecovery:
         assert len(node1) == 4
         assert 9 not in node1
 
-    def test_whole_node_failure_raises(self):
+    def test_whole_node_failure_excludes_the_node(self):
+        # Every GPU of node 1 dead at planning time: the sort re-shards
+        # over the survivors instead of aborting, for free (no replan
+        # budget consumed — no in-flight work died).
+        data = _data()
         machine = Machine(make_cluster("dgx-a100", 2))
         machine.install_faults(FaultPlan(events=tuple(
             GpuFail(at=0.0, gpu=g) for g in range(8, 16))))
-        with pytest.raises(SortError, match="node 1"):
+        result = hier_sort(machine, data)
+        assert np.array_equal(result.output, np.sort(data))
+        assert result.excluded_nodes == (1,)
+        assert result.replans == 0
+        assert all(g < 8 for g in result.gpu_ids)
+        assert result.degraded
+
+    def test_all_nodes_dead_raises(self):
+        machine = Machine(make_cluster("dgx-a100", 2))
+        machine.install_faults(FaultPlan(events=tuple(
+            GpuFail(at=0.0, gpu=g) for g in range(16))))
+        with pytest.raises(SortError, match="no cluster nodes survive"):
             hier_sort(machine, _data())
