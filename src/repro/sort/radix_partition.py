@@ -180,6 +180,14 @@ def rp_sort(machine: Machine, data: Union[np.ndarray, HostBuffer],
     record_bytes = itemsize + (value_dtype.itemsize if value_dtype else 0)
     chunk = -(-n // g)
     recv_capacity = max(int(chunk * config.slack) + g, chunk)
+    if n <= g * g * config.oversample:
+        # Tiny inputs: the splitters come from sampling *with
+        # replacement*, so an unlucky draw can skew the quantiles far
+        # enough that no reasonable slack covers the heaviest bucket
+        # (e.g. 14 duplicates of 18 keys landing on one GPU).  The
+        # whole input is a rounding error at this size — cover the
+        # worst case outright.
+        recv_capacity = n
     for gpu_id in ids:
         device = machine.device(gpu_id)
         need = (max(2 * chunk, 2 * recv_capacity)
